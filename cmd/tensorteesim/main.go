@@ -1,0 +1,103 @@
+// Command tensorteesim regenerates the tables and figures of the TensorTEE
+// paper's evaluation (Section 6) from the simulators in this repository.
+//
+// Usage:
+//
+//	tensorteesim -list              list experiment ids
+//	tensorteesim -exp fig16         regenerate one experiment
+//	tensorteesim -exp all           regenerate everything (slow)
+//	tensorteesim -step GPT2-M       simulate one training step on all systems
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tensortee"
+	"tensortee/internal/experiments"
+)
+
+var jsonOut = flag.Bool("json", false, "emit experiment results as JSON")
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	exp := flag.String("exp", "", "experiment id to regenerate (or 'all')")
+	step := flag.String("step", "", "simulate one training step for the named model")
+	models := flag.Bool("models", false, "list workload models and exit")
+	flag.Parse()
+
+	switch {
+	case *list:
+		fmt.Println("experiments:")
+		for _, e := range experiments.Registry() {
+			fmt.Printf("  %s\n", e.ID)
+		}
+	case *models:
+		for _, name := range tensortee.ModelNames() {
+			m, _ := tensortee.Model(name)
+			fmt.Printf("%-12s %-6s batch=%-3d layers=%-3d hidden=%-5d tensors=%d\n",
+				m.Name, m.ParamsLabel, m.BatchSize, m.Layers, m.Hidden, m.TensorCount)
+		}
+	case *exp == "all":
+		for _, e := range experiments.Registry() {
+			runOne(e.ID)
+		}
+	case *exp != "":
+		runOne(*exp)
+	case *step != "":
+		runStep(*step)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string) {
+	start := time.Now()
+	if *jsonOut {
+		rep, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	out, err := tensortee.RunExperiment(id)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+	fmt.Printf("[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+}
+
+func runStep(model string) {
+	fmt.Printf("one ZeRO-Offload training step of %s:\n\n", model)
+	for _, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
+		sys, err := tensortee.NewSystem(kind)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		b, err := sys.TrainStep(model)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s total=%-10v npu=%v cpu=%v commW=%v commG=%v\n",
+			kind, b.Total.Round(time.Millisecond),
+			b.NPU.Round(time.Millisecond), b.CPU.Round(time.Millisecond),
+			b.CommWeights.Round(time.Millisecond), b.CommGrads.Round(time.Millisecond))
+	}
+	_ = strings.TrimSpace
+}

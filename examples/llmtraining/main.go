@@ -1,0 +1,57 @@
+// llmtraining sweeps all twelve Table-2 models across the three systems and
+// prints the Figure 16/17 view: per-batch latency, the TensorTEE speedup
+// over the SGX+MGX baseline, and the per-phase breakdown.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"tensortee"
+)
+
+func main() {
+	systems := map[tensortee.Kind]*tensortee.System{}
+	for _, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
+		sys, err := tensortee.NewSystem(kind)
+		if err != nil {
+			log.Fatal(err)
+		}
+		systems[kind] = sys
+	}
+
+	fmt.Printf("%-12s %-8s  %12s %12s %12s  %8s %9s\n",
+		"model", "params", "non-secure", "SGX+MGX", "TensorTEE", "speedup", "overhead")
+	var sumSpeedup float64
+	names := tensortee.ModelNames()
+	for _, name := range names {
+		info, _ := tensortee.Model(name)
+		var totals [3]time.Duration
+		for i, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
+			b, err := systems[kind].TrainStep(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totals[i] = b.Total
+		}
+		speedup := float64(totals[1]) / float64(totals[2])
+		overhead := (float64(totals[2])/float64(totals[0]) - 1) * 100
+		sumSpeedup += speedup
+		fmt.Printf("%-12s %-8s  %12v %12v %12v  %7.2fx %8.1f%%\n",
+			name, info.ParamsLabel,
+			totals[0].Round(time.Millisecond), totals[1].Round(time.Millisecond),
+			totals[2].Round(time.Millisecond), speedup, overhead)
+	}
+	fmt.Printf("\naverage speedup over the baseline: %.2fx (paper: 4.0x, up to 5.5x)\n",
+		sumSpeedup/float64(len(names)))
+
+	fmt.Println("\nper-phase breakdown of GPT2-M (Figure 5/17):")
+	for _, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
+		b, _ := systems[kind].TrainStep("GPT2-M")
+		t := float64(b.Total)
+		fmt.Printf("%-12s npu=%4.1f%% cpu=%4.1f%% commW=%4.1f%% commG=%4.1f%%\n",
+			kind, 100*float64(b.NPU)/t, 100*float64(b.CPU)/t,
+			100*float64(b.CommWeights)/t, 100*float64(b.CommGrads)/t)
+	}
+}

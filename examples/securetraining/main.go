@@ -1,0 +1,95 @@
+// securetraining runs a real (functional) multi-step ZeRO-Offload training
+// loop on the secure platform: a toy linear-regression model whose forward
+// and backward passes run "on the NPU", gradients crossing to the CPU
+// enclave through the direct protocol each step, a fused Adam update inside
+// the CPU enclave, and updated weights shipped back — every tensor byte
+// protected by AES-CTR memory encryption end to end, every transfer gated
+// by a verification barrier. The loss goes down; the security never turns
+// off.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tensortee"
+)
+
+// The toy task: fit y = 2x + 1 with w,b from a fixed dataset.
+var (
+	xs = []float32{-2, -1, 0, 1, 2, 3}
+	ys = []float32{-3, -1, 1, 3, 5, 7}
+)
+
+// npuForwardBackward plays the accelerator role: given current weights it
+// computes the loss and the gradients (this is the computation ZeRO-Offload
+// leaves on the NPU).
+func npuForwardBackward(w, b float32) (loss, gw, gb float32) {
+	n := float32(len(xs))
+	for i := range xs {
+		pred := w*xs[i] + b
+		diff := pred - ys[i]
+		loss += diff * diff / n
+		gw += 2 * diff * xs[i] / n
+		gb += 2 * diff / n
+	}
+	return
+}
+
+func main() {
+	p, err := tensortee.NewPlatform(tensortee.PlatformConfig{Seed: 2024})
+	if err != nil {
+		log.Fatal(err)
+	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// CPU enclave holds fp32 master weights and optimizer state
+	// (ZeRO-Offload's layout, Figure 1).
+	must(p.CreateTensor(tensortee.CPUSide, "w", []float32{0, 0})) // [w, b]
+	must(p.CreateTensor(tensortee.CPUSide, "m", []float32{0, 0}))
+	must(p.CreateTensor(tensortee.CPUSide, "v", []float32{0, 0}))
+	// NPU enclave holds the gradient buffer.
+	must(p.CreateTensor(tensortee.NPUSide, "g", []float32{0, 0}))
+	// Ship initial weights to the NPU.
+	must(p.Transfer(tensortee.CPUSide, "w"))
+	must(p.VerifyBarrier("w"))
+
+	fmt.Println("step   loss        w        b")
+	for step := 1; step <= 400; step++ {
+		// NPU: forward+backward on its (decrypted-inside-the-enclave) weights.
+		wvals, err := p.ReadTensor(tensortee.NPUSide, "w")
+		must(err)
+		loss, gw, gb := npuForwardBackward(wvals[0], wvals[1])
+
+		// NPU writes gradients into its protected memory...
+		gvals, err := p.ReadTensor(tensortee.NPUSide, "g")
+		must(err)
+		gvals[0], gvals[1] = gw, gb
+		must(p.WriteTensor(tensortee.NPUSide, "g", gvals))
+
+		// ...and they cross to the CPU via the direct channel + barrier.
+		must(p.Transfer(tensortee.NPUSide, "g"))
+		must(p.VerifyBarrier("g"))
+
+		// CPU enclave: fused Adam on the master weights.
+		must(p.AdamStepWithLR("w", "g", "m", "v", step, 0.05))
+
+		// Updated weights return to the NPU for the next step.
+		must(p.Transfer(tensortee.CPUSide, "w"))
+		must(p.VerifyBarrier("w"))
+
+		if step%80 == 0 || step == 1 {
+			cur, err := p.ReadTensor(tensortee.CPUSide, "w")
+			must(err)
+			fmt.Printf("%4d  %8.5f  %7.4f  %7.4f\n", step, loss, cur[0], cur[1])
+		}
+	}
+	final, err := p.ReadTensor(tensortee.CPUSide, "w")
+	must(err)
+	fmt.Printf("\nconverged to y = %.3fx + %.3f (target: y = 2x + 1)\n", final[0], final[1])
+	fmt.Println("every step ran on AES-CTR protected memory with barrier-gated transfers")
+}

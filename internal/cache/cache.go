@@ -1,0 +1,265 @@
+// Package cache models set-associative write-back, write-allocate caches
+// with LRU replacement: the per-core L1/L2, the shared L3, and the MEE's
+// 32 KB metadata cache (Table 1).
+//
+// The model is a functional tag store (hits and victims are exact for the
+// access stream it sees); latency is charged by the callers.
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result describes the outcome of a cache access.
+type Result struct {
+	Hit bool
+	// WritebackAddr is the line address of a dirty victim evicted by this
+	// access, or NoWriteback.
+	WritebackAddr uint64
+	HasWriteback  bool
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a single level tag store.
+type Cache struct {
+	name      string
+	lineBytes int
+	sets      int
+	ways      int
+	hashed    bool
+	data      []line // sets*ways
+	clock     uint64
+
+	hits, misses, writebacks uint64
+}
+
+// New constructs a cache of size bytes with the given associativity and
+// line size, using plain modulo set indexing (data caches).
+func New(name string, sizeBytes, ways, lineBytes int) *Cache {
+	return build(name, sizeBytes, ways, lineBytes, false)
+}
+
+// NewHashed constructs a cache whose set index XOR-folds higher address
+// bits — the indexing used by the MEE metadata cache, where the VN/MAC
+// lines of power-of-two-spaced tensors would otherwise alias onto one set.
+func NewHashed(name string, sizeBytes, ways, lineBytes int) *Cache {
+	return build(name, sizeBytes, ways, lineBytes, true)
+}
+
+func build(name string, sizeBytes, ways, lineBytes int, hashed bool) *Cache {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic(fmt.Sprintf("cache %s: invalid geometry size=%d ways=%d line=%d", name, sizeBytes, ways, lineBytes))
+	}
+	lines := sizeBytes / lineBytes
+	if lines < ways {
+		ways = lines
+	}
+	sets := lines / ways
+	if sets == 0 {
+		sets = 1
+	}
+	return &Cache{
+		name:      name,
+		lineBytes: lineBytes,
+		sets:      sets,
+		ways:      ways,
+		hashed:    hashed,
+		data:      make([]line, sets*ways),
+	}
+}
+
+// LineBytes returns the cache line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// index returns the set and tag for addr. The tag is the full line
+// address, so victim addresses reconstruct exactly under either indexing.
+// Hashed indexing uses Fibonacci (multiplicative) hashing: plain XOR folds
+// leave power-of-two strides (1 MB-spaced tensors) colliding pairwise.
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / uint64(c.lineBytes)
+	tag = lineAddr
+	if c.hashed {
+		h := lineAddr * 0x9E3779B97F4A7C15
+		set = int((h >> 40) % uint64(c.sets))
+	} else {
+		set = int(lineAddr % uint64(c.sets))
+	}
+	return
+}
+
+// Access performs a read or write of the line containing addr, allocating
+// on miss and reporting any dirty victim that must be written back.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	set, tag := c.index(addr)
+	c.clock++
+	base := set * c.ways
+
+	// hit?
+	for w := 0; w < c.ways; w++ {
+		l := &c.data[base+w]
+		if l.valid && l.tag == tag {
+			l.lru = c.clock
+			if write {
+				l.dirty = true
+			}
+			c.hits++
+			return Result{Hit: true}
+		}
+	}
+	c.misses++
+
+	// miss: find victim (invalid first, else LRU)
+	victim := base
+	for w := 0; w < c.ways; w++ {
+		l := &c.data[base+w]
+		if !l.valid {
+			victim = base + w
+			break
+		}
+		if l.lru < c.data[victim].lru {
+			victim = base + w
+		}
+	}
+	res := Result{Hit: false}
+	v := &c.data[victim]
+	if v.valid && v.dirty {
+		c.writebacks++
+		res.HasWriteback = true
+		res.WritebackAddr = v.tag * uint64(c.lineBytes)
+	}
+	*v = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return res
+}
+
+// Probe reports whether addr's line is resident without touching LRU state.
+func (c *Cache) Probe(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.data[base+w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr's line if resident, returning a dirty victim if any.
+func (c *Cache) Invalidate(addr uint64) Result {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.data[base+w]
+		if l.valid && l.tag == tag {
+			res := Result{Hit: true}
+			if l.dirty {
+				c.writebacks++
+				res.HasWriteback = true
+				res.WritebackAddr = tag * uint64(c.lineBytes)
+			}
+			l.valid = false
+			return res
+		}
+	}
+	return Result{}
+}
+
+// DrainDirty removes and returns the addresses of all dirty lines (in
+// ascending address order) — the write-back flush an enclave performs on
+// exit. Clean lines stay resident.
+func (c *Cache) DrainDirty() []uint64 {
+	var out []uint64
+	for i := range c.data {
+		l := &c.data[i]
+		if l.valid && l.dirty {
+			out = append(out, l.tag*uint64(c.lineBytes))
+			l.dirty = false
+			c.writebacks++
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats are cumulative access counters.
+type Stats struct {
+	Hits, Misses, Writebacks uint64
+}
+
+// Stats returns the cumulative counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Writebacks: c.writebacks}
+}
+
+// HitRate reports hits/(hits+misses), 0 when untouched.
+func (s Stats) HitRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.data {
+		c.data[i] = line{}
+	}
+	c.clock, c.hits, c.misses, c.writebacks = 0, 0, 0, 0
+}
+
+// Hierarchy is a simple inclusive multi-level lookup: L1 -> L2 -> (shared)
+// L3. It returns the level that hit (1-based) or 0 for memory, plus any
+// dirty writebacks generated on the fill path.
+type Hierarchy struct {
+	L1, L2 *Cache // per-core
+	L3     *Cache // shared, may be nil
+}
+
+// AccessResult reports where a hierarchy access was satisfied.
+type AccessResult struct {
+	Level      int // 1,2,3 or 0 = DRAM
+	Writebacks []uint64
+}
+
+// Access walks the hierarchy for the line containing addr.
+func (h *Hierarchy) Access(addr uint64, write bool) AccessResult {
+	var wbs []uint64
+	record := func(r Result) {
+		if r.HasWriteback {
+			wbs = append(wbs, r.WritebackAddr)
+		}
+	}
+	if r := h.L1.Access(addr, write); r.Hit {
+		return AccessResult{Level: 1}
+	} else {
+		record(r)
+	}
+	if r := h.L2.Access(addr, false); r.Hit {
+		return AccessResult{Level: 2, Writebacks: wbs}
+	} else {
+		record(r)
+	}
+	if h.L3 != nil {
+		if r := h.L3.Access(addr, false); r.Hit {
+			return AccessResult{Level: 3, Writebacks: wbs}
+		} else {
+			record(r)
+		}
+		return AccessResult{Level: 0, Writebacks: wbs}
+	}
+	return AccessResult{Level: 0, Writebacks: wbs}
+}

@@ -1,0 +1,75 @@
+package cache
+
+import "testing"
+
+func TestDrainDirtyReturnsAllDirtyLines(t *testing.T) {
+	c := New("c", 1<<10, 2, 64)
+	c.Access(0, true)
+	c.Access(64, false)
+	c.Access(128, true)
+	got := c.DrainDirty()
+	if len(got) != 2 {
+		t.Fatalf("drained %d lines, want 2", len(got))
+	}
+	if got[0] != 0 || got[1] != 128 {
+		t.Errorf("drained %v, want [0 128] (ascending)", got)
+	}
+	// Lines remain resident but clean: draining again yields nothing.
+	if !c.Probe(0) || !c.Probe(128) {
+		t.Error("drained lines were evicted")
+	}
+	if len(c.DrainDirty()) != 0 {
+		t.Error("second drain returned lines")
+	}
+	// Eviction after drain must not produce a writeback.
+	c.Access(1024, false)
+	c.Access(2048, false)
+	if r := c.Access(4096, false); r.HasWriteback {
+		t.Error("clean line wrote back after drain")
+	}
+}
+
+func TestDrainDirtyCountsWritebacks(t *testing.T) {
+	c := New("c", 1<<10, 2, 64)
+	c.Access(0, true)
+	before := c.Stats().Writebacks
+	c.DrainDirty()
+	if c.Stats().Writebacks != before+1 {
+		t.Error("drain did not count writebacks")
+	}
+}
+
+func TestHashedIndexAvoidsPowerOfTwoAliasing(t *testing.T) {
+	// Streams spaced 1 MB apart: plain indexing maps their line i to the
+	// same set, so 12 streams contend for 8 ways even though the total
+	// working set (12 x 32 lines = 384) fits the 512-line cache; hashed
+	// indexing spreads them across sets.
+	plain := New("plain", 32<<10, 8, 64)
+	hashed := NewHashed("hashed", 32<<10, 8, 64)
+	const streams = 12
+	const lines = 32
+	const span = 1 << 20
+	for i := 0; i < lines; i++ {
+		for s := 0; s < streams; s++ {
+			addr := uint64(s*span + i*64)
+			plain.Access(addr, false)
+			hashed.Access(addr, false)
+		}
+	}
+	var plainHits, hashedHits int
+	for i := 0; i < lines; i++ {
+		for s := 0; s < streams; s++ {
+			addr := uint64(s*span + i*64)
+			if plain.Probe(addr) {
+				plainHits++
+			}
+			if hashed.Probe(addr) {
+				hashedHits++
+			}
+		}
+	}
+	if hashedHits <= plainHits {
+		t.Errorf("hashed indexing (%d resident) should beat plain (%d) on strided streams",
+			hashedHits, plainHits)
+	}
+}

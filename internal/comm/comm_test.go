@@ -1,0 +1,236 @@
+package comm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"tensortee/internal/config"
+	"tensortee/internal/crypto"
+	"tensortee/internal/mee"
+	"tensortee/internal/sim"
+)
+
+func testLink() LinkModel {
+	cfg := config.Default(config.BaselineSGXMGX)
+	return FromSystem(&cfg)
+}
+
+func TestStagedSecureBreakdownShape(t *testing.T) {
+	l := testLink()
+	b := l.StagedSecure(1 << 30)
+	if b.ReencryptTime == 0 || b.LinkTime == 0 || b.DecryptTime == 0 {
+		t.Error("staged transfer must pay all three stages")
+	}
+	// Figure 21: re-encryption dominates the wire under a single comm AES
+	// engine.
+	if b.ReencryptTime <= b.LinkTime {
+		t.Error("re-encryption should dominate wire time")
+	}
+}
+
+func TestDirectSkipsCrypto(t *testing.T) {
+	l := testLink()
+	d := l.Direct(1 << 30)
+	if d.ReencryptTime != 0 || d.DecryptTime != 0 {
+		t.Error("direct transfer must not pay crypto stages")
+	}
+	s := l.StagedSecure(1 << 30)
+	if d.Total() >= s.Total() {
+		t.Error("direct transfer not faster than staged secure")
+	}
+	// The ratio is the Figure-21 improvement before overlap (order 5-15x).
+	ratio := float64(s.Total()) / float64(d.Total())
+	if ratio < 3 || ratio > 50 {
+		t.Errorf("staged/direct ratio = %.1f, want single-digit to tens", ratio)
+	}
+}
+
+func TestNonSecureMatchesDirectWire(t *testing.T) {
+	l := testLink()
+	ns := l.NonSecure(1 << 30)
+	d := l.Direct(1 << 30)
+	// Same wire rate by design (the direct protocol removes crypto, not
+	// PCIe overheads); the metadata message adds a hair.
+	diff := float64(d.Total()) - float64(ns.Total())
+	if diff < 0 {
+		t.Error("direct should not be faster than a plain copy")
+	}
+	if diff/float64(ns.Total()) > 0.01 {
+		t.Errorf("direct exceeds plain copy by %.2f%%", 100*diff/float64(ns.Total()))
+	}
+}
+
+func TestVisibleOverlap(t *testing.T) {
+	b := Breakdown{LinkTime: 100}
+	if Visible(b, 40, true) != 60 {
+		t.Error("partial overlap wrong")
+	}
+	if Visible(b, 200, true) != 0 {
+		t.Error("full overlap should hide the transfer")
+	}
+	if Visible(b, 200, false) != 100 {
+		t.Error("non-overlappable transfer must stay visible")
+	}
+}
+
+func TestBreakdownTotal(t *testing.T) {
+	b := Breakdown{ReencryptTime: 1, LinkTime: 2, DecryptTime: 3}
+	if b.Total() != 6 {
+		t.Error("total wrong")
+	}
+}
+
+// --- functional paths ---------------------------------------------------------
+
+func platformRegions(t *testing.T) (*mee.Region, *mee.Region, *crypto.Key) {
+	t.Helper()
+	key := crypto.MustKey([]byte("0123456789abcdef"))
+	src := mee.NewRegion(key, 0x10000, 1<<16, 64)
+	dst := mee.NewRegion(key, 0x10000, 1<<16, 64)
+	return src, dst, key
+}
+
+func fillTensor(t *testing.T, r *mee.Region, base uint64, n int, seed byte) []byte {
+	t.Helper()
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = seed + byte(i)
+	}
+	if _, err := r.WriteBytes(base, data); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestTrustedChannelRoundTrip(t *testing.T) {
+	_, _, key := platformRegions(t)
+	ch := NewTrustedChannel(key)
+	want := TensorMeta{Base: 0x40, Lines: 16, VN: 3, MAC: 0xabcd}
+	ch.Send(want)
+	got, err := ch.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("got %+v, want %+v", got, want)
+	}
+	if _, err := ch.Recv(); err == nil {
+		t.Error("empty channel returned a message")
+	}
+}
+
+func TestTrustedChannelDetectsTamper(t *testing.T) {
+	_, _, key := platformRegions(t)
+	ch := NewTrustedChannel(key)
+	ch.Send(TensorMeta{Base: 0, Lines: 1, VN: 1, MAC: 2})
+	ch.TamperInFlight(0, 13)
+	if _, err := ch.Recv(); err == nil {
+		t.Error("tampered metadata accepted")
+	}
+}
+
+func TestDirectTransferRoundTrip(t *testing.T) {
+	src, dst, key := platformRegions(t)
+	base := uint64(0x10000 + 256)
+	want := fillTensor(t, src, base, 1024, 7)
+	ch := NewTrustedChannel(key)
+	if err := DirectTransfer(src, dst, base, 1024, ch, true); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.ReadBytes(base, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("payload corrupted in direct transfer")
+	}
+}
+
+func TestDirectTransferDetectsCiphertextTamper(t *testing.T) {
+	src, dst, key := platformRegions(t)
+	base := uint64(0x10000)
+	fillTensor(t, src, base, 512, 3)
+	src.TamperCipher(base+64, 5)
+	ch := NewTrustedChannel(key)
+	err := DirectTransfer(src, dst, base, 512, ch, true)
+	var ie *mee.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Errorf("tampered transfer accepted: %v", err)
+	}
+}
+
+func TestDirectTransferDelayedVerification(t *testing.T) {
+	src, dst, key := platformRegions(t)
+	base := uint64(0x10000)
+	fillTensor(t, src, base, 512, 9)
+	ref := src.StoredLineMACXOR(base, 512)
+	ch := NewTrustedChannel(key)
+	if err := DirectTransfer(src, dst, base, 512, ch, false); err != nil {
+		t.Fatal(err)
+	}
+	// Barrier-style verification afterwards.
+	if err := VerifyRegionRecomputed(dst, base, 512, ref); err != nil {
+		t.Errorf("clean transfer failed the barrier: %v", err)
+	}
+	// Post-transfer tampering in destination memory is caught by a later
+	// barrier (and by any verified read).
+	dst.TamperCipher(base, 3)
+	if err := VerifyRegionRecomputed(dst, base, 512, ref); err == nil {
+		t.Error("tampered destination passed the barrier")
+	}
+	if _, err := dst.ReadBytes(base, 512); err == nil {
+		t.Error("tampered destination read succeeded")
+	}
+}
+
+func TestDirectTransferLineMismatch(t *testing.T) {
+	key := crypto.MustKey([]byte("0123456789abcdef"))
+	src := mee.NewRegion(key, 0x10000, 1<<12, 64)
+	dst := mee.NewRegion(key, 0x10000, 1<<12, 128)
+	ch := NewTrustedChannel(key)
+	if err := DirectTransfer(src, dst, 0x10000, 256, ch, true); err == nil {
+		t.Error("line-size mismatch accepted")
+	}
+}
+
+func TestStagedTransferRoundTrip(t *testing.T) {
+	src, dst, key := platformRegions(t)
+	base := uint64(0x10000 + 1024)
+	want := fillTensor(t, src, base, 777, 5) // odd size: exercises RMW edges
+	if err := StagedTransfer(src, dst, base, 777, key, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.ReadBytes(base, 777)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("staged transfer corrupted payload")
+	}
+}
+
+func TestStagedTransferDetectsSourceTamper(t *testing.T) {
+	src, dst, key := platformRegions(t)
+	base := uint64(0x10000)
+	fillTensor(t, src, base, 256, 1)
+	src.TamperCipher(base, 9)
+	if err := StagedTransfer(src, dst, base, 256, key, 2); err == nil {
+		t.Error("tampered source accepted by staged transfer")
+	}
+}
+
+func TestVisibleNeverNegative(t *testing.T) {
+	b := Breakdown{LinkTime: 10}
+	if Visible(b, 1000000, true) != 0 {
+		t.Error("visible time went negative")
+	}
+}
+
+func TestLatencyIncludedInWire(t *testing.T) {
+	l := testLink()
+	small := l.Direct(64)
+	if small.LinkTime < sim.FromNanos(2*l.LatencyNs) {
+		t.Error("latency missing from small transfer")
+	}
+}

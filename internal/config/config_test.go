@@ -1,0 +1,154 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	c := Default(TensorTEE)
+	if c.CPU.FreqHz != 3.5e9 {
+		t.Errorf("CPU freq = %g, want 3.5GHz", c.CPU.FreqHz)
+	}
+	if c.CPU.Cores != 8 {
+		t.Errorf("CPU cores = %d, want 8", c.CPU.Cores)
+	}
+	if c.CPU.L1SizeBytes != 32<<10 || c.CPU.L1Ways != 8 {
+		t.Errorf("L1 = %d/%d-way", c.CPU.L1SizeBytes, c.CPU.L1Ways)
+	}
+	if c.CPU.L2SizeBytes != 256<<10 {
+		t.Errorf("L2 = %d", c.CPU.L2SizeBytes)
+	}
+	if c.CPU.L3SizeBytes != 9<<20 {
+		t.Errorf("L3 = %d", c.CPU.L3SizeBytes)
+	}
+	if c.CPU.MetaCacheSize != 32<<10 {
+		t.Errorf("metadata cache = %d, want 32KB", c.CPU.MetaCacheSize)
+	}
+	if c.CPU.AESLatCycles != 40 || c.CPU.MACLatCycles != 40 {
+		t.Error("AES/MAC latency should be 40 cycles (Table 1)")
+	}
+	if c.NPU.FreqHz != 1e9 {
+		t.Errorf("NPU freq = %g, want 1GHz", c.NPU.FreqHz)
+	}
+	if c.NPU.PERows != 512 || c.NPU.PECols != 512 {
+		t.Errorf("PE array = %dx%d, want 512x512", c.NPU.PERows, c.NPU.PECols)
+	}
+	if c.NPU.ScratchpadBytes != 32<<20 {
+		t.Errorf("scratchpad = %d, want 32MB", c.NPU.ScratchpadBytes)
+	}
+	if c.NPU.DRAMBytes != 40<<30 {
+		t.Errorf("NPU DRAM = %d, want 40GB", c.NPU.DRAMBytes)
+	}
+	if c.NPU.DRAMBandwidthBs != 128e9 {
+		t.Errorf("NPU BW = %g, want 128GB/s", c.NPU.DRAMBandwidthBs)
+	}
+	if c.HostDRAM.Channels != 2 || c.HostDRAM.Kind != DDR4 {
+		t.Errorf("host DRAM = %v x%d", c.HostDRAM.Kind, c.HostDRAM.Channels)
+	}
+	if c.Protection.VNBits != 56 || c.Protection.MACBits != 56 {
+		t.Error("VN/MAC must be 56-bit")
+	}
+	if c.Protection.MerkleArity != 8 {
+		t.Error("Merkle tree must be 8-ary")
+	}
+	if c.Protection.MetaTableSize != 512 {
+		t.Error("Meta Table must have 512 entries (Section 6.5)")
+	}
+	if c.Protection.FilterEntries != 10 || c.Protection.FilterDepth != 4 {
+		t.Error("Tensor Filter must be 10 entries x 4 addresses")
+	}
+}
+
+func TestDefaultFeatureFlags(t *testing.T) {
+	ns := Default(NonSecure)
+	if ns.Protection.DelayedVerification || ns.Protection.TensorWiseCPU || ns.Protection.DirectTransfer {
+		t.Error("NonSecure must not enable TensorTEE features")
+	}
+	if ns.Secure() {
+		t.Error("NonSecure.Secure() must be false")
+	}
+	base := Default(BaselineSGXMGX)
+	if base.Protection.DelayedVerification || base.Protection.TensorWiseCPU || base.Protection.DirectTransfer {
+		t.Error("baseline must not enable TensorTEE features")
+	}
+	if !base.Secure() {
+		t.Error("baseline must be secure")
+	}
+	tte := Default(TensorTEE)
+	if !tte.Protection.DelayedVerification || !tte.Protection.TensorWiseCPU || !tte.Protection.DirectTransfer {
+		t.Error("TensorTEE must enable all three mechanisms")
+	}
+}
+
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, k := range []SystemKind{NonSecure, BaselineSGXMGX, TensorTEE} {
+		c := Default(k)
+		if err := c.Validate(); err != nil {
+			t.Errorf("Default(%v) invalid: %v", k, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string
+	}{
+		{"zero cores", func(c *Config) { c.CPU.Cores = 0 }, "Cores"},
+		{"bad line", func(c *Config) { c.CPU.LineBytes = 48 }, "LineBytes"},
+		{"bad freq", func(c *Config) { c.CPU.FreqHz = 0 }, "FreqHz"},
+		{"bad pe", func(c *Config) { c.NPU.PERows = 0 }, "PE"},
+		{"bad npubw", func(c *Config) { c.NPU.DRAMBandwidthBs = 0 }, "DRAMBandwidth"},
+		{"bad channels", func(c *Config) { c.HostDRAM.Channels = 0 }, "Channels"},
+		{"bad link", func(c *Config) { c.Comm.LinkBandwidthBs = 0 }, "LinkBandwidth"},
+		{"bad vn", func(c *Config) { c.Protection.VNBits = 0 }, "VNBits"},
+		{"vn too wide", func(c *Config) { c.Protection.VNBits = 65 }, "VNBits"},
+		{"bad mac", func(c *Config) { c.Protection.MACBits = 99 }, "MACBits"},
+		{"bad arity", func(c *Config) { c.Protection.MerkleArity = 1 }, "MerkleArity"},
+		{"gran below line", func(c *Config) { c.Protection.MACGranBytes = 32 }, "MACGran"},
+		{"no entries", func(c *Config) { c.Protection.MetaTableSize = 0 }, "MetaTable"},
+	}
+	for _, tc := range cases {
+		c := Default(TensorTEE)
+		tc.mutate(&c)
+		err := c.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted bad config", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestValidateNonSecureConsistency(t *testing.T) {
+	c := Default(NonSecure)
+	c.Protection.DelayedVerification = true
+	if err := c.Validate(); err == nil {
+		t.Error("NonSecure with protection features must be rejected")
+	}
+}
+
+func TestDerivedSizes(t *testing.T) {
+	c := Default(TensorTEE)
+	if c.VNBytesPerLine() != 7 {
+		t.Errorf("VNBytesPerLine = %d, want 7 (56 bits)", c.VNBytesPerLine())
+	}
+	if c.MACBytes() != 7 {
+		t.Errorf("MACBytes = %d, want 7", c.MACBytes())
+	}
+}
+
+func TestSystemKindString(t *testing.T) {
+	if NonSecure.String() != "Non-Secure" ||
+		BaselineSGXMGX.String() != "SGX+MGX" ||
+		TensorTEE.String() != "TensorTEE" {
+		t.Error("SystemKind String broken")
+	}
+	if SystemKind(99).String() == "" {
+		t.Error("unknown kind should still format")
+	}
+}

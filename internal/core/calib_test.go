@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"tensortee/internal/config"
+	"tensortee/internal/workload"
+)
+
+// TestSystemShapes probes the Figure 5/16/17 shapes; detailed band checks
+// live in internal/experiments.
+func TestSystemShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe")
+	}
+	ns, err := NewSystem(config.NonSecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewSystem(config.BaselineSGXMGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tte, err := NewSystem(config.TensorTEE)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, _ := workload.ModelByName("GPT2-M")
+	for _, s := range []*System{ns, base, tte} {
+		b := s.TrainStep(m)
+		n, c, w, g := b.Fractions()
+		t.Logf("%-12s total=%.3fs  npu=%.0f%% cpu=%.0f%% commW=%.0f%% commG=%.0f%%",
+			s.Cfg.System, b.Total().Seconds(), n*100, c*100, w*100, g*100)
+	}
+
+	t.Log("--- per-model speedups (TensorTEE vs baseline; overhead vs non-secure) ---")
+	for _, m := range workload.Models() {
+		tNS := ns.TrainStep(m).Total()
+		tBase := base.TrainStep(m).Total()
+		tTTE := tte.TrainStep(m).Total()
+		t.Logf("%-12s ns=%.3fs base=%.3fs ours=%.3fs speedup=%.2fx overhead=%.1f%%",
+			m.Name, tNS.Seconds(), tBase.Seconds(), tTTE.Seconds(),
+			float64(tBase)/float64(tTTE), (float64(tTTE)/float64(tNS)-1)*100)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"tensortee/internal/config"
+	"tensortee/internal/workload"
+)
+
+// systems are expensive to calibrate; share across tests.
+var (
+	testNS, testBase, testTTE *System
+)
+
+func systems(t *testing.T) (*System, *System, *System) {
+	t.Helper()
+	if testNS == nil {
+		var err error
+		if testNS, err = NewSystem(config.NonSecure); err != nil {
+			t.Fatal(err)
+		}
+		if testBase, err = NewSystem(config.BaselineSGXMGX); err != nil {
+			t.Fatal(err)
+		}
+		if testTTE, err = NewSystem(config.TensorTEE); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return testNS, testBase, testTTE
+}
+
+func TestBreakdownAccounting(t *testing.T) {
+	b := StepBreakdown{NPU: 10, CPU: 20, CommW: 30, CommG: 40}
+	if b.Total() != 100 {
+		t.Errorf("Total = %d", b.Total())
+	}
+	n, c, w, g := b.Fractions()
+	if n != 0.1 || c != 0.2 || w != 0.3 || g != 0.4 {
+		t.Errorf("fractions = %v %v %v %v", n, c, w, g)
+	}
+	var zero StepBreakdown
+	if n, _, _, _ := zero.Fractions(); n != 0 {
+		t.Error("zero breakdown fractions should be 0")
+	}
+}
+
+func TestSystemOrdering(t *testing.T) {
+	ns, base, tte := systems(t)
+	m, _ := workload.ModelByName("GPT2-M")
+	tNS := ns.TrainStep(m).Total()
+	tBase := base.TrainStep(m).Total()
+	tTTE := tte.TrainStep(m).Total()
+
+	if tBase <= tNS {
+		t.Error("baseline not slower than non-secure")
+	}
+	if tTTE <= tNS {
+		t.Error("TensorTEE should not beat non-secure (it adds protection)")
+	}
+	if tTTE >= tBase {
+		t.Error("TensorTEE not faster than the baseline")
+	}
+	// Paper: TensorTEE within a few percent of non-secure.
+	overhead := float64(tTTE)/float64(tNS) - 1
+	if overhead > 0.10 {
+		t.Errorf("TensorTEE overhead = %.1f%%, want <= 10%% (paper: 2.1%%)", overhead*100)
+	}
+}
+
+func TestSpeedupGrowsWithModelSize(t *testing.T) {
+	_, base, tte := systems(t)
+	small, _ := workload.ModelByName("GPT")
+	large, _ := workload.ModelByName("OPT-6.7B")
+	spSmall := float64(base.TrainStep(small).Total()) / float64(tte.TrainStep(small).Total())
+	spLarge := float64(base.TrainStep(large).Total()) / float64(tte.TrainStep(large).Total())
+	if spLarge <= spSmall {
+		t.Errorf("speedup should grow with model size: %v (GPT) vs %v (OPT-6.7B)", spSmall, spLarge)
+	}
+	// Paper band: 2.1x..5.5x; accept [1.3, 8].
+	if spSmall < 1.3 || spLarge > 8 {
+		t.Errorf("speedups out of band: %.2f / %.2f", spSmall, spLarge)
+	}
+}
+
+func TestBaselineCommDominates(t *testing.T) {
+	ns, base, _ := systems(t)
+	m, _ := workload.ModelByName("GPT2-M")
+	_, _, wNS, gNS := ns.TrainStep(m).Fractions()
+	_, _, wB, gB := base.TrainStep(m).Fractions()
+	if wB+gB <= wNS+gNS {
+		t.Error("baseline communication share should exceed non-secure (paper: 12% -> 53%)")
+	}
+	if wB+gB < 0.25 {
+		t.Errorf("baseline comm share = %.0f%%, want >= 25%%", (wB+gB)*100)
+	}
+}
+
+func TestCPUAdamScalesLinearly(t *testing.T) {
+	ns, _, _ := systems(t)
+	small, _ := workload.ModelByName("GPT")
+	large, _ := workload.ModelByName("OPT-6.7B")
+	tS := ns.CPUAdamTime(small)
+	tL := ns.CPUAdamTime(large)
+	ratio := float64(tL) / float64(tS)
+	paramRatio := float64(large.Params()) / float64(small.Params())
+	if ratio < 0.9*paramRatio || ratio > 1.1*paramRatio {
+		t.Errorf("CPU time ratio %.1f should track param ratio %.1f", ratio, paramRatio)
+	}
+}
+
+func TestWarmupCostsMoreInTensorMode(t *testing.T) {
+	_, _, tte := systems(t)
+	m, _ := workload.ModelByName("GPT2-M")
+	if tte.CPUAdamWarmupTime(m) <= tte.CPUAdamTime(m) {
+		t.Error("detection iteration should cost more than steady state")
+	}
+}
+
+func TestNPUPhasesBackwardHeavier(t *testing.T) {
+	ns, _, _ := systems(t)
+	m, _ := workload.ModelByName("GPT2-M")
+	fwd, bwd := ns.NPUPhases(m)
+	if bwd <= fwd {
+		t.Error("backward (2x GEMMs) should exceed forward")
+	}
+}
+
+func TestGradTransferProtocols(t *testing.T) {
+	ns, base, tte := systems(t)
+	m, _ := workload.ModelByName("GPT2-M")
+	bNS := ns.GradTransferBreakdown(m)
+	bBase := base.GradTransferBreakdown(m)
+	bTTE := tte.GradTransferBreakdown(m)
+	if bNS.ReencryptTime != 0 || bTTE.ReencryptTime != 0 {
+		t.Error("only the staged secure protocol re-encrypts")
+	}
+	if bBase.ReencryptTime == 0 {
+		t.Error("baseline must pay re-encryption")
+	}
+	if bBase.Total() <= bTTE.Total() {
+		t.Error("baseline transfer not slower than direct")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	ns, _, tte := systems(t)
+	if ns.Describe() == tte.Describe() {
+		t.Error("descriptions should differ")
+	}
+}
+
+func TestNewSystemValidates(t *testing.T) {
+	for _, k := range []config.SystemKind{config.NonSecure, config.BaselineSGXMGX, config.TensorTEE} {
+		if _, err := NewSystem(k); err != nil {
+			t.Errorf("NewSystem(%v): %v", k, err)
+		}
+	}
+}

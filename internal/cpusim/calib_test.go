@@ -1,0 +1,61 @@
+package cpusim
+
+import (
+	"testing"
+
+	"tensortee/internal/config"
+	"tensortee/internal/mee"
+	"tensortee/internal/sim"
+	"tensortee/internal/tensor"
+	"tensortee/internal/trace"
+)
+
+// runAdam builds a fresh simulator in the given mode and runs `iters` Adam
+// iterations of `elems` fp32 elements across `threads` cores, returning the
+// last iteration's makespan.
+func runAdam(t testing.TB, mode mee.Mode, threads, elems, iters int) sim.Dur {
+	t.Helper()
+	cfg := config.Default(config.BaselineSGXMGX)
+	arena := tensor.NewArena(0, 64)
+	quads := []trace.AdamTensors{trace.NewAdamTensors(arena, "p0", elems)}
+	lines := int(arena.Next() / 64)
+
+	s := New(cfg, Options{Mode: mode, DataLines: lines + 64})
+	var last sim.Dur
+	var r Result
+	for it := 0; it < iters; it++ {
+		streams := trace.AdamStreams(quads, trace.AdamConfig{
+			LineBytes:      64,
+			ComputePerLine: sim.Cycles(40, cfg.CPU.FreqHz),
+			Cores:          threads,
+		})
+		r = s.Run(streams)
+		last = r.Makespan
+	}
+	ds := s.mem.Stats()
+	t.Logf("    mode=%v threads=%d rowhit=%.2f dramRd=%d dramWr=%d bw=%.1fGB/s",
+		mode, threads, ds.RowHitRate(), r.DRAMReads, r.DRAMWrites,
+		float64(r.BytesMoved())/last.Seconds()/1e9)
+	if s.analyzer != nil {
+		t.Logf("    analyzer=%+v live=%d", s.analyzer.Stats(), s.analyzer.LiveEntries())
+	}
+	return last
+}
+
+// TestCalibrationPrint reports the slowdown landscape; assertions are loose
+// shape checks (the tight shape targets live in internal/experiments).
+func TestCalibrationPrint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration sweep")
+	}
+	const elems = 1 << 21 // 2M elements: 32 MB live data, well past the 9 MB L3
+	for _, threads := range []int{1, 2, 4, 8} {
+		ns := runAdam(t, mee.ModeOff, threads, elems, 1)
+		sgx := runAdam(t, mee.ModeSGX, threads, elems, 1)
+		tt1 := runAdam(t, mee.ModeTensor, threads, elems, 1)
+		tt5 := runAdam(t, mee.ModeTensor, threads, elems, 5)
+		t.Logf("threads=%d  nonsec=%.3fms  sgx=%.2fx  tensor@1=%.2fx  tensor@5=%.2fx",
+			threads, ns.Millis(),
+			float64(sgx)/float64(ns), float64(tt1)/float64(ns), float64(tt5)/float64(ns))
+	}
+}

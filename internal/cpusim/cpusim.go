@@ -1,0 +1,341 @@
+// Package cpusim is the gem5-lite host-CPU timing model: multiple cores
+// with private L1/L2 and a shared L3, issuing line-granular access streams
+// into a memory controller fronted by the MEE (and, in TensorTEE mode, the
+// TenAnalyzer). It reproduces the CPU-side results of the paper: the SGX
+// slowdown on the memory-intensive Adam step (Figure 3) and the
+// iteration-by-iteration recovery of TensorTEE (Figures 18/19).
+//
+// Core model: each core issues from its stream with a bounded number of
+// outstanding misses (memory-level parallelism). Cache hits cost their
+// level's latency; misses pay the full MEE + DRAM path. Writes dirty the
+// caches and reach the controller as writebacks, which is exactly the
+// filtered write stream the TenAnalyzer observes (Figure 12).
+package cpusim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"tensortee/internal/cache"
+	"tensortee/internal/config"
+	"tensortee/internal/dram"
+	"tensortee/internal/mee"
+	"tensortee/internal/sim"
+	"tensortee/internal/tenanalyzer"
+	"tensortee/internal/trace"
+)
+
+// Result summarizes one run.
+type Result struct {
+	// Makespan is the time from first issue to last completion.
+	Makespan sim.Time
+	// Accesses is the number of stream operations replayed.
+	Accesses uint64
+	// DRAMReads / DRAMWrites are line transfers that reached memory.
+	DRAMReads, DRAMWrites uint64
+	// MEE is the encryption-engine activity.
+	MEE mee.Stats
+	// Analyzer is the TenAnalyzer activity (zero unless tensor mode).
+	Analyzer tenanalyzer.Stats
+}
+
+// BytesMoved returns total DRAM traffic in bytes (64 B lines).
+func (r Result) BytesMoved() int64 {
+	return int64(r.DRAMReads+r.DRAMWrites) * 64
+}
+
+// Sim is a reusable CPU simulator instance. Cache and Meta Table state
+// persists across Run calls, which is what makes iteration sweeps
+// meaningful (Figure 18's hit-rate convergence).
+type Sim struct {
+	cfg      config.Config
+	mode     mee.Mode
+	mem      *dram.Memory
+	engine   *mee.Engine
+	analyzer *tenanalyzer.Analyzer
+	store    tenanalyzer.VNStore
+
+	l1, l2 []*cache.Cache
+	l3     *cache.Cache
+
+	l1Lat, l2Lat, l3Lat sim.Dur
+	issueGap            sim.Dur
+
+	now sim.Time // end of the previous run; runs are back to back
+}
+
+// Options configures simulator construction.
+type Options struct {
+	// Mode selects the protection scheme charged by the MEE.
+	Mode mee.Mode
+	// DataLines sizes the protected region's metadata layout.
+	DataLines int
+	// Store is the off-chip VN array for tensor mode; when nil a dense
+	// array store over [0, DataLines*64) is created.
+	Store tenanalyzer.VNStore
+	// Analyzer supplies a pre-built TenAnalyzer (tensor mode); when nil
+	// and Mode == ModeTensor, one with the paper's sizing is created.
+	Analyzer *tenanalyzer.Analyzer
+}
+
+// New builds a simulator from the Table-1 configuration.
+func New(cfg config.Config, opts Options) *Sim {
+	if opts.DataLines <= 0 {
+		opts.DataLines = 1 << 22 // 256 MB default protected span
+	}
+	mem := dram.New(dram.DDR4_2400(), cfg.HostDRAM.Channels)
+	layout := mee.NewLayout(0, opts.DataLines, cfg.CPU.LineBytes, cfg.Protection.MerkleArity)
+	s := &Sim{
+		cfg:      cfg,
+		mode:     opts.Mode,
+		mem:      mem,
+		engine:   mee.NewEngine(opts.Mode, &cfg, mem, layout),
+		l3:       cache.New("l3", cfg.CPU.L3SizeBytes, cfg.CPU.L3Ways, cfg.CPU.LineBytes),
+		l1Lat:    sim.Cycles(float64(cfg.CPU.L1LatCycles), cfg.CPU.FreqHz),
+		l2Lat:    sim.Cycles(float64(cfg.CPU.L2LatCycles), cfg.CPU.FreqHz),
+		l3Lat:    sim.Cycles(float64(cfg.CPU.L3LatCycles), cfg.CPU.FreqHz),
+		issueGap: sim.Cycles(1, cfg.CPU.FreqHz),
+	}
+	for i := 0; i < cfg.CPU.Cores; i++ {
+		s.l1 = append(s.l1, cache.New(fmt.Sprintf("l1-%d", i), cfg.CPU.L1SizeBytes, cfg.CPU.L1Ways, cfg.CPU.LineBytes))
+		s.l2 = append(s.l2, cache.New(fmt.Sprintf("l2-%d", i), cfg.CPU.L2SizeBytes, cfg.CPU.L2Ways, cfg.CPU.LineBytes))
+	}
+	if opts.Mode == mee.ModeTensor {
+		s.store = opts.Store
+		if s.store == nil {
+			s.store = tenanalyzer.NewArrayVNStore(0, opts.DataLines*cfg.CPU.LineBytes, cfg.CPU.LineBytes)
+		}
+		s.analyzer = opts.Analyzer
+		if s.analyzer == nil {
+			ac := tenanalyzer.DefaultConfig()
+			ac.Entries = cfg.Protection.MetaTableSize
+			ac.FilterEntries = cfg.Protection.FilterEntries
+			ac.FilterDepth = cfg.Protection.FilterDepth
+			ac.LineBytes = cfg.CPU.LineBytes
+			s.analyzer = tenanalyzer.New(ac, s.store)
+		}
+	}
+	return s
+}
+
+// Analyzer exposes the TenAnalyzer (nil unless tensor mode).
+func (s *Sim) Analyzer() *tenanalyzer.Analyzer { return s.analyzer }
+
+// Engine exposes the MEE for stats inspection.
+func (s *Sim) Engine() *mee.Engine { return s.engine }
+
+// completionHeap orders outstanding miss completions.
+type completionHeap []sim.Time
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i] < h[j] }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(sim.Time)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// coreState is one core's replay cursor.
+type coreState struct {
+	id          int
+	stream      trace.Stream
+	nextReady   sim.Time
+	outstanding completionHeap
+	lastDone    sim.Time
+	done        bool
+}
+
+// Run replays one stream per core (len(streams) <= Cores) to completion
+// and returns the run's timing. State persists into the next Run.
+func (s *Sim) Run(streams []trace.Stream) Result {
+	if len(streams) > len(s.l1) {
+		panic(fmt.Sprintf("cpusim: %d streams exceed %d cores", len(streams), len(s.l1)))
+	}
+	start := s.now
+	s.engine.ResetStats()
+	memBefore := s.mem.Stats()
+
+	cores := make([]*coreState, len(streams))
+	for i, st := range streams {
+		cores[i] = &coreState{id: i, stream: st, nextReady: start}
+	}
+
+	var accesses uint64
+	active := len(cores)
+	for active > 0 {
+		// Pick the core with the earliest ready time (deterministic
+		// tie-break on id) — a global time-ordered interleave.
+		var c *coreState
+		for _, cand := range cores {
+			if cand.done {
+				continue
+			}
+			if c == nil || cand.nextReady < c.nextReady {
+				c = cand
+			}
+		}
+		acc, ok := c.stream.Next()
+		if !ok {
+			c.done = true
+			active--
+			continue
+		}
+		accesses++
+
+		at := c.nextReady + acc.Compute
+
+		// Memory-level parallelism: block issue when the miss window is
+		// full until the oldest outstanding miss retires.
+		mlp := s.cfg.CPU.MemLevelPar
+		for len(c.outstanding) >= mlp {
+			oldest := heap.Pop(&c.outstanding).(sim.Time)
+			if oldest > at {
+				at = oldest
+			}
+		}
+
+		done, missed := s.access(at, c.id, acc)
+		if missed {
+			heap.Push(&c.outstanding, done)
+		}
+		if done > c.lastDone {
+			c.lastDone = done
+		}
+		c.nextReady = at + s.issueGap
+	}
+
+	end := start
+	for _, c := range cores {
+		if c.lastDone > end {
+			end = c.lastDone
+		}
+	}
+	if bu := s.mem.BusyUntil(); bu > end {
+		end = bu
+	}
+	s.now = end
+
+	memAfter := s.mem.Stats()
+	res := Result{
+		Makespan:   end - start,
+		Accesses:   accesses,
+		DRAMReads:  memAfter.Reads - memBefore.Reads,
+		DRAMWrites: memAfter.Writes - memBefore.Writes,
+		MEE:        s.engine.Stats(),
+	}
+	if s.analyzer != nil {
+		res.Analyzer = s.analyzer.Stats()
+	}
+	return res
+}
+
+// access walks the cache hierarchy and, on miss, the MEE path. Returns the
+// completion time of the access and whether it reached DRAM.
+func (s *Sim) access(at sim.Time, core int, acc trace.Access) (done sim.Time, missed bool) {
+	wbs := make([]uint64, 0, 2)
+	record := func(r cache.Result) {
+		if r.HasWriteback {
+			wbs = append(wbs, r.WritebackAddr)
+		}
+	}
+
+	var hitLevel int
+	if r := s.l1[core].Access(acc.Addr, acc.Write); r.Hit {
+		hitLevel = 1
+	} else {
+		record(r)
+		if r2 := s.l2[core].Access(acc.Addr, false); r2.Hit {
+			hitLevel = 2
+		} else {
+			record(r2)
+			if r3 := s.l3.Access(acc.Addr, false); r3.Hit {
+				hitLevel = 3
+			} else {
+				record(r3)
+			}
+		}
+	}
+
+	switch hitLevel {
+	case 1:
+		done = at + s.l1Lat
+	case 2:
+		done = at + s.l2Lat
+	case 3:
+		done = at + s.l3Lat
+	default:
+		// DRAM fill through the MEE. Writes allocate: the demand fetch is a
+		// read; the dirty data leaves later as a writeback.
+		done = s.readThroughMEE(at, acc.Addr)
+		missed = true
+	}
+
+	// Dirty victims retire in the background (posted writes).
+	for _, wb := range wbs {
+		s.writeThroughMEE(at, wb)
+	}
+	return done, missed
+}
+
+func (s *Sim) readThroughMEE(at sim.Time, addr uint64) sim.Time {
+	if s.analyzer == nil {
+		return s.engine.Read(at, addr).DataReady
+	}
+	outcome, _ := s.analyzer.Read(addr)
+	return s.engine.TensorRead(at, addr, toMEEOutcome(outcome)).DataReady
+}
+
+func (s *Sim) writeThroughMEE(at sim.Time, addr uint64) {
+	if s.analyzer == nil {
+		s.engine.Write(at, addr)
+		return
+	}
+	outcome, _ := s.analyzer.Write(addr)
+	s.engine.TensorWrite(at, addr, toMEEOutcome(outcome))
+}
+
+func toMEEOutcome(o tenanalyzer.Outcome) mee.TensorOutcome {
+	switch o {
+	case tenanalyzer.HitIn:
+		return mee.THitIn
+	case tenanalyzer.HitBoundary:
+		return mee.THitBoundary
+	default:
+		return mee.TMiss
+	}
+}
+
+// DropCaches invalidates all cache contents (cold-start between unrelated
+// phases) without touching the Meta Table.
+func (s *Sim) DropCaches() {
+	for i := range s.l1 {
+		s.l1[i].Reset()
+		s.l2[i].Reset()
+	}
+	s.l3.Reset()
+}
+
+// Flush drains every dirty line through the memory controller — the
+// write-back an enclave performs on exit, and the quiesce point at which
+// the Meta Table may be saved for a context switch (Section 4.2): after
+// Flush, all pending write-epoch updates have reached the analyzer and the
+// off-chip VN array.
+func (s *Sim) Flush() {
+	at := s.now
+	dirty := make([]uint64, 0, 1024)
+	for i := range s.l1 {
+		dirty = append(dirty, s.l1[i].DrainDirty()...)
+		dirty = append(dirty, s.l2[i].DrainDirty()...)
+	}
+	dirty = append(dirty, s.l3.DrainDirty()...)
+	for _, addr := range dirty {
+		s.writeThroughMEE(at, addr)
+	}
+	if bu := s.mem.BusyUntil(); bu > s.now {
+		s.now = bu
+	}
+}

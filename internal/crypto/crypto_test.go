@@ -1,0 +1,282 @@
+package crypto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(t testing.TB) *Key {
+	t.Helper()
+	return MustKey([]byte("0123456789abcdef"))
+}
+
+func TestNewKeyValidation(t *testing.T) {
+	if _, err := NewKey([]byte("short")); err == nil {
+		t.Error("short key accepted")
+	}
+	if _, err := NewKey(make([]byte, 16)); err != nil {
+		t.Errorf("16-byte key rejected: %v", err)
+	}
+}
+
+func TestMustKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustKey should panic on bad key")
+		}
+	}()
+	MustKey([]byte("bad"))
+}
+
+func TestKeyEqual(t *testing.T) {
+	k1 := MustKey([]byte("0123456789abcdef"))
+	k2 := MustKey([]byte("0123456789abcdef"))
+	k3 := MustKey([]byte("fedcba9876543210"))
+	if !k1.Equal(k2) {
+		t.Error("identical keys not equal")
+	}
+	if k1.Equal(k3) {
+		t.Error("different keys equal")
+	}
+	var nilKey *Key
+	if nilKey.Equal(k1) || k1.Equal(nilKey) {
+		t.Error("nil key comparisons wrong")
+	}
+	if !nilKey.Equal(nil) {
+		t.Error("nil == nil should hold")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := testKey(t)
+	pt := []byte("the quick brown fox jumps over the lazy dog, twice over again!!")
+	c := Counter{Addr: 0x1000, VN: 7}
+	ct := k.Encrypt(pt, c)
+	if bytes.Equal(ct, pt) {
+		t.Error("ciphertext equals plaintext")
+	}
+	back := k.Decrypt(ct, c)
+	if !bytes.Equal(back, pt) {
+		t.Error("roundtrip failed")
+	}
+}
+
+func TestDecryptWrongCounterFails(t *testing.T) {
+	k := testKey(t)
+	pt := make([]byte, 64)
+	for i := range pt {
+		pt[i] = byte(i)
+	}
+	ct := k.Encrypt(pt, Counter{Addr: 0x1000, VN: 7})
+	if bytes.Equal(k.Decrypt(ct, Counter{Addr: 0x1000, VN: 8}), pt) {
+		t.Error("wrong VN decrypted correctly — replay would be invisible")
+	}
+	if bytes.Equal(k.Decrypt(ct, Counter{Addr: 0x1040, VN: 7}), pt) {
+		t.Error("wrong address decrypted correctly")
+	}
+}
+
+func TestKeystreamUniquePerBlock(t *testing.T) {
+	k := testKey(t)
+	zero := make([]byte, 64)
+	ct := k.Encrypt(zero, Counter{Addr: 0, VN: 0})
+	// Each 16-byte block of the keystream must differ (counter increments).
+	for i := 0; i < 64; i += 16 {
+		for j := i + 16; j < 64; j += 16 {
+			if bytes.Equal(ct[i:i+16], ct[j:j+16]) {
+				t.Fatalf("keystream blocks %d and %d identical", i/16, j/16)
+			}
+		}
+	}
+}
+
+func TestXORKeystreamInPlace(t *testing.T) {
+	k := testKey(t)
+	c := Counter{Addr: 0x40, VN: 1}
+	buf := []byte("in-place encryption works fine!!")
+	orig := append([]byte(nil), buf...)
+	k.XORKeystream(buf, buf, c)
+	if bytes.Equal(buf, orig) {
+		t.Error("in-place encryption did nothing")
+	}
+	k.XORKeystream(buf, buf, c)
+	if !bytes.Equal(buf, orig) {
+		t.Error("in-place roundtrip failed")
+	}
+}
+
+func TestXORKeystreamShortDstPanics(t *testing.T) {
+	k := testKey(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for short dst")
+		}
+	}()
+	k.XORKeystream(make([]byte, 3), make([]byte, 16), Counter{})
+}
+
+func TestNonBlockMultipleLengths(t *testing.T) {
+	k := testKey(t)
+	for _, n := range []int{1, 15, 16, 17, 33, 63, 64, 100} {
+		pt := make([]byte, n)
+		for i := range pt {
+			pt[i] = byte(i * 7)
+		}
+		c := Counter{Addr: uint64(n), VN: uint64(n)}
+		if got := k.Decrypt(k.Encrypt(pt, c), c); !bytes.Equal(got, pt) {
+			t.Errorf("roundtrip failed for length %d", n)
+		}
+	}
+}
+
+func TestMACBasics(t *testing.T) {
+	k := testKey(t)
+	ct := []byte("some ciphertext bytes here......")
+	c := Counter{Addr: 0x2000, VN: 3}
+	tag := k.MAC(ct, c)
+	if tag > MACMask {
+		t.Errorf("MAC %#x exceeds 56 bits", tag)
+	}
+	if !k.VerifyMAC(ct, c, tag) {
+		t.Error("genuine MAC rejected")
+	}
+}
+
+func TestMACDetectsTampering(t *testing.T) {
+	k := testKey(t)
+	ct := make([]byte, 64)
+	rand.New(rand.NewSource(1)).Read(ct)
+	c := Counter{Addr: 0x3000, VN: 9}
+	tag := k.MAC(ct, c)
+
+	// any single bit flip must be caught
+	for _, bit := range []int{0, 1, 63, 64, 255, 511} {
+		mut := append([]byte(nil), ct...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if k.VerifyMAC(mut, c, tag) {
+			t.Errorf("bit flip %d not detected", bit)
+		}
+	}
+	// address and VN substitution must be caught
+	if k.VerifyMAC(ct, Counter{Addr: 0x3040, VN: 9}, tag) {
+		t.Error("relocation not detected")
+	}
+	if k.VerifyMAC(ct, Counter{Addr: 0x3000, VN: 8}, tag) {
+		t.Error("replay (old VN) not detected")
+	}
+}
+
+// Property: MAC is deterministic and single-byte perturbations always change
+// the tag (with overwhelming probability; a failure here means a real bug).
+func TestMACPerturbationProperty(t *testing.T) {
+	k := testKey(t)
+	f := func(data []byte, pos uint8, delta uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		if delta == 0 {
+			delta = 1
+		}
+		c := Counter{Addr: 0x100, VN: 2}
+		tag := k.MAC(data, c)
+		if tag != k.MAC(data, c) {
+			return false // non-deterministic
+		}
+		mut := append([]byte(nil), data...)
+		mut[int(pos)%len(mut)] ^= delta
+		return k.MAC(mut, c) != tag
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXORMAC(t *testing.T) {
+	tags := []uint64{0x1, 0x2, 0x4}
+	if XORMAC(tags) != 0x7 {
+		t.Error("XORMAC wrong")
+	}
+	if XORMAC(nil) != 0 {
+		t.Error("empty XORMAC should be 0")
+	}
+}
+
+// Property: XORMAC is order-insensitive — the tensor MAC of any permutation
+// of line MACs matches (Section 4.3: "insensitive to order, allowing various
+// optimizations in NPU computing like tensor tiling").
+func TestXORMACOrderInsensitiveProperty(t *testing.T) {
+	f := func(tags []uint64, seed int64) bool {
+		perm := append([]uint64(nil), tags...)
+		r := rand.New(rand.NewSource(seed))
+		r.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		return XORMAC(tags) == XORMAC(perm)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XORMAC never exceeds the 56-bit output space.
+func TestXORMACWidthProperty(t *testing.T) {
+	f := func(tags []uint64) bool { return XORMAC(tags) <= MACMask }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	k := testKey(t)
+	payload := []byte("tensor metadata: addr=0x1000 vn=42 mac=0xdeadbeef")
+	blob := k.Seal(payload, 5)
+	got, err := k.Open(blob, 5)
+	if err != nil {
+		t.Fatalf("Open failed: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Error("payload corrupted")
+	}
+}
+
+func TestOpenDetectsReplayAndTamper(t *testing.T) {
+	k := testKey(t)
+	blob := k.Seal([]byte("metadata"), 5)
+	if _, err := k.Open(blob, 6); err == nil {
+		t.Error("sequence mismatch (replay) not detected")
+	}
+	blob.Ciphertext[0] ^= 1
+	if _, err := k.Open(blob, 5); err == nil {
+		t.Error("tampered channel payload not detected")
+	}
+}
+
+func TestSealDifferentSeqDifferentCiphertext(t *testing.T) {
+	k := testKey(t)
+	p := []byte("same payload")
+	b1 := k.Seal(p, 1)
+	b2 := k.Seal(p, 2)
+	if bytes.Equal(b1.Ciphertext, b2.Ciphertext) {
+		t.Error("sequence number not bound into channel encryption")
+	}
+}
+
+func BenchmarkEncrypt64B(b *testing.B) {
+	k := testKey(b)
+	buf := make([]byte, 64)
+	c := Counter{Addr: 0x1000, VN: 1}
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		k.XORKeystream(buf, buf, c)
+	}
+}
+
+func BenchmarkMAC64B(b *testing.B) {
+	k := testKey(b)
+	buf := make([]byte, 64)
+	c := Counter{Addr: 0x1000, VN: 1}
+	b.SetBytes(64)
+	for i := 0; i < b.N; i++ {
+		_ = k.MAC(buf, c)
+	}
+}

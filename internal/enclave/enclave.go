@@ -1,0 +1,170 @@
+// Package enclave implements the trust-establishment substrate of the
+// direct transfer protocol (Section 4.4.2): enclave creation with
+// measurement, remote-attestation reports, and a Diffie–Hellman key
+// exchange that leaves both enclaves holding the same AES key without the
+// key ever crossing the wire.
+package enclave
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/big"
+
+	"tensortee/internal/crypto"
+)
+
+// Kind distinguishes the two enclave roles.
+type Kind int
+
+const (
+	// CPUEnclave hosts the optimizer step and the Meta Table.
+	CPUEnclave Kind = iota
+	// NPUEnclave hosts the accelerator kernels and GDDR memory.
+	NPUEnclave
+)
+
+func (k Kind) String() string {
+	if k == CPUEnclave {
+		return "cpu-enclave"
+	}
+	return "npu-enclave"
+}
+
+// Measurement is the SHA-256 digest of the enclave's initial code+data
+// image (the "report" the creation flow computes).
+type Measurement [32]byte
+
+// Report is the attestation evidence an enclave presents: its measurement
+// plus the DH public key it will use, bound together and signed by the
+// platform root key. The simulated platform signature is an HMAC under a
+// hardware root secret both chips share with the (simulated) manufacturer.
+type Report struct {
+	Kind        Kind
+	Measurement Measurement
+	DHPublic    *big.Int
+	Signature   [32]byte
+}
+
+// platformRoot stands in for the manufacturer's provisioning secret.
+var platformRoot = [16]byte{0x42, 0x13, 0x37, 0xee, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c}
+
+func signReport(r *Report) [32]byte {
+	h := sha256.New()
+	h.Write(platformRoot[:])
+	var k [8]byte
+	binary.LittleEndian.PutUint64(k[:], uint64(r.Kind))
+	h.Write(k[:])
+	h.Write(r.Measurement[:])
+	h.Write(r.DHPublic.Bytes())
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// VerifyReport checks the platform signature over a report.
+func VerifyReport(r *Report) bool {
+	return r != nil && r.DHPublic != nil && signReport(r) == r.Signature
+}
+
+// dhPrime is the 2048-bit MODP group 14 prime (RFC 3526); generator 2.
+var dhPrime, _ = new(big.Int).SetString(
+	"FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"+
+		"020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"+
+		"4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"+
+		"EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE45B3DC2007CB8A163BF05"+
+		"98DA48361C55D39A69163FA8FD24CF5F83655D23DCA3AD961C62F356208552BB"+
+		"9ED529077096966D670C354E4ABC9804F1746C08CA18217C32905E462E36CE3B"+
+		"E39E772C180E86039B2783A2EC07A28FB5C55DF06F4C52C9DE2BCBF695581718"+
+		"3995497CEA956AE515D2261898FA051015728E5A8AACAA68FFFFFFFFFFFFFFFF", 16)
+
+var dhGen = big.NewInt(2)
+
+// Enclave is one side's trusted state.
+type Enclave struct {
+	Kind        Kind
+	measurement Measurement
+
+	dhPriv  *big.Int
+	dhPub   *big.Int
+	session *crypto.Key // established after Finalize
+}
+
+// Create builds an enclave over an initial image, computing its
+// measurement. seed derives the DH private key deterministically so
+// simulations are reproducible; callers pass unique seeds per enclave.
+func Create(kind Kind, image []byte, seed uint64) *Enclave {
+	e := &Enclave{Kind: kind}
+	e.measurement = sha256.Sum256(image)
+
+	// Deterministic private scalar from (seed, image): SHA-256 stretched.
+	h := sha256.New()
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seed)
+	h.Write(s[:])
+	h.Write(e.measurement[:])
+	h.Write([]byte("tensortee-dh-priv"))
+	var priv [32]byte
+	h.Sum(priv[:0])
+	e.dhPriv = new(big.Int).SetBytes(priv[:])
+	e.dhPub = new(big.Int).Exp(dhGen, e.dhPriv, dhPrime)
+	return e
+}
+
+// Measurement returns the enclave's code+data digest.
+func (e *Enclave) Measurement() Measurement { return e.measurement }
+
+// Attest produces this enclave's signed report.
+func (e *Enclave) Attest() *Report {
+	r := &Report{Kind: e.Kind, Measurement: e.measurement, DHPublic: new(big.Int).Set(e.dhPub)}
+	r.Signature = signReport(r)
+	return r
+}
+
+// Finalize verifies the peer's report and derives the shared session key
+// (Section 4.4.2: "the two enclaves perform a key-exchange protocol like
+// Diffie-Hellman which enables the same key in both enclaves"). The key
+// never leaves the chip; only public values crossed the wire.
+func (e *Enclave) Finalize(peer *Report, expected Measurement) (*crypto.Key, error) {
+	if !VerifyReport(peer) {
+		return nil, fmt.Errorf("enclave: peer report signature invalid")
+	}
+	if peer.Measurement != expected {
+		return nil, fmt.Errorf("enclave: peer measurement mismatch: got %x, want %x",
+			peer.Measurement[:4], expected[:4])
+	}
+	if peer.Kind == e.Kind {
+		return nil, fmt.Errorf("enclave: peer has the same role %v", e.Kind)
+	}
+	shared := new(big.Int).Exp(peer.DHPublic, e.dhPriv, dhPrime)
+	digest := sha256.Sum256(append([]byte("tensortee-session-v1:"), shared.Bytes()...))
+	key, err := crypto.NewKey(digest[:crypto.KeySize])
+	if err != nil {
+		return nil, err
+	}
+	e.session = key
+	return key, nil
+}
+
+// SessionKey returns the established key (nil before Finalize).
+func (e *Enclave) SessionKey() *crypto.Key { return e.session }
+
+// Pair runs the whole authentication phase between a CPU and an NPU
+// enclave: mutual attestation then key exchange. It returns the two
+// (equal) session keys.
+func Pair(cpu, npu *Enclave) (*crypto.Key, *crypto.Key, error) {
+	cpuReport := cpu.Attest()
+	npuReport := npu.Attest()
+	kCPU, err := cpu.Finalize(npuReport, npu.Measurement())
+	if err != nil {
+		return nil, nil, fmt.Errorf("cpu side: %w", err)
+	}
+	kNPU, err := npu.Finalize(cpuReport, cpu.Measurement())
+	if err != nil {
+		return nil, nil, fmt.Errorf("npu side: %w", err)
+	}
+	if !kCPU.Equal(kNPU) {
+		return nil, nil, fmt.Errorf("enclave: key agreement produced different keys")
+	}
+	return kCPU, kNPU, nil
+}

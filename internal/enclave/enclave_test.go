@@ -1,0 +1,108 @@
+package enclave
+
+import (
+	"strings"
+	"testing"
+)
+
+func pairOf(t *testing.T) (*Enclave, *Enclave) {
+	t.Helper()
+	cpu := Create(CPUEnclave, []byte("cpu image"), 1)
+	npu := Create(NPUEnclave, []byte("npu image"), 2)
+	return cpu, npu
+}
+
+func TestMeasurementDeterministic(t *testing.T) {
+	a := Create(CPUEnclave, []byte("image"), 1)
+	b := Create(CPUEnclave, []byte("image"), 2)
+	if a.Measurement() != b.Measurement() {
+		t.Error("same image produced different measurements")
+	}
+	c := Create(CPUEnclave, []byte("tampered image"), 1)
+	if a.Measurement() == c.Measurement() {
+		t.Error("different images share a measurement")
+	}
+}
+
+func TestAttestReportVerifies(t *testing.T) {
+	cpu, _ := pairOf(t)
+	r := cpu.Attest()
+	if !VerifyReport(r) {
+		t.Error("genuine report rejected")
+	}
+	r.Measurement[0] ^= 1
+	if VerifyReport(r) {
+		t.Error("tampered measurement accepted")
+	}
+}
+
+func TestVerifyReportNil(t *testing.T) {
+	if VerifyReport(nil) {
+		t.Error("nil report accepted")
+	}
+}
+
+func TestPairEstablishesSharedKey(t *testing.T) {
+	cpu, npu := pairOf(t)
+	k1, k2, err := Pair(cpu, npu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k1.Equal(k2) {
+		t.Error("session keys differ")
+	}
+	if cpu.SessionKey() == nil || npu.SessionKey() == nil {
+		t.Error("session keys not retained")
+	}
+}
+
+func TestDistinctPairsGetDistinctKeys(t *testing.T) {
+	cpu1, npu1 := pairOf(t)
+	k1, _, err := Pair(cpu1, npu1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu2 := Create(CPUEnclave, []byte("cpu image"), 11)
+	npu2 := Create(NPUEnclave, []byte("npu image"), 12)
+	k2, _, err := Pair(cpu2, npu2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1.Equal(k2) {
+		t.Error("independent sessions derived the same key")
+	}
+}
+
+func TestFinalizeRejectsWrongMeasurement(t *testing.T) {
+	cpu, npu := pairOf(t)
+	var wrong Measurement
+	wrong[0] = 0xFF
+	if _, err := cpu.Finalize(npu.Attest(), wrong); err == nil {
+		t.Error("wrong measurement accepted")
+	} else if !strings.Contains(err.Error(), "measurement") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestFinalizeRejectsForgedReport(t *testing.T) {
+	cpu, npu := pairOf(t)
+	r := npu.Attest()
+	r.DHPublic.Add(r.DHPublic, r.DHPublic) // MITM swaps the DH public
+	if _, err := cpu.Finalize(r, npu.Measurement()); err == nil {
+		t.Error("forged DH public accepted — MITM possible")
+	}
+}
+
+func TestFinalizeRejectsSameRole(t *testing.T) {
+	cpu1 := Create(CPUEnclave, []byte("a"), 1)
+	cpu2 := Create(CPUEnclave, []byte("b"), 2)
+	if _, err := cpu1.Finalize(cpu2.Attest(), cpu2.Measurement()); err == nil {
+		t.Error("two CPU enclaves paired")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if CPUEnclave.String() != "cpu-enclave" || NPUEnclave.String() != "npu-enclave" {
+		t.Error("kind strings wrong")
+	}
+}

@@ -1,0 +1,93 @@
+// Package experiments contains one generator per table and figure of the
+// paper's evaluation (Section 6). Each generator runs the corresponding
+// simulation and renders the same rows/series the paper reports, so the
+// CLI (cmd/tensorteesim) and the benchmark harness (bench_test.go) share
+// a single source of truth. EXPERIMENTS.md records paper-vs-measured for
+// every generator.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tensortee/internal/stats"
+)
+
+// Report is one experiment's rendered result plus the key scalar outcomes
+// that tests assert on.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*stats.Table
+	Notes  []string
+	// Scalars holds named headline numbers (e.g. "avg_speedup").
+	Scalars map[string]float64
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Scalars: map[string]float64{}}
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	if len(r.Scalars) > 0 {
+		keys := make([]string, 0, len(r.Scalars))
+		for k := range r.Scalars {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s = %.4g\n", k, r.Scalars[k])
+		}
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Generator produces a report.
+type Generator func() (*Report, error)
+
+// Registry maps experiment ids to generators, in the paper's order.
+func Registry() []struct {
+	ID  string
+	Gen Generator
+} {
+	return []struct {
+		ID  string
+		Gen Generator
+	}{
+		{"tab1", Tab1},
+		{"tab2", Tab2},
+		{"fig3", Fig3},
+		{"fig4", Fig4},
+		{"fig5", Fig5},
+		{"fig15", Fig15},
+		{"fig16", Fig16},
+		{"fig17", Fig17},
+		{"fig18", Fig18},
+		{"fig19", Fig19},
+		{"fig20", Fig20},
+		{"fig21", Fig21},
+		{"gemm", GEMMDetection},
+		{"hw", HardwareOverhead},
+	}
+}
+
+// Run finds and runs one experiment by id.
+func Run(id string) (*Report, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e.Gen()
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tensortee/internal/config"
+	"tensortee/internal/core"
+	"tensortee/internal/npumac"
+	"tensortee/internal/npusim"
+	"tensortee/internal/sim"
+	"tensortee/internal/stats"
+	"tensortee/internal/workload"
+)
+
+// threeSystems builds the calibrated Non-Secure / SGX+MGX / TensorTEE
+// systems (shared by fig5/16/17/21).
+func threeSystems() (ns, base, tte *core.System, err error) {
+	if ns, err = core.NewSystem(config.NonSecure); err != nil {
+		return
+	}
+	if base, err = core.NewSystem(config.BaselineSGXMGX); err != nil {
+		return
+	}
+	tte, err = core.NewSystem(config.TensorTEE)
+	return
+}
+
+// Fig4 reports the tensor inventory of every model: tensor count and the
+// largest tensor size — the "small numbers, large sizes" observation that
+// motivates tensor-granularity protection.
+func Fig4() (*Report, error) {
+	r := newReport("fig4", "Optimizer tensor inventory per model")
+	tb := stats.NewTable("fp32 optimizer tensors", "model", "params", "tensor count", "largest (MB)", "total (MB)")
+	maxCount := 0
+	for _, m := range workload.Models() {
+		s := m.Stats()
+		if s.Count > maxCount {
+			maxCount = s.Count
+		}
+		tb.AddRow(m.Name, m.ParamsStr, s.Count,
+			float64(s.LargestBytes)/(1<<20), float64(s.TotalBytes)/(1<<20))
+	}
+	r.Tables = append(r.Tables, tb)
+	r.Scalars["max_tensor_count"] = float64(maxCount)
+	r.Notes = append(r.Notes, "paper: counts stay in the hundreds while sizes reach hundreds of MB")
+	return r, nil
+}
+
+// Fig5 reports the GPT2-M time breakdown for Non-Secure and the SGX+MGX
+// baseline (the motivation pie charts: communication grows from 12% to
+// ~53% under the mismatched-granularity TEE).
+func Fig5() (*Report, error) {
+	r := newReport("fig5", "GPT2-M ZeRO-Offload breakdown: Non-Secure vs SGX+MGX")
+	ns, base, _, err := threeSystems()
+	if err != nil {
+		return nil, err
+	}
+	m, err := workload.ModelByName("GPT2-M")
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("share of step time (%)", "system", "NPU", "CPU", "CommW", "CommG", "comm total")
+	for _, s := range []*core.System{ns, base} {
+		b := s.TrainStep(m)
+		n, c, w, g := b.Fractions()
+		tb.AddRow(s.Cfg.System.String(), n*100, c*100, w*100, g*100, (w+g)*100)
+		if s.Cfg.System == config.BaselineSGXMGX {
+			r.Scalars["baseline_comm_frac"] = w + g
+		} else {
+			r.Scalars["nonsecure_comm_frac"] = w + g
+		}
+	}
+	r.Tables = append(r.Tables, tb)
+	r.Notes = append(r.Notes, "paper: non-secure 65/23/9/3; SGX+MGX 22/25/18/35 (comm 12% -> 53%)")
+	return r, nil
+}
+
+// Fig15 renders the computation/communication overlap timelines: the
+// baseline's serialized backward + gradient transfer versus TensorTEE's
+// overlapped schedule (Figures 7 and 15).
+func Fig15() (*Report, error) {
+	r := newReport("fig15", "Compute/communication overlap (Figures 7 and 15)")
+	_, base, tte, err := threeSystems()
+	if err != nil {
+		return nil, err
+	}
+	m, err := workload.ModelByName("GPT2-M")
+	if err != nil {
+		return nil, err
+	}
+	_, bwdBase := base.NPUPhases(m)
+	_, bwdTTE := tte.NPUPhases(m)
+	gBase := base.GradTransferBreakdown(m)
+	gTTE := tte.GradTransferBreakdown(m)
+
+	tb := stats.NewTable("backward + gradient transfer (ms)",
+		"system", "backward", "comm (raw)", "serialized?", "combined")
+	baseCombined := bwdBase + gBase.Total()
+	tteCombined := sim.Max(bwdTTE, gTTE.Total())
+	tb.AddRow("SGX+MGX", bwdBase.Millis(), gBase.Total().Millis(), "yes (AES/DRAM contention)", baseCombined.Millis())
+	tb.AddRow("TensorTEE", bwdTTE.Millis(), gTTE.Total().Millis(), "no (direct channel)", tteCombined.Millis())
+	r.Tables = append(r.Tables, tb)
+	r.Scalars["overlap_gain"] = float64(baseCombined) / float64(tteCombined)
+	r.Notes = append(r.Notes, "paper: the unified granularity removes re-encryption and restores parallel execution")
+	return r, nil
+}
+
+// Fig16 is the headline result: latency per batch for all twelve models
+// under the three systems, with the TensorTEE speedup over the baseline.
+func Fig16() (*Report, error) {
+	r := newReport("fig16", "Overall performance (latency per batch)")
+	ns, base, tte, err := threeSystems()
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("latency per batch (s)", "model", "non-secure", "SGX+MGX", "TensorTEE", "speedup", "overhead vs NS (%)")
+	var speedups, overheads []float64
+	for _, m := range workload.Models() {
+		tNS := ns.TrainStep(m).Total()
+		tBase := base.TrainStep(m).Total()
+		tTTE := tte.TrainStep(m).Total()
+		sp := float64(tBase) / float64(tTTE)
+		ov := (float64(tTTE)/float64(tNS) - 1) * 100
+		speedups = append(speedups, sp)
+		overheads = append(overheads, ov)
+		tb.AddRow(m.Name, tNS.Seconds(), tBase.Seconds(), tTTE.Seconds(), sp, ov)
+	}
+	r.Tables = append(r.Tables, tb)
+	r.Scalars["avg_speedup"] = stats.Mean(speedups)
+	r.Scalars["max_speedup"] = maxOf(speedups)
+	r.Scalars["avg_overhead_pct"] = stats.Mean(overheads)
+	r.Notes = append(r.Notes, "paper: average speedup 4.0x (up to 5.5x); average overhead vs non-secure 2.1%")
+	return r, nil
+}
+
+// Fig17 is the per-model breakdown for all three systems.
+func Fig17() (*Report, error) {
+	r := newReport("fig17", "Per-model breakdown across systems")
+	ns, base, tte, err := threeSystems()
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("share of step time (%)", "model", "system", "NPU", "CPU", "CommW", "CommG")
+	for _, m := range workload.Models() {
+		for _, s := range []*core.System{ns, base, tte} {
+			b := s.TrainStep(m)
+			n, c, w, g := b.Fractions()
+			tb.AddRow(m.Name, s.Cfg.System.String(), n*100, c*100, w*100, g*100)
+		}
+	}
+	r.Tables = append(r.Tables, tb)
+	r.Notes = append(r.Notes, "paper: TensorTEE restores near-non-secure proportions; the baseline is dominated by CPU and communication")
+	return r, nil
+}
+
+// Fig20 sweeps the NPU MAC granularity: normalized performance and storage
+// overhead for the MGX-like scheme at 64B..4KB against TensorTEE's delayed
+// tensor-granularity verification.
+func Fig20() (*Report, error) {
+	r := newReport("fig20", "NPU MAC granularity sweep (normalized performance and storage)")
+	cfg := config.Default(config.BaselineSGXMGX)
+	m, err := workload.ModelByName("GPT2-M")
+	if err != nil {
+		return nil, err
+	}
+	layers := append(m.ForwardGEMMs(), m.BackwardGEMMs()...)
+
+	nsCfg := npusim.FromSystem(&cfg, npumac.SchemeCacheline, 64)
+	nsCfg.Secure = false
+	nonsec := npusim.New(nsCfg).RunLayers(layers).Total
+
+	tb := stats.NewTable("GPT2-M training layers", "scheme", "granularity", "normalized perf", "storage overhead (%)")
+	tb.AddRow("non-secure", "-", 1.0, 0.0)
+	for _, gran := range []int{64, 256, 512, 1024, 2048, 4096} {
+		scheme := npumac.SchemeCoarse
+		if gran == 64 {
+			scheme = npumac.SchemeCacheline
+		}
+		c := npusim.FromSystem(&cfg, scheme, gran)
+		c.Secure = true
+		total := npusim.New(c).RunLayers(layers).Total
+		norm := float64(total) / float64(nonsec)
+		storage := npumac.StorageOverhead(scheme, gran, 7) * 100
+		tb.AddRow(scheme.String(), fmt.Sprintf("%dB", gran), norm, storage)
+		r.Scalars[fmt.Sprintf("norm_%dB", gran)] = norm
+	}
+	tc := npusim.FromSystem(&cfg, npumac.SchemeTensorDelayed, 64)
+	tc.Secure = true
+	ours := npusim.New(tc).RunLayers(layers).Total
+	r.Scalars["norm_ours"] = float64(ours) / float64(nonsec)
+	tb.AddRow("tensor+delayed (ours)", "tensor", float64(ours)/float64(nonsec), 0.0)
+	r.Tables = append(r.Tables, tb)
+	r.Notes = append(r.Notes, "paper: 13% overhead at 4KB granularity; delayed verification ~2.5% with zero off-chip MAC storage")
+	return r, nil
+}
+
+// Fig21 decomposes the gradient transfer per model: re-encryption, wire,
+// decryption for the baseline versus the direct protocol.
+func Fig21() (*Report, error) {
+	r := newReport("fig21", "Gradient transfer breakdown (per model)")
+	_, base, tte, err := threeSystems()
+	if err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable("gradient transfer (ms)", "model", "base re-enc", "base comm", "base decrypt", "base total", "ours total", "ratio")
+	var ratios []float64
+	for _, m := range workload.Models() {
+		gb := base.GradTransferBreakdown(m)
+		gt := tte.GradTransferBreakdown(m)
+		ratio := float64(gb.Total()) / float64(gt.Total())
+		ratios = append(ratios, ratio)
+		tb.AddRow(m.Name, gb.ReencryptTime.Millis(), gb.LinkTime.Millis(), gb.DecryptTime.Millis(),
+			gb.Total().Millis(), gt.Total().Millis(), ratio)
+	}
+	r.Tables = append(r.Tables, tb)
+	r.Scalars["avg_raw_ratio"] = stats.Mean(ratios)
+
+	// With overlap counted (the transfer hides under the backward pass),
+	// the visible-communication improvement is what the paper's 18.7x
+	// refers to; in this model the GPT2-M gradient transfer hides entirely.
+	m, _ := workload.ModelByName("GPT2-M")
+	_, bwd := tte.NPUPhases(m)
+	ours := tte.GradTransferBreakdown(m).Total()
+	visible := sim.Sub(ours, bwd)
+	r.Scalars["gpt2m_hidden_frac"] = float64(ours-visible) / float64(ours)
+	r.Scalars["gpt2m_visible_ms"] = visible.Millis()
+	r.Notes = append(r.Notes,
+		"paper: communication performance improved 18.7x once re-encryption is removed and the transfer hides under computation",
+		"here the direct GPT2-M gradient transfer hides completely under the backward pass (visible = 0), so the end-to-end improvement is bounded by the raw ratio above")
+	return r, nil
+}
+
+func maxOf(vals []float64) float64 {
+	m := 0.0
+	for _, v := range vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

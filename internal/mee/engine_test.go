@@ -1,0 +1,214 @@
+package mee
+
+import (
+	"testing"
+
+	"tensortee/internal/config"
+	"tensortee/internal/dram"
+	"tensortee/internal/sim"
+)
+
+func newTestEngine(mode Mode) (*Engine, *dram.Memory) {
+	cfg := config.Default(config.BaselineSGXMGX)
+	mem := dram.New(dram.DDR4_2400(), cfg.HostDRAM.Channels)
+	layout := NewLayout(0, 1<<20, 64, 8) // 1M lines = 64MB data
+	return NewEngine(mode, &cfg, mem, layout), mem
+}
+
+func TestLayoutSeparatesMetadata(t *testing.T) {
+	l := NewLayout(0, 1024, 64, 8)
+	dataEnd := uint64(1024 * 64)
+	if l.VNLineAddr(0) < dataEnd {
+		t.Error("VN metadata overlaps data")
+	}
+	if l.MACLineAddr(0) == l.VNLineAddr(0) {
+		t.Error("VN and MAC share a line for line 0")
+	}
+	// 8 VNs of 8 bytes share one 64B metadata line.
+	if l.VNLineAddr(0) != l.VNLineAddr(7*64) {
+		t.Error("adjacent lines should share a VN line")
+	}
+	if l.VNLineAddr(0) == l.VNLineAddr(8*64) {
+		t.Error("9th line should use the next VN line")
+	}
+}
+
+func TestLayoutTreeGeometry(t *testing.T) {
+	l := NewLayout(0, 64*8, 64, 8) // 512 data lines -> 64 VN lines -> levels 8,1
+	if l.TreeDepth() != 2 {
+		t.Errorf("TreeDepth = %d, want 2", l.TreeDepth())
+	}
+	// Nodes at the same level for nearby addresses should coincide.
+	if l.TreeNodeAddr(0, 0) != l.TreeNodeAddr(0, 63*64) {
+		t.Error("lines under the same tree node got different node addresses")
+	}
+	if l.TreeNodeAddr(1, 0) != l.TreeNodeAddr(1, 511*64) {
+		t.Error("level-1 node should cover the whole region here")
+	}
+}
+
+func TestLayoutMetadataBytes(t *testing.T) {
+	l := NewLayout(0, 1024, 64, 8)
+	got := l.MetadataBytes(7, 7)
+	// 1024 lines * 14B = 14336 plus tree nodes (128 VN lines -> 16 + 2 + 1
+	// levels... geometry-dependent), must exceed the flat part.
+	if got < 14336 {
+		t.Errorf("MetadataBytes = %d, want >= 14336", got)
+	}
+	// ~11% of 64KB data is the expected order (paper: 56-bit VN is 11%
+	// overhead with MACs).
+	if got > 20000 {
+		t.Errorf("MetadataBytes = %d, unreasonably large", got)
+	}
+}
+
+func TestModeOffChargesOnlyData(t *testing.T) {
+	e, mem := newTestEngine(ModeOff)
+	r := e.Read(0, 0)
+	if r.DataReady != r.Verified {
+		t.Error("ModeOff should not distinguish ready/verified")
+	}
+	if mem.Stats().Reads != 1 {
+		t.Errorf("ModeOff read issued %d DRAM reads, want 1", mem.Stats().Reads)
+	}
+	if e.Stats().ExtraLines() != 0 {
+		t.Error("ModeOff generated metadata traffic")
+	}
+}
+
+func TestSGXReadChargesMetadata(t *testing.T) {
+	e, mem := newTestEngine(ModeSGX)
+	r := e.Read(0, 0)
+	s := mem.Stats()
+	// data + VN line + MAC line + >=1 tree node on a cold read
+	if s.Reads < 4 {
+		t.Errorf("SGX cold read issued %d DRAM reads, want >= 4", s.Reads)
+	}
+	if e.Stats().VNReads != 1 || e.Stats().MACReads != 1 {
+		t.Errorf("metadata stats = %+v", e.Stats())
+	}
+	if e.Stats().TreeReads == 0 {
+		t.Error("cold read did not walk the Merkle tree")
+	}
+	off, _ := newTestEngine(ModeOff)
+	r0 := off.Read(0, 0)
+	if r.DataReady <= r0.DataReady {
+		t.Error("SGX read not slower than non-secure read")
+	}
+}
+
+func TestSGXMetadataCacheAmortizes(t *testing.T) {
+	e, _ := newTestEngine(ModeSGX)
+	// Stream 64 sequential lines: VN/MAC/tree lines are shared 8:1, so
+	// metadata misses must be far fewer than accesses.
+	for i := 0; i < 64; i++ {
+		e.Read(0, uint64(i*64))
+	}
+	st := e.Stats()
+	if st.VNReads > 10 {
+		t.Errorf("VN reads = %d for 64 sequential lines, want ~8", st.VNReads)
+	}
+	if st.MetaCacheHits == 0 {
+		t.Error("metadata cache never hit on a streaming pattern")
+	}
+}
+
+func TestSGXWriteChargesTreeUpdate(t *testing.T) {
+	e, mem := newTestEngine(ModeSGX)
+	done := e.Write(0, 0)
+	if done == 0 {
+		t.Error("write charged no time")
+	}
+	if mem.Stats().Writes == 0 {
+		t.Error("write issued no DRAM write")
+	}
+	if e.Stats().MACOps == 0 || e.Stats().AESOps == 0 {
+		t.Error("write skipped crypto engines")
+	}
+}
+
+func TestTensorHitInBeatsSGX(t *testing.T) {
+	sgx, _ := newTestEngine(ModeSGX)
+	ten, _ := newTestEngine(ModeTensor)
+
+	var sgxEnd, tenEnd sim.Time
+	for i := 0; i < 256; i++ {
+		addr := uint64(i * 64)
+		sgxEnd = sgx.Read(sim.Time(i*100), addr).DataReady
+		tenEnd = ten.TensorRead(sim.Time(i*100), addr, THitIn).DataReady
+	}
+	if tenEnd >= sgxEnd {
+		t.Errorf("tensor hit-in (%d) not faster than SGX (%d)", tenEnd, sgxEnd)
+	}
+	if ten.Stats().ExtraLines() != 0 {
+		t.Errorf("hit-in generated %d metadata lines, want 0", ten.Stats().ExtraLines())
+	}
+}
+
+func TestTensorOutcomeCounters(t *testing.T) {
+	e, _ := newTestEngine(ModeTensor)
+	e.TensorRead(0, 0, THitIn)
+	e.TensorRead(0, 64, THitBoundary)
+	e.TensorRead(0, 128, TMiss)
+	s := e.Stats()
+	if s.HitIn != 1 || s.HitBoundary != 1 || s.Mis != 1 {
+		t.Errorf("outcome counters = %+v", s)
+	}
+}
+
+func TestTensorBoundaryChargesBackgroundVN(t *testing.T) {
+	e, _ := newTestEngine(ModeTensor)
+	r := e.TensorRead(0, 0, THitBoundary)
+	if e.Stats().VNReads != 1 {
+		t.Errorf("boundary hit VN reads = %d, want 1", e.Stats().VNReads)
+	}
+	// Speculative data release: DataReady must not wait for the VN check.
+	if r.DataReady > r.Verified {
+		t.Error("DataReady after Verified?")
+	}
+}
+
+func TestTensorMissFallsBack(t *testing.T) {
+	ten, _ := newTestEngine(ModeTensor)
+	sgx, _ := newTestEngine(ModeSGX)
+	rt := ten.TensorRead(0, 0, TMiss)
+	rs := sgx.Read(0, 0)
+	if rt.DataReady != rs.DataReady {
+		t.Errorf("tensor miss (%d) differs from SGX read (%d)", rt.DataReady, rs.DataReady)
+	}
+}
+
+func TestTensorWriteCheaperThanSGXWrite(t *testing.T) {
+	sgx, sgxMem := newTestEngine(ModeSGX)
+	ten, tenMem := newTestEngine(ModeTensor)
+	for i := 0; i < 256; i++ {
+		addr := uint64(i * 64)
+		sgx.Write(sim.Time(i*100), addr)
+		ten.TensorWrite(sim.Time(i*100), addr, THitIn)
+	}
+	if tenMem.BusyUntil() >= sgxMem.BusyUntil() {
+		t.Errorf("tensor writes kept DRAM busy longer (%d) than SGX (%d)",
+			tenMem.BusyUntil(), sgxMem.BusyUntil())
+	}
+	if ten.Stats().TreeReads+ten.Stats().TreeWrites != 0 {
+		t.Error("tensor-mode writes touched the Merkle tree")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	e, _ := newTestEngine(ModeSGX)
+	e.Read(0, 0)
+	e.ResetStats()
+	if e.Stats() != (Stats{}) {
+		t.Error("ResetStats left counters")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeOff.String() != "off" || ModeSGX.String() != "sgx" || ModeTensor.String() != "tensor" {
+		t.Error("mode strings wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should format")
+	}
+}

@@ -1,0 +1,63 @@
+package mee
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for arbitrary region sizes, the metadata map places VN lines,
+// MAC lines, and every tree level in pairwise-disjoint address ranges,
+// all disjoint from the data region.
+func TestLayoutDisjointnessProperty(t *testing.T) {
+	f := func(linesSeed uint16) bool {
+		lines := int(linesSeed)%(1<<16) + 64
+		l := NewLayout(0, lines, 64, 8)
+
+		type span struct{ lo, hi uint64 }
+		dataSpan := span{0, uint64(lines * 64)}
+		vnSpan := span{l.VNLineAddr(0), l.VNLineAddr(uint64(lines-1)*64) + 64}
+		macSpan := span{l.MACLineAddr(0), l.MACLineAddr(uint64(lines-1)*64) + 64}
+
+		overlaps := func(a, b span) bool { return a.lo < b.hi && b.lo < a.hi }
+		if overlaps(dataSpan, vnSpan) || overlaps(dataSpan, macSpan) || overlaps(vnSpan, macSpan) {
+			return false
+		}
+		var treeSpans []span
+		for lvl := 0; lvl < l.TreeDepth(); lvl++ {
+			lo := l.TreeNodeAddr(lvl, 0)
+			hi := l.TreeNodeAddr(lvl, uint64(lines-1)*64) + 64
+			treeSpans = append(treeSpans, span{lo, hi})
+		}
+		for i, ts := range treeSpans {
+			if overlaps(ts, dataSpan) || overlaps(ts, vnSpan) || overlaps(ts, macSpan) {
+				return false
+			}
+			for j := i + 1; j < len(treeSpans); j++ {
+				if overlaps(ts, treeSpans[j]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: metadata storage accounting scales with the data size at
+// roughly the 56-bit-per-64B rate the paper cites (~11% VN, ~11% MAC, plus
+// a sub-2% tree).
+func TestLayoutStorageFractionProperty(t *testing.T) {
+	f := func(linesSeed uint16) bool {
+		lines := int(linesSeed)%(1<<16) + 4096
+		l := NewLayout(0, lines, 64, 8)
+		data := int64(lines) * 64
+		meta := l.MetadataBytes(7, 7)
+		frac := float64(meta) / float64(data)
+		return frac > 0.21 && frac < 0.26
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

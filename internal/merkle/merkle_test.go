@@ -1,0 +1,211 @@
+package merkle
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTree(leaves int) *Tree {
+	var key [16]byte
+	copy(key[:], "merkle-test-key!")
+	return New(leaves, 8, key)
+}
+
+func TestGeometry(t *testing.T) {
+	tr := newTree(64)
+	if tr.Leaves() != 64 {
+		t.Errorf("Leaves = %d", tr.Leaves())
+	}
+	// 64 leaves, arity 8: levels 64, 8, 1 -> depth 3, path 2.
+	if tr.Depth() != 3 {
+		t.Errorf("Depth = %d, want 3", tr.Depth())
+	}
+	if tr.PathLen() != 2 {
+		t.Errorf("PathLen = %d, want 2", tr.PathLen())
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr := newTree(1)
+	if tr.Depth() != 1 {
+		t.Errorf("Depth = %d, want 1", tr.Depth())
+	}
+	tr.Update(0, 42)
+	if ok, _ := tr.Verify(0, 42); !ok {
+		t.Error("single-leaf verify failed")
+	}
+}
+
+func TestUpdateVerify(t *testing.T) {
+	tr := newTree(100)
+	for i := 0; i < 100; i++ {
+		tr.Update(i, uint64(i)*3+1)
+	}
+	for i := 0; i < 100; i++ {
+		if ok, _ := tr.Verify(i, uint64(i)*3+1); !ok {
+			t.Fatalf("leaf %d failed to verify", i)
+		}
+		if tr.Value(i) != uint64(i)*3+1 {
+			t.Fatalf("leaf %d value wrong", i)
+		}
+	}
+}
+
+func TestVerifyWrongValueFails(t *testing.T) {
+	tr := newTree(16)
+	tr.Update(3, 7)
+	if ok, _ := tr.Verify(3, 8); ok {
+		t.Error("wrong value verified")
+	}
+}
+
+func TestRootChangesOnUpdate(t *testing.T) {
+	tr := newTree(32)
+	r0 := tr.Root()
+	tr.Update(5, 1)
+	r1 := tr.Root()
+	if r0 == r1 {
+		t.Error("root did not change after update")
+	}
+	tr.Update(5, 2)
+	if tr.Root() == r1 {
+		t.Error("root did not change after second update")
+	}
+}
+
+func TestReplayDetected(t *testing.T) {
+	tr := newTree(16)
+	tr.Update(4, 10) // old state
+	old := uint64(10)
+	tr.Update(4, 11) // new state
+
+	// Adversary rolls the off-chip leaf back to the old value.
+	tr.TamperLeaf(4, old)
+	if ok, _ := tr.Verify(4, old); ok {
+		t.Error("replayed leaf verified — replay attack succeeded")
+	}
+}
+
+func TestInteriorTamperDetected(t *testing.T) {
+	tr := newTree(64)
+	for i := 0; i < 64; i++ {
+		tr.Update(i, uint64(i))
+	}
+	tr.TamperNode(1, 0) // corrupt a level-1 node
+	if ok, _ := tr.Verify(3, 3); ok {
+		t.Error("interior-node corruption not detected")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tr := newTree(4)
+	for _, fn := range []func(){
+		func() { tr.Verify(4, 0) },
+		func() { tr.Verify(-1, 0) },
+		func() { tr.Update(4, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range leaf")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBadConstruction(t *testing.T) {
+	var key [16]byte
+	for _, fn := range []func(){
+		func() { New(0, 8, key) },
+		func() { New(4, 1, key) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected construction panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNodeBytes(t *testing.T) {
+	tr := newTree(64)
+	// levels below root: 64 + 8 = 72 nodes
+	if got := tr.NodeBytes(8); got != 72*8 {
+		t.Errorf("NodeBytes = %d, want %d", got, 72*8)
+	}
+}
+
+// Property: after any sequence of updates, every leaf verifies with its
+// latest value and fails with any other value.
+func TestUpdateVerifyProperty(t *testing.T) {
+	f := func(ops []struct {
+		Idx uint8
+		Val uint64
+	}) bool {
+		tr := newTree(32)
+		latest := make(map[int]uint64)
+		for _, op := range ops {
+			idx := int(op.Idx) % 32
+			tr.Update(idx, op.Val)
+			latest[idx] = op.Val
+		}
+		for idx, val := range latest {
+			if ok, _ := tr.Verify(idx, val); !ok {
+				return false
+			}
+			if ok, _ := tr.Verify(idx, val+1); ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two trees built with the same update sequence agree on the
+// root; diverging at any point changes the root.
+func TestRootDeterminismProperty(t *testing.T) {
+	f := func(vals []uint64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		t1, t2 := newTree(16), newTree(16)
+		for i, v := range vals {
+			t1.Update(i%16, v)
+			t2.Update(i%16, v)
+		}
+		if t1.Root() != t2.Root() {
+			return false
+		}
+		t2.Update(0, vals[0]+1)
+		return t1.Root() != t2.Root()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUpdate(b *testing.B) {
+	tr := newTree(1 << 12)
+	for i := 0; i < b.N; i++ {
+		tr.Update(i%(1<<12), uint64(i))
+	}
+}
+
+func BenchmarkVerify(b *testing.B) {
+	tr := newTree(1 << 12)
+	for i := 0; i < 1<<12; i++ {
+		tr.Update(i, uint64(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Verify(i%(1<<12), uint64(i%(1<<12)))
+	}
+}

@@ -1,0 +1,41 @@
+package npusim
+
+import (
+	"testing"
+
+	"tensortee/internal/npumac"
+	"tensortee/internal/sim"
+)
+
+func TestCodeFetchChargedOnlyWhenSecure(t *testing.T) {
+	layer := GEMM{Name: "l", M: 4096, K: 1024, N: 1024}
+	ns := New(testConfig(npumac.SchemeCacheline, 64, false)).RunGEMM(layer)
+	if ns.CodeFetch != 0 {
+		t.Error("non-secure run charged code verification")
+	}
+	sec := New(testConfig(npumac.SchemeTensorDelayed, 64, true))
+	r := sec.RunGEMM(layer)
+	if r.CodeFetch == 0 {
+		t.Error("secure run skipped code verification")
+	}
+	// Code fetch is small relative to the layer (it must not dominate).
+	if float64(r.CodeFetch) > 0.05*float64(r.Total) {
+		t.Errorf("code fetch %v is %.1f%% of the layer — too large",
+			r.CodeFetch, 100*float64(r.CodeFetch)/float64(r.Total))
+	}
+	// And it is counted in the verifier's inline-path stats.
+	if sec.Verifier().Stats().CodeVerifies == 0 {
+		t.Error("code verifications not recorded")
+	}
+	if sec.Verifier().Stats().CodeFailures != 0 {
+		t.Error("clean code failed verification")
+	}
+}
+
+func TestCodeFetchInTotal(t *testing.T) {
+	layer := GEMM{Name: "l", M: 4096, K: 1024, N: 1024}
+	r := New(testConfig(npumac.SchemeTensorDelayed, 64, true)).RunGEMM(layer)
+	if r.Total != sim.Max(r.Compute, r.Memory)+r.Stall+r.CodeFetch {
+		t.Error("total does not include the code fetch")
+	}
+}

@@ -1,0 +1,219 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeConversions(t *testing.T) {
+	if got := FromSeconds(1e-12); got != 1 {
+		t.Errorf("FromSeconds(1ps) = %d, want 1", got)
+	}
+	if got := FromNanos(1); got != 1000 {
+		t.Errorf("FromNanos(1) = %d, want 1000", got)
+	}
+	if got := FromSeconds(-1); got != 0 {
+		t.Errorf("FromSeconds(-1) = %d, want 0", got)
+	}
+	if got := Time(2_000_000).Millis(); got != 0.002 {
+		t.Errorf("Millis = %g, want 0.002", got)
+	}
+	if got := Time(1e12).Seconds(); got != 1.0 {
+		t.Errorf("Seconds = %g, want 1", got)
+	}
+}
+
+func TestCycles(t *testing.T) {
+	// 40 cycles at 1 GHz = 40 ns = 40000 ps.
+	if got := Cycles(40, 1e9); got != 40000 {
+		t.Errorf("Cycles(40, 1GHz) = %d, want 40000", got)
+	}
+	// 1 cycle at 3.5 GHz ≈ 285 ps (truncated).
+	got := Cycles(1, 3.5e9)
+	if got < 285 || got > 286 {
+		t.Errorf("Cycles(1, 3.5GHz) = %d, want ~285", got)
+	}
+	if Cycles(0, 1e9) != 0 || Cycles(5, 0) != 0 {
+		t.Error("Cycles with zero operand should be 0")
+	}
+}
+
+func TestBytesAt(t *testing.T) {
+	// 128 bytes at 128 GB/s = 1 ns = 1000 ps.
+	if got := BytesAt(128, 128e9); got != 1000 {
+		t.Errorf("BytesAt = %d, want 1000", got)
+	}
+	if BytesAt(0, 1e9) != 0 || BytesAt(10, 0) != 0 {
+		t.Error("BytesAt with zero operand should be 0")
+	}
+}
+
+func TestMinMaxSub(t *testing.T) {
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Sub(10, 4) != 6 {
+		t.Error("Sub broken")
+	}
+	if Sub(4, 10) != 0 {
+		t.Error("Sub must clamp at zero")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events ran out of order: %v", order)
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %d, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineSchedulePastClamps(t *testing.T) {
+	var e Engine
+	e.Schedule(100, func() {
+		e.Schedule(50, func() {}) // in the past
+	})
+	e.Run()
+	if e.Now() != 100 {
+		t.Errorf("clock rewound to %d", e.Now())
+	}
+}
+
+func TestEngineAfterAndCascade(t *testing.T) {
+	var e Engine
+	var fired []Time
+	e.Schedule(10, func() {
+		e.After(5, func() { fired = append(fired, e.Now()) })
+	})
+	e.Run()
+	if len(fired) != 1 || fired[0] != 15 {
+		t.Errorf("cascaded event at %v, want [15]", fired)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	e.Schedule(10, func() { count++ })
+	e.Schedule(20, func() { count++ })
+	e.Schedule(30, func() { count++ })
+	e.RunUntil(20)
+	if count != 2 {
+		t.Errorf("RunUntil(20) ran %d events, want 2", count)
+	}
+	if e.Now() != 20 {
+		t.Errorf("Now = %d, want 20", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	r := NewResource("bus")
+	t1 := r.Acquire(0, 10)
+	t2 := r.Acquire(0, 10)
+	t3 := r.Acquire(100, 10)
+	if t1 != 10 || t2 != 20 || t3 != 110 {
+		t.Errorf("Acquire times = %d,%d,%d want 10,20,110", t1, t2, t3)
+	}
+	if r.BusyTotal() != 30 {
+		t.Errorf("BusyTotal = %d, want 30", r.BusyTotal())
+	}
+	if r.NextFree(0) != 110 {
+		t.Errorf("NextFree = %d, want 110", r.NextFree(0))
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	r := NewResource("x")
+	r.Acquire(0, 50)
+	if u := r.Utilization(100); u != 0.5 {
+		t.Errorf("Utilization = %g, want 0.5", u)
+	}
+	if u := r.Utilization(0); u != 0 {
+		t.Errorf("Utilization(0) = %g, want 0", u)
+	}
+	r.Reset()
+	if r.BusyUntil() != 0 || r.BusyTotal() != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+// Property: a resource never finishes work earlier than request time plus
+// occupancy, and the finish times are monotonically non-decreasing for
+// in-order requests.
+func TestResourceMonotoneProperty(t *testing.T) {
+	f := func(reqs []uint16) bool {
+		r := NewResource("p")
+		var last Time
+		var at Time
+		for _, q := range reqs {
+			occ := Dur(q % 1000)
+			at += Time(q % 7)
+			done := r.Acquire(at, occ)
+			if done < at+occ {
+				return false
+			}
+			if done < last {
+				return false
+			}
+			last = done
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	var tl Timeline
+	tl.Add(0, 10, "compute")
+	tl.Add(10, 15, "comm")
+	tl.Add(15, 30, "compute")
+	if tl.End() != 30 {
+		t.Errorf("End = %d, want 30", tl.End())
+	}
+	if tl.Busy() != 30 {
+		t.Errorf("Busy = %d, want 30", tl.Busy())
+	}
+	m := tl.TotalByLabel()
+	if m["compute"] != 25 || m["comm"] != 5 {
+		t.Errorf("TotalByLabel = %v", m)
+	}
+}
+
+func TestIntervalDuration(t *testing.T) {
+	if (Interval{Start: 5, End: 3}).Duration() != 0 {
+		t.Error("inverted interval should have zero duration")
+	}
+	if (Interval{Start: 3, End: 5}).Duration() != 2 {
+		t.Error("duration broken")
+	}
+}

@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 42)
+	out := tb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Errorf("row formatting wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Errorf("rendered %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x")
+	if strings.Contains(tb.String(), "##") {
+		t.Error("empty title rendered")
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		12345:   "12345",
+		42.42:   "42.4",
+		0.123:   "0.123",
+		0.00001: "1.00e-05",
+	}
+	for v, want := range cases {
+		if got := fmtFloat(v); got != want {
+			t.Errorf("fmtFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add(1, 2)
+	s.Add(3, 4)
+	if len(s.X) != 2 || s.Y[1] != 4 {
+		t.Error("series add broken")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("empty geomean should be 0")
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Error("non-positive geomean should be 0")
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("empty mean should be 0")
+	}
+	if Median([]float64{5, 1, 3}) != 3 {
+		t.Error("odd median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("empty median should be 0")
+	}
+}

@@ -1,0 +1,78 @@
+package tenanalyzer
+
+import "testing"
+
+// The ablation knobs exist to demonstrate that each detection mechanism of
+// Section 4.2 is load-bearing; these tests pin the expected degradations.
+
+func TestAblationNoBoundaryExtension(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisableBoundaryExt = true
+	a := New(cfg, NewMapVNStore())
+	missesAblated, _, _ := streamRead(a, 0x10000, 256)
+
+	full := New(DefaultConfig(), NewMapVNStore())
+	missesFull, _, _ := streamRead(full, 0x10000, 256)
+
+	// Without extension, every line must be detected through the filter:
+	// the detection pass pays ~64x more misses (full metadata cost each)
+	// and churns one fragment creation per filter fill. (Merging still
+	// consolidates the fragments afterwards — the mechanisms are
+	// complementary — but cannot recover the miss cost.)
+	if missesAblated <= 8*missesFull {
+		t.Errorf("misses ablated=%d vs full=%d: extension should cut detection misses dramatically",
+			missesAblated, missesFull)
+	}
+	if a.Stats().Creations <= 4*full.Stats().Creations {
+		t.Errorf("creations ablated=%d vs full=%d: expected fragment churn without extension",
+			a.Stats().Creations, full.Stats().Creations)
+	}
+}
+
+func TestAblationNoMerging(t *testing.T) {
+	mk := func(disable bool) *Analyzer {
+		cfg := DefaultConfig()
+		cfg.DisableMerging = disable
+		a := New(cfg, NewMapVNStore())
+		// Two chunks detected separately (high first), then epochs.
+		streamRead(a, 0x10000+32*64, 32)
+		streamRead(a, 0x10000, 32)
+		streamWrite(a, 0x10000+32*64, 32)
+		streamWrite(a, 0x10000, 32)
+		return a
+	}
+	merged := mk(false)
+	split := mk(true)
+	if split.Stats().Merges != 0 {
+		t.Error("merging not disabled")
+	}
+	if merged.Stats().Merges == 0 {
+		t.Error("merging did not happen in the control run")
+	}
+	if split.LiveEntries() <= merged.LiveEntries() {
+		t.Errorf("disabled merging should leave more entries: %d vs %d",
+			split.LiveEntries(), merged.LiveEntries())
+	}
+}
+
+func TestAblationMergeRatioGuard(t *testing.T) {
+	// With an unbounded merge ratio, unrelated same-shape tensors merge
+	// into a false 2D structure; the guard prevents it.
+	loose := DefaultConfig()
+	loose.MaxMergeRatio = 1 << 40
+	a := New(loose, NewMapVNStore())
+	streamRead(a, 0x100000, 4)
+	streamRead(a, 0x900000, 4)
+	mergedLoose := a.Stats().Merges
+
+	tight := DefaultConfig()
+	b := New(tight, NewMapVNStore())
+	streamRead(b, 0x100000, 4)
+	streamRead(b, 0x900000, 4)
+	if b.Stats().Merges >= mergedLoose && mergedLoose > 0 {
+		t.Error("ratio guard did not block the distant merge")
+	}
+	if mergedLoose == 0 {
+		t.Skip("loose config did not merge either (filter timing); guard untestable here")
+	}
+}

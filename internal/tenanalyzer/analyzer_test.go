@@ -1,0 +1,685 @@
+package tenanalyzer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestAnalyzer() (*Analyzer, *MapVNStore) {
+	store := NewMapVNStore()
+	a := New(DefaultConfig(), store)
+	return a, store
+}
+
+// streamRead issues n sequential line reads starting at base.
+func streamRead(a *Analyzer, base uint64, n int) (miss, boundary, hitIn int) {
+	for i := 0; i < n; i++ {
+		out, _ := a.Read(base + uint64(i*64))
+		switch out {
+		case Miss:
+			miss++
+		case HitBoundary:
+			boundary++
+		case HitIn:
+			hitIn++
+		}
+	}
+	return
+}
+
+// streamWrite issues n sequential line writes starting at base.
+func streamWrite(a *Analyzer, base uint64, n int) {
+	for i := 0; i < n; i++ {
+		a.Write(base + uint64(i*64))
+	}
+}
+
+func TestStreamingDetection(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	const lines = 100
+	miss, boundary, hitIn := streamRead(a, 0x10000, lines)
+	// Filter depth 4: 4 misses, then the created entry extends line by line.
+	if miss != 4 {
+		t.Errorf("first pass misses = %d, want 4", miss)
+	}
+	if boundary != lines-4 {
+		t.Errorf("first pass boundary hits = %d, want %d", boundary, lines-4)
+	}
+	if hitIn != 0 {
+		t.Errorf("first pass hit_in = %d, want 0", hitIn)
+	}
+
+	// Second pass: everything is covered.
+	miss, boundary, hitIn = streamRead(a, 0x10000, lines)
+	if hitIn != lines {
+		t.Errorf("second pass hit_in = %d, want %d (miss=%d boundary=%d)", hitIn, lines, miss, boundary)
+	}
+
+	e, ok := a.EntryAt(0x10000)
+	if !ok {
+		t.Fatal("no entry after detection")
+	}
+	if e.Lines() != lines {
+		t.Errorf("entry covers %d lines, want %d", e.Lines(), lines)
+	}
+}
+
+func TestReadReturnsCorrectVN(t *testing.T) {
+	a, store := newTestAnalyzer()
+	base := uint64(0x20000)
+	for i := 0; i < 20; i++ {
+		store.Set(base+uint64(i*64), 7)
+	}
+	streamRead(a, base, 20)
+	out, vn := a.Read(base + 5*64)
+	if out != HitIn || vn != 7 {
+		t.Errorf("read = (%v, %d), want (hit_in, 7)", out, vn)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundaryRejectsVNMismatch(t *testing.T) {
+	a, store := newTestAnalyzer()
+	base := uint64(0x30000)
+	// Lines 0..9 at VN 0, line 10 at VN 5: extension must stop at 10.
+	store.Set(base+10*64, 5)
+	streamRead(a, base, 11)
+	e, ok := a.EntryAt(base)
+	if !ok {
+		t.Fatal("no entry")
+	}
+	if e.Lines() != 10 {
+		t.Errorf("entry covers %d lines, want 10 (extension must reject mismatched VN)", e.Lines())
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteEpochIncrementsVN(t *testing.T) {
+	a, store := newTestAnalyzer()
+	base := uint64(0x40000)
+	const lines = 32
+	streamRead(a, base, lines) // detect
+
+	streamWrite(a, base, lines) // complete update epoch
+
+	e, ok := a.EntryAt(base)
+	if !ok {
+		t.Fatal("entry lost after write epoch")
+	}
+	if e.VN != 1 {
+		t.Errorf("entry VN = %d, want 1 after one epoch", e.VN)
+	}
+	if e.UF {
+		t.Error("UF still set after completed epoch")
+	}
+	// Off-chip store must agree for every line.
+	for i := 0; i < lines; i++ {
+		if got := store.Get(base + uint64(i*64)); got != 1 {
+			t.Fatalf("off-chip VN[%d] = %d, want 1", i, got)
+		}
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+
+	// Reads after the epoch return the new VN and still hit.
+	out, vn := a.Read(base)
+	if out != HitIn || vn != 1 {
+		t.Errorf("post-epoch read = (%v, %d), want (hit_in, 1)", out, vn)
+	}
+}
+
+func TestWriteUsesUpcomingVN(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	base := uint64(0x50000)
+	streamRead(a, base, 16)
+	out, vn := a.Write(base) // first line of the epoch
+	if out != HitIn {
+		t.Errorf("write outcome = %v, want hit_in", out)
+	}
+	if vn != 1 {
+		t.Errorf("write encrypt VN = %d, want 1 (entry VN + 1)", vn)
+	}
+}
+
+func TestMidEpochReadsSeeMixedVNs(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	base := uint64(0x60000)
+	const lines = 16
+	streamRead(a, base, lines)
+	// Write half the tensor.
+	streamWrite(a, base, lines/2)
+
+	// A rewritten line reads at VN+1, an untouched one at VN.
+	if _, vn := a.Read(base); vn != 1 {
+		t.Errorf("rewritten line VN = %d, want 1", vn)
+	}
+	if _, vn := a.Read(base + uint64((lines-1)*64)); vn != 0 {
+		t.Errorf("untouched line VN = %d, want 0", vn)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssert1DoubleWriteInvalidates(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	base := uint64(0x70000)
+	streamRead(a, base, 16)
+	a.Write(base + 64)
+	a.Write(base + 64) // same line twice within one epoch: Assert1
+	if _, ok := a.EntryAt(base); ok {
+		t.Error("entry survived an Assert1 violation")
+	}
+	if a.Stats().Invalidates != 1 {
+		t.Errorf("Invalidates = %d, want 1", a.Stats().Invalidates)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOutOfOrderEpochCompletes(t *testing.T) {
+	a, store := newTestAnalyzer()
+	base := uint64(0x80000)
+	const lines = 16
+	streamRead(a, base, lines)
+	// Writebacks arrive out of program order (parallel cores): last line
+	// first, then the rest. The epoch must stay open until every line has
+	// been rewritten, then complete.
+	a.Write(base + uint64((lines-1)*64))
+	e, ok := a.EntryAt(base)
+	if !ok {
+		t.Fatal("entry lost on out-of-order writeback")
+	}
+	if !e.UF || e.VN != 0 {
+		t.Errorf("epoch closed early: UF=%v VN=%d", e.UF, e.VN)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+	streamWrite(a, base, lines-1) // the stragglers
+	e, ok = a.EntryAt(base)
+	if !ok {
+		t.Fatal("entry lost after epoch")
+	}
+	if e.UF || e.VN != 1 {
+		t.Errorf("epoch did not complete: UF=%v VN=%d", e.UF, e.VN)
+	}
+	if got := store.Get(base + uint64((lines-1)*64)); got != 1 {
+		t.Errorf("off-chip VN = %d, want 1", got)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMixedFrequencyEntryInvalidates(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	base := uint64(0x90000)
+	const lines = 16
+	streamRead(a, base, lines)
+	// Half the entry updates every "iteration", the rest never: the second
+	// sweep's first overlapping write fires Assert1.
+	streamWrite(a, base, lines/2)
+	streamWrite(a, base, lines/2)
+	if _, ok := a.EntryAt(base); ok {
+		t.Error("mixed-frequency entry survived")
+	}
+	if a.Stats().InvalAssert1 == 0 {
+		t.Error("Assert1 not recorded")
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteMissUpdatesOffchip(t *testing.T) {
+	a, store := newTestAnalyzer()
+	out, vn := a.Write(0x123440)
+	if out != Miss {
+		t.Errorf("outcome = %v, want miss", out)
+	}
+	if vn != 1 || store.Get(0x123440) != 1 {
+		t.Error("off-chip VN not incremented on write miss")
+	}
+}
+
+func TestInterleavedTensorsDetectedSeparately(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	baseA, baseB := uint64(0x100000), uint64(0x200000)
+	// Interleave two streams; the 10-slot filter tracks both.
+	for i := 0; i < 50; i++ {
+		a.Read(baseA + uint64(i*64))
+		a.Read(baseB + uint64(i*64))
+	}
+	ea, okA := a.EntryAt(baseA)
+	eb, okB := a.EntryAt(baseB)
+	if !okA || !okB {
+		t.Fatal("interleaved streams not both detected")
+	}
+	if ea.Lines() != 50 || eb.Lines() != 50 {
+		t.Errorf("coverage = %d/%d lines, want 50/50", ea.Lines(), eb.Lines())
+	}
+}
+
+func TestAdjacent1DEntriesMerge(t *testing.T) {
+	a, store := newTestAnalyzer()
+	base := uint64(0x300000)
+	// Two chunks of one tensor detected separately (parallel cores): detect
+	// the high chunk first so boundary extension of the low chunk cannot
+	// absorb it, then complete a write epoch on each -> merge.
+	streamRead(a, base+32*64, 32)
+	streamRead(a, base, 32)
+	_ = store
+	streamWrite(a, base+32*64, 32)
+	streamWrite(a, base, 32)
+
+	e, ok := a.EntryAt(base)
+	if !ok {
+		t.Fatal("entry lost")
+	}
+	if e.Lines() != 64 {
+		t.Errorf("merged entry covers %d lines, want 64", e.Lines())
+	}
+	if a.Stats().Merges == 0 {
+		t.Error("no merge recorded")
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+// gemmTileRead simulates reading one d1 x d2 tile of a D1 x D2 fp32 matrix
+// (row-major), line-granular.
+func gemmTileRead(a *Analyzer, matrixBase uint64, D2, r0, c0, d1, d2 int) {
+	rowBytes := uint64(D2 * 4)
+	for r := 0; r < d1; r++ {
+		rowStart := matrixBase + uint64(r0+r)*rowBytes + uint64(c0*4)
+		for b := 0; b < d2*4; b += 64 {
+			a.Read(rowStart + uint64(b))
+		}
+	}
+}
+
+func TestGEMMTileDetectionAndMerge(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	// 256x256 fp32 matrix, 64x64 tiles (Section 6.2): each tile row is
+	// 64*4=256B = 4 lines; row stride 1024B.
+	const D = 256
+	base := uint64(0x1000000)
+
+	gemmTileRead(a, base, D, 0, 0, 64, 64)
+	e, ok := a.EntryAt(base)
+	if !ok {
+		t.Fatal("tile not detected")
+	}
+	if len(e.Dims) != 2 {
+		t.Fatalf("tile entry dims = %v, want 2D", e.Dims)
+	}
+	if e.Dims[0].Count != 4 || e.Dims[0].Stride != 64 {
+		t.Errorf("inner dim = %+v, want 4x64B", e.Dims[0])
+	}
+	if e.Dims[1].Stride != 1024 {
+		t.Errorf("row stride = %d, want 1024", e.Dims[1].Stride)
+	}
+	if e.Dims[1].Count < 32 {
+		t.Errorf("rows merged = %d, want most of 64", e.Dims[1].Count)
+	}
+
+	// Second pass over the same tile: hit rate should be near 1 (98.8% in
+	// the paper after one full GEMM).
+	a.ResetStats()
+	gemmTileRead(a, base, D, 0, 0, 64, 64)
+	if r := a.Stats().HitInRate(); r < 0.9 {
+		t.Errorf("tile re-read hit_in rate = %.3f, want > 0.9", r)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleavedTilesCoexist(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	const D = 256
+	base := uint64(0x2000000)
+	// Two horizontally adjacent tiles: their bounding boxes interleave but
+	// their lines are disjoint; both must be representable.
+	gemmTileRead(a, base, D, 0, 0, 16, 64)
+	gemmTileRead(a, base, D, 0, 64, 16, 64)
+
+	a.ResetStats()
+	gemmTileRead(a, base, D, 0, 0, 16, 64)
+	gemmTileRead(a, base, D, 0, 64, 16, 64)
+	if r := a.Stats().HitAllRate(); r < 0.9 {
+		t.Errorf("re-read of interleaved tiles hit_all = %.3f, want > 0.9", r)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvictionLRU(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Entries = 4
+	a := New(cfg, NewMapVNStore())
+	// Detect 5 tensors; the first (least recently used) must be evicted.
+	for i := 0; i < 5; i++ {
+		streamRead(a, uint64(0x100000*(i+1)), 8)
+	}
+	if a.LiveEntries() != 4 {
+		t.Errorf("live entries = %d, want 4", a.LiveEntries())
+	}
+	if _, ok := a.EntryAt(0x100000); ok {
+		t.Error("LRU entry not evicted")
+	}
+	if _, ok := a.EntryAt(0x500000); !ok {
+		t.Error("newest entry missing")
+	}
+	if a.Stats().Evictions == 0 {
+		t.Error("eviction not counted")
+	}
+}
+
+func TestInstallHint(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	base := uint64(0x900000)
+	if !a.InstallHint(base, 64*128, 64) {
+		t.Fatal("hint rejected")
+	}
+	a.ResetStats()
+	_, _, hitIn := streamRead(a, base, 128)
+	if hitIn != 128 {
+		t.Errorf("hit_in after hint = %d, want 128", hitIn)
+	}
+	if err := a.CheckInvariant(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstallHintRejectsMixedVN(t *testing.T) {
+	a, store := newTestAnalyzer()
+	base := uint64(0xa00000)
+	store.Set(base+64, 3)
+	if a.InstallHint(base, 64*8, 64) {
+		t.Error("hint with mixed VNs accepted")
+	}
+}
+
+func TestInstallHintRejectsOverlap(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	base := uint64(0xb00000)
+	streamRead(a, base, 16)
+	if a.InstallHint(base+4*64, 64*8, 64) {
+		t.Error("overlapping hint accepted")
+	}
+}
+
+func TestRegionMeta(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	base := uint64(0xc00000)
+	const lines = 64
+	streamRead(a, base, lines)
+	streamWrite(a, base, lines)
+
+	vn, _, ok := a.RegionMeta(base, lines*64)
+	if !ok {
+		t.Fatal("RegionMeta failed for fully covered region")
+	}
+	if vn != 1 {
+		t.Errorf("region VN = %d, want 1", vn)
+	}
+	// Region exceeding the entry must fail.
+	if _, _, ok := a.RegionMeta(base, (lines+8)*64); ok {
+		t.Error("RegionMeta accepted an uncovered region")
+	}
+	// Region mid-update must fail.
+	a.Write(base) // starts a new epoch
+	if _, _, ok := a.RegionMeta(base, lines*64); ok {
+		t.Error("RegionMeta accepted an entry mid-update")
+	}
+}
+
+func TestSetRegionMAC(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	base := uint64(0xd00000)
+	streamRead(a, base, 16)
+	if !a.SetRegionMAC(base, 0xbeef) {
+		t.Fatal("SetRegionMAC failed")
+	}
+	_, mac, ok := a.RegionMeta(base, 16*64)
+	if !ok || mac != 0xbeef {
+		t.Errorf("mac = %#x ok=%v, want 0xbeef", mac, ok)
+	}
+}
+
+func TestSaveRestore(t *testing.T) {
+	a, store := newTestAnalyzer()
+	base := uint64(0xe00000)
+	streamRead(a, base, 32)
+	snap := a.Save()
+
+	// Another enclave's context trashes the table.
+	streamRead(a, 0x5500000, 64)
+	a.Restore(snap)
+
+	a.ResetStats()
+	_, _, hitIn := streamRead(a, base, 32)
+	if hitIn != 32 {
+		t.Errorf("hit_in after restore = %d, want 32", hitIn)
+	}
+	if _, ok := a.EntryAt(0x5500000); ok {
+		t.Error("foreign entry survived restore")
+	}
+	_ = store
+}
+
+func TestSnapshotIsDeep(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	base := uint64(0xf00000)
+	streamRead(a, base, 16)
+	snap := a.Save()
+	// Mutate the live table after snapshotting.
+	streamWrite(a, base, 16)
+	if snap.Entries[0].VN != 0 {
+		t.Error("snapshot shares state with the live table")
+	}
+}
+
+func TestHitRateStats(t *testing.T) {
+	a, _ := newTestAnalyzer()
+	streamRead(a, 0x10000, 20)
+	s := a.Stats()
+	if s.Accesses() != 20 {
+		t.Errorf("accesses = %d, want 20", s.Accesses())
+	}
+	if s.HitAllRate() != float64(16)/20 {
+		t.Errorf("hit_all = %g", s.HitAllRate())
+	}
+	if got := s.HitInRate() + s.HitBoundaryRate() + float64(s.Miss)/float64(s.Accesses()); got < 0.999 || got > 1.001 {
+		t.Errorf("rates do not sum to 1: %g", got)
+	}
+	var empty Stats
+	if empty.HitAllRate() != 0 || empty.HitInRate() != 0 || empty.HitBoundaryRate() != 0 {
+		t.Error("empty stats rates should be 0")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Miss.String() != "miss" || HitIn.String() != "hit_in" || HitBoundary.String() != "hit_boundary" {
+		t.Error("outcome strings wrong")
+	}
+	if Outcome(9).String() == "" {
+		t.Error("unknown outcome should format")
+	}
+}
+
+func TestBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(Config{Entries: 0, FilterEntries: 1, FilterDepth: 2}, NewMapVNStore())
+}
+
+func TestValidDims(t *testing.T) {
+	cases := []struct {
+		dims []Dim
+		want bool
+	}{
+		{[]Dim{{4, 64}}, true},
+		{[]Dim{{4, 64}, {64, 1024}}, true},
+		{[]Dim{{4, 64}, {2, 256}, {64, 1024}}, true},
+		{[]Dim{{4, 64}, {2, 128}}, false},                     // reach 192 >= 128
+		{[]Dim{{4, 64}, {4, 64}}, false},                      // equal strides
+		{[]Dim{{4, 128}, {2, 64}}, false},                     // descending strides
+		{[]Dim{}, false},                                      // empty
+		{[]Dim{{0, 64}}, false},                               // zero count
+		{[]Dim{{4, 0}}, false},                                // zero stride
+		{[]Dim{{2, 64}, {2, 128}, {2, 256}, {2, 512}}, false}, // too deep
+	}
+	for i, tc := range cases {
+		if got := validDims(tc.dims); got != tc.want {
+			t.Errorf("case %d %v: validDims = %v, want %v", i, tc.dims, got, tc.want)
+		}
+	}
+}
+
+func TestEntryAddrOfInvertsContains(t *testing.T) {
+	e := Entry{
+		Base: 0x1000,
+		Dims: []Dim{{3, 64}, {2, 256}, {3, 2048}},
+	}
+	for idx := 0; idx < e.Lines(); idx++ {
+		addr := e.AddrOf(idx)
+		got, ok := e.Contains(addr)
+		if !ok || got != idx {
+			t.Fatalf("idx %d -> addr %#x -> (%d, %v)", idx, addr, got, ok)
+		}
+	}
+	// Uncovered addresses must not be contained: offset 192 falls in the
+	// gap between the first run {0,64,128} and the second {256,...}.
+	if _, ok := e.Contains(0x1000 + 3*64); ok {
+		t.Error("gap address claimed as covered")
+	}
+	if _, ok := e.Contains(0x1000 + 1); ok {
+		t.Error("misaligned address claimed as covered")
+	}
+}
+
+// Property: random interleavings of reads, complete write epochs, and
+// foreign writes never break the on-chip/off-chip VN invariant.
+func TestInvariantUnderRandomOpsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, store := newTestAnalyzer()
+		tensors := []struct {
+			base  uint64
+			lines int
+		}{
+			{0x10000, 24}, {0x40000, 16}, {0x80000, 32},
+		}
+		for step := 0; step < 40; step++ {
+			tn := tensors[rng.Intn(len(tensors))]
+			switch rng.Intn(4) {
+			case 0: // full read stream
+				streamRead(a, tn.base, tn.lines)
+			case 1: // full write epoch
+				streamWrite(a, tn.base, tn.lines)
+			case 2: // partial writes (may invalidate; store must stay right)
+				n := 1 + rng.Intn(tn.lines)
+				streamWrite(a, tn.base, n)
+			case 3: // random single accesses
+				addr := tn.base + uint64(rng.Intn(tn.lines)*64)
+				if rng.Intn(2) == 0 {
+					a.Read(addr)
+				} else {
+					a.Write(addr)
+				}
+			}
+			if err := a.CheckInvariant(); err != nil {
+				t.Logf("seed %d step %d: %v", seed, step, err)
+				return false
+			}
+		}
+		// Final: off-chip store readable for all lines (sanity).
+		for _, tn := range tensors {
+			for i := 0; i < tn.lines; i++ {
+				_ = store.Get(tn.base + uint64(i*64))
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reads never change off-chip VNs.
+func TestReadsDoNotMutateStoreProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		a, store := newTestAnalyzer()
+		for i := 0; i < 64; i++ {
+			store.Set(uint64(i*64), 5)
+		}
+		before := make(map[uint64]uint64)
+		for i := 0; i < 64; i++ {
+			before[uint64(i*64)] = store.Get(uint64(i * 64))
+		}
+		for _, x := range addrs {
+			a.Read(uint64(x) &^ 63)
+		}
+		for addr, vn := range before {
+			if store.Get(addr) != vn {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayVNStore(t *testing.T) {
+	s := NewArrayVNStore(0x1000, 64*10, 64)
+	s.Set(0x1000, 5)
+	s.Set(0x1240, 7)
+	if s.Get(0x1000) != 5 || s.Get(0x1240) != 7 {
+		t.Error("array store get/set broken")
+	}
+	if s.Get(0x100) != 0 {
+		t.Error("out-of-range get should be 0")
+	}
+	s.Set(0x100, 9) // dropped
+	if s.Get(0x100) != 0 {
+		t.Error("out-of-range set should be dropped")
+	}
+}
+
+func BenchmarkStreamingReads(b *testing.B) {
+	store := NewArrayVNStore(0, 64*1<<20, 64)
+	a := New(DefaultConfig(), store)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Read(uint64(i%(1<<20)) * 64)
+	}
+}
+
+func BenchmarkHitInReads(b *testing.B) {
+	store := NewArrayVNStore(0, 64*4096, 64)
+	a := New(DefaultConfig(), store)
+	for i := 0; i < 4096; i++ {
+		a.Read(uint64(i) * 64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Read(uint64(i%4096) * 64)
+	}
+}

@@ -1,0 +1,97 @@
+package tenanalyzer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// coverageCount walks all valid entries and counts how many cover each
+// line address — exactly one owner is allowed per covered line.
+func coverageCount(a *Analyzer) map[uint64]int {
+	counts := map[uint64]int{}
+	for i := range a.entries {
+		e := &a.entries[i]
+		if !e.valid {
+			continue
+		}
+		for idx := 0; idx < e.Lines(); idx++ {
+			counts[e.AddrOf(idx)]++
+		}
+	}
+	return counts
+}
+
+// Property: no line is ever covered by two entries, across random
+// combinations of streaming detection, tiled detection, hints, writes, and
+// merges. Double coverage would let two different VNs claim one line.
+func TestSingleOwnerProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, _ := newTestAnalyzer()
+		for step := 0; step < 30; step++ {
+			switch rng.Intn(5) {
+			case 0:
+				base := uint64(rng.Intn(64)) * 0x10000
+				streamRead(a, base, 8+rng.Intn(64))
+			case 1:
+				base := uint64(rng.Intn(64)) * 0x10000
+				streamWrite(a, base, 8+rng.Intn(32))
+			case 2:
+				base := uint64(rng.Intn(64)) * 0x10000
+				a.InstallHint(base, (1+rng.Intn(32))*64, 64)
+			case 3: // tiled reads
+				base := uint64(rng.Intn(16)) * 0x100000
+				gemmTileRead(a, base, 128, 0, 0, 8+rng.Intn(24), 32)
+			case 4: // single scattered accesses
+				addr := uint64(rng.Intn(1<<16)) * 64
+				if rng.Intn(2) == 0 {
+					a.Read(addr)
+				} else {
+					a.Write(addr)
+				}
+			}
+			for addr, n := range coverageCount(a) {
+				if n > 1 {
+					t.Logf("seed %d step %d: line %#x covered %d times", seed, step, addr, n)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merging preserves exact coverage — the union of covered lines
+// before a merge equals the coverage after it.
+func TestMergePreservesCoverageProperty(t *testing.T) {
+	f := func(nA, nB uint8, gap uint8) bool {
+		a, _ := newTestAnalyzer()
+		la := 8 + int(nA)%56
+		lb := 8 + int(nB)%56
+		base := uint64(0x10000)
+		// Detect two adjacent chunks (high first so extension cannot
+		// absorb), write epochs to trigger a merge.
+		streamRead(a, base+uint64(la*64), lb)
+		streamRead(a, base, la)
+		before := coverageCount(a)
+		streamWrite(a, base+uint64(la*64), lb)
+		streamWrite(a, base, la)
+		after := coverageCount(a)
+		if len(after) != len(before) {
+			return false
+		}
+		for addr := range before {
+			if after[addr] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

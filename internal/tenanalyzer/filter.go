@@ -1,0 +1,101 @@
+package tenanalyzer
+
+// filterSlot is one Tensor Filter entry: it collects Meta Table misses and
+// checks the tensor condition — same VN and a consistent stride between
+// addresses (Figure 10). When the collection limit is reached the slot is
+// promoted into a Meta Table entry.
+type filterSlot struct {
+	base     uint64
+	lastAddr uint64
+	stride   uint64 // 0 until the second address fixes it
+	count    int
+	vn       uint64
+	lastUse  uint64
+	valid    bool
+}
+
+// filter is the Tensor Filter: a small fully-associative array of slots
+// (10 entries x 4 addresses in the paper's configuration, Section 6.5).
+type filter struct {
+	slots     []filterSlot
+	depth     int
+	maxStride uint64
+}
+
+func newFilter(entries, depth int, maxStride uint64) *filter {
+	return &filter{
+		slots:     make([]filterSlot, entries),
+		depth:     depth,
+		maxStride: maxStride,
+	}
+}
+
+// observe feeds one missed (addr, vn) pair. If a slot completes the tensor
+// condition it is returned for promotion and cleared.
+func (f *filter) observe(addr, vn uint64, now uint64) (promoted *filterSlot) {
+	// Try to continue an existing pattern.
+	for i := range f.slots {
+		s := &f.slots[i]
+		if !s.valid || s.vn != vn {
+			continue
+		}
+		switch {
+		case s.stride != 0 && addr == s.lastAddr+s.stride:
+			s.lastAddr = addr
+			s.count++
+			s.lastUse = now
+			if s.count >= f.depth {
+				out := *s
+				s.valid = false
+				return &out
+			}
+			return nil
+		case s.stride == 0 && addr > s.base && addr-s.base <= f.maxStride:
+			s.stride = addr - s.base
+			s.lastAddr = addr
+			s.count = 2
+			s.lastUse = now
+			if s.count >= f.depth {
+				out := *s
+				s.valid = false
+				return &out
+			}
+			return nil
+		}
+	}
+
+	// Start a new pattern in a free or least-recently-used slot.
+	victim := 0
+	for i := range f.slots {
+		if !f.slots[i].valid {
+			victim = i
+			break
+		}
+		if f.slots[i].lastUse < f.slots[victim].lastUse {
+			victim = i
+		}
+	}
+	f.slots[victim] = filterSlot{
+		base: addr, lastAddr: addr, count: 1, vn: vn, lastUse: now, valid: true,
+	}
+	return nil
+}
+
+// invalidateRange drops slots whose pattern falls inside [base, end): once
+// a Meta Table entry covers the range, stale filter state must not promote
+// an overlapping duplicate.
+func (f *filter) invalidateRange(base, end uint64) {
+	for i := range f.slots {
+		s := &f.slots[i]
+		if s.valid && s.base >= base && s.base < end {
+			s.valid = false
+		}
+	}
+}
+
+// reset clears all slots.
+func (f *filter) reset() {
+	for i := range f.slots {
+		f.slots[i].valid = false
+	}
+}

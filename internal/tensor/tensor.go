@@ -1,0 +1,305 @@
+// Package tensor provides the tensor abstraction shared by the workload
+// generators, the TEE metadata structures, and the transfer protocol:
+// a contiguous region of typed elements with a shape, living at a virtual
+// address inside an enclave's protected region.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// DType is an element type.
+type DType int
+
+const (
+	// FP32 is a 4-byte IEEE-754 float (weights master copy, gradients,
+	// optimizer states on the CPU side of ZeRO-Offload).
+	FP32 DType = iota
+	// FP16 is a 2-byte half float (weights shipped back to the NPU).
+	FP16
+	// INT8 is a 1-byte integer (used by quantized workloads and tests).
+	INT8
+)
+
+func (d DType) String() string {
+	switch d {
+	case FP32:
+		return "fp32"
+	case FP16:
+		return "fp16"
+	case INT8:
+		return "int8"
+	default:
+		return fmt.Sprintf("DType(%d)", int(d))
+	}
+}
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case FP32:
+		return 4
+	case FP16:
+		return 2
+	case INT8:
+		return 1
+	default:
+		panic(fmt.Sprintf("tensor: unknown dtype %d", int(d)))
+	}
+}
+
+// Shape is a tensor shape (row-major, up to 3 dims in this system, matching
+// the Meta Table's 1D/2D/3D merge directions).
+type Shape []int
+
+// Elems returns the element count (1 for an empty shape).
+func (s Shape) Elems() int {
+	n := 1
+	for _, d := range s {
+		n *= d
+	}
+	return n
+}
+
+// Equal reports whether two shapes match exactly.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Shape) String() string {
+	out := "["
+	for i, d := range s {
+		if i > 0 {
+			out += "x"
+		}
+		out += fmt.Sprint(d)
+	}
+	return out + "]"
+}
+
+// Tensor is a named, typed, shaped region at a virtual address. Data is
+// optional: timing-only simulations leave it nil, functional security tests
+// allocate it.
+type Tensor struct {
+	Name  string
+	Addr  uint64 // virtual address of first byte within the enclave
+	Shape Shape
+	DType DType
+	Data  []byte // optional backing plaintext, len == Bytes()
+}
+
+// New creates a tensor descriptor without backing data.
+func New(name string, addr uint64, shape Shape, dt DType) *Tensor {
+	return &Tensor{Name: name, Addr: addr, Shape: shape, DType: dt}
+}
+
+// NewWithData creates a tensor with zeroed backing data.
+func NewWithData(name string, addr uint64, shape Shape, dt DType) *Tensor {
+	t := New(name, addr, shape, dt)
+	t.Data = make([]byte, t.Bytes())
+	return t
+}
+
+// Elems returns the number of elements.
+func (t *Tensor) Elems() int { return t.Shape.Elems() }
+
+// Bytes returns the byte footprint of the tensor.
+func (t *Tensor) Bytes() int { return t.Elems() * t.DType.Size() }
+
+// End returns one past the last byte address.
+func (t *Tensor) End() uint64 { return t.Addr + uint64(t.Bytes()) }
+
+// Contains reports whether addr falls inside the tensor.
+func (t *Tensor) Contains(addr uint64) bool { return addr >= t.Addr && addr < t.End() }
+
+// Lines returns the number of cachelines the tensor spans assuming the
+// tensor is line-aligned (the allocator in this system aligns all tensors).
+func (t *Tensor) Lines(lineBytes int) int {
+	return (t.Bytes() + lineBytes - 1) / lineBytes
+}
+
+func (t *Tensor) String() string {
+	return fmt.Sprintf("%s%s:%s@0x%x", t.Name, t.Shape, t.DType, t.Addr)
+}
+
+// --- fp32 element access ------------------------------------------------
+
+// Float32At reads element i of an FP32 tensor with backing data.
+func (t *Tensor) Float32At(i int) float32 {
+	if t.DType != FP32 {
+		panic("tensor: Float32At on non-fp32 tensor")
+	}
+	off := i * 4
+	bits := uint32(t.Data[off]) | uint32(t.Data[off+1])<<8 |
+		uint32(t.Data[off+2])<<16 | uint32(t.Data[off+3])<<24
+	return math.Float32frombits(bits)
+}
+
+// SetFloat32At writes element i of an FP32 tensor with backing data.
+func (t *Tensor) SetFloat32At(i int, v float32) {
+	if t.DType != FP32 {
+		panic("tensor: SetFloat32At on non-fp32 tensor")
+	}
+	bits := math.Float32bits(v)
+	off := i * 4
+	t.Data[off] = byte(bits)
+	t.Data[off+1] = byte(bits >> 8)
+	t.Data[off+2] = byte(bits >> 16)
+	t.Data[off+3] = byte(bits >> 24)
+}
+
+// Float32s decodes the whole FP32 tensor into a fresh slice.
+func (t *Tensor) Float32s() []float32 {
+	out := make([]float32, t.Elems())
+	for i := range out {
+		out[i] = t.Float32At(i)
+	}
+	return out
+}
+
+// SetFloat32s encodes vals into the tensor's backing data.
+func (t *Tensor) SetFloat32s(vals []float32) {
+	if len(vals) != t.Elems() {
+		panic(fmt.Sprintf("tensor: SetFloat32s length %d != elems %d", len(vals), t.Elems()))
+	}
+	for i, v := range vals {
+		t.SetFloat32At(i, v)
+	}
+}
+
+// --- fp16 conversion ----------------------------------------------------
+
+// F32ToF16 converts an IEEE-754 float32 to binary16 bits with
+// round-to-nearest-even, handling subnormals, infinities, and NaN.
+func F32ToF16(f float32) uint16 {
+	bits := math.Float32bits(f)
+	sign := uint16(bits>>16) & 0x8000
+	exp := int32(bits>>23) & 0xff
+	man := bits & 0x7fffff
+
+	switch {
+	case exp == 0xff: // Inf or NaN
+		if man != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	case exp > 142: // overflow to Inf (unbiased exp > 15)
+		return sign | 0x7c00
+	case exp >= 113: // normal half range
+		// re-bias: half exponent = exp - 127 + 15
+		hexp := uint16(exp-112) << 10
+		hman := uint16(man >> 13)
+		// round to nearest even on the 13 dropped bits
+		round := man & 0x1fff
+		if round > 0x1000 || (round == 0x1000 && hman&1 == 1) {
+			// may carry into the exponent; that is still correct encoding
+			return sign + (hexp | hman) + 1
+		}
+		return sign | hexp | hman
+	case exp >= 103: // subnormal half
+		shift := uint32(126 - exp) // 14..23
+		full := man | 0x800000
+		hman := uint16(full >> shift)
+		rem := full & ((1 << shift) - 1)
+		half := uint32(1) << (shift - 1)
+		if rem > half || (rem == half && hman&1 == 1) {
+			// carry into the exponent yields the minimum normal — still a
+			// correct encoding
+			return sign + hman + 1
+		}
+		return sign | hman
+	default: // underflow to zero
+		return sign
+	}
+}
+
+// F16ToF32 converts binary16 bits to float32 exactly.
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h&0x8000) << 16
+	exp := uint32(h>>10) & 0x1f
+	man := uint32(h & 0x3ff)
+
+	switch {
+	case exp == 0x1f: // Inf/NaN
+		return math.Float32frombits(sign | 0x7f800000 | man<<13)
+	case exp == 0: // zero or subnormal
+		if man == 0 {
+			return math.Float32frombits(sign)
+		}
+		// normalize subnormal
+		e := uint32(127 - 15 + 1)
+		for man&0x400 == 0 {
+			man <<= 1
+			e--
+		}
+		man &= 0x3ff
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp+112)<<23 | man<<13)
+	}
+}
+
+// Region is a contiguous address range [Base, Base+Bytes). It is the unit
+// handed to the transfer protocol and the Meta Table hint interface.
+type Region struct {
+	Base  uint64
+	Bytes int
+}
+
+// Contains reports whether addr is inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+uint64(r.Bytes)
+}
+
+// Overlaps reports whether two regions share any byte.
+func (r Region) Overlaps(o Region) bool {
+	return r.Base < o.Base+uint64(o.Bytes) && o.Base < r.Base+uint64(r.Bytes)
+}
+
+// Arena is a bump allocator for laying out tensors in an enclave's virtual
+// address space with cacheline alignment. It exists so that workloads,
+// the Meta Table, and the secure memory all agree on addresses.
+type Arena struct {
+	next  uint64
+	align uint64
+}
+
+// NewArena creates an arena starting at base, aligning to align bytes.
+func NewArena(base uint64, align int) *Arena {
+	if align <= 0 || align&(align-1) != 0 {
+		panic(fmt.Sprintf("tensor: arena alignment must be power of two, got %d", align))
+	}
+	a := &Arena{next: base, align: uint64(align)}
+	a.next = a.roundUp(a.next)
+	return a
+}
+
+func (a *Arena) roundUp(x uint64) uint64 {
+	return (x + a.align - 1) &^ (a.align - 1)
+}
+
+// Alloc reserves size bytes and returns the base address.
+func (a *Arena) Alloc(size int) uint64 {
+	addr := a.next
+	a.next = a.roundUp(a.next + uint64(size))
+	return addr
+}
+
+// AllocTensor creates a tensor descriptor placed in this arena.
+func (a *Arena) AllocTensor(name string, shape Shape, dt DType) *Tensor {
+	t := New(name, 0, shape, dt)
+	t.Addr = a.Alloc(t.Bytes())
+	return t
+}
+
+// Next reports the next free address (for footprint accounting).
+func (a *Arena) Next() uint64 { return a.next }

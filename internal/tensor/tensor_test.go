@@ -1,0 +1,271 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDTypeSize(t *testing.T) {
+	if FP32.Size() != 4 || FP16.Size() != 2 || INT8.Size() != 1 {
+		t.Error("dtype sizes wrong")
+	}
+	if FP32.String() != "fp32" || FP16.String() != "fp16" || INT8.String() != "int8" {
+		t.Error("dtype strings wrong")
+	}
+}
+
+func TestShape(t *testing.T) {
+	s := Shape{3, 4, 5}
+	if s.Elems() != 60 {
+		t.Errorf("Elems = %d, want 60", s.Elems())
+	}
+	if !s.Equal(Shape{3, 4, 5}) {
+		t.Error("Equal false negative")
+	}
+	if s.Equal(Shape{3, 4}) || s.Equal(Shape{3, 4, 6}) {
+		t.Error("Equal false positive")
+	}
+	if s.String() != "[3x4x5]" {
+		t.Errorf("String = %q", s.String())
+	}
+	if (Shape{}).Elems() != 1 {
+		t.Error("empty shape should have one element")
+	}
+}
+
+func TestTensorGeometry(t *testing.T) {
+	tr := New("w", 0x1000, Shape{128, 64}, FP32)
+	if tr.Elems() != 8192 {
+		t.Errorf("Elems = %d", tr.Elems())
+	}
+	if tr.Bytes() != 32768 {
+		t.Errorf("Bytes = %d", tr.Bytes())
+	}
+	if tr.End() != 0x1000+32768 {
+		t.Errorf("End = %#x", tr.End())
+	}
+	if !tr.Contains(0x1000) || !tr.Contains(tr.End()-1) || tr.Contains(tr.End()) || tr.Contains(0xfff) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+	if tr.Lines(64) != 512 {
+		t.Errorf("Lines = %d, want 512", tr.Lines(64))
+	}
+}
+
+func TestTensorLinesRoundsUp(t *testing.T) {
+	tr := New("t", 0, Shape{17}, FP32) // 68 bytes
+	if tr.Lines(64) != 2 {
+		t.Errorf("Lines = %d, want 2", tr.Lines(64))
+	}
+}
+
+func TestFloat32RoundTrip(t *testing.T) {
+	tr := NewWithData("x", 0, Shape{16}, FP32)
+	want := make([]float32, 16)
+	for i := range want {
+		want[i] = float32(i)*1.5 - 7
+	}
+	tr.SetFloat32s(want)
+	got := tr.Float32s()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("elem %d: got %g want %g", i, got[i], want[i])
+		}
+	}
+	tr.SetFloat32At(3, 42.5)
+	if tr.Float32At(3) != 42.5 {
+		t.Error("SetFloat32At/Float32At broken")
+	}
+}
+
+func TestFloat32PanicsOnWrongDType(t *testing.T) {
+	tr := NewWithData("h", 0, Shape{4}, FP16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for fp32 access on fp16 tensor")
+		}
+	}()
+	tr.Float32At(0)
+}
+
+func TestF16RoundTripExactValues(t *testing.T) {
+	// Values exactly representable in fp16 must round-trip bit-perfectly.
+	cases := []float32{0, 1, -1, 0.5, 2, 1024, 65504 /*max fp16*/, -65504, 0.25, 6.1035156e-05 /*min normal*/}
+	for _, v := range cases {
+		got := F16ToF32(F32ToF16(v))
+		if got != v {
+			t.Errorf("fp16 roundtrip %g -> %g", v, got)
+		}
+	}
+}
+
+func TestF16Specials(t *testing.T) {
+	inf := float32(math.Inf(1))
+	if F16ToF32(F32ToF16(inf)) != inf {
+		t.Error("+Inf lost")
+	}
+	ninf := float32(math.Inf(-1))
+	if F16ToF32(F32ToF16(ninf)) != ninf {
+		t.Error("-Inf lost")
+	}
+	if !math.IsNaN(float64(F16ToF32(F32ToF16(float32(math.NaN()))))) {
+		t.Error("NaN lost")
+	}
+	// overflow saturates to Inf
+	if F16ToF32(F32ToF16(1e6)) != inf {
+		t.Error("overflow should go to +Inf")
+	}
+	// tiny values underflow to zero with sign preserved
+	if F32ToF16(1e-10) != 0 {
+		t.Error("underflow should be +0")
+	}
+	if F32ToF16(-1e-10) != 0x8000 {
+		t.Error("negative underflow should be -0")
+	}
+}
+
+func TestF16Subnormals(t *testing.T) {
+	// Smallest positive fp16 subnormal is 2^-24.
+	v := float32(math.Ldexp(1, -24))
+	h := F32ToF16(v)
+	if h != 1 {
+		t.Errorf("2^-24 encodes to %#x, want 0x0001", h)
+	}
+	if F16ToF32(h) != v {
+		t.Errorf("subnormal decode: %g", F16ToF32(h))
+	}
+}
+
+// Property: fp32->fp16->fp32 relative error is bounded by 2^-11 for values
+// in the fp16 normal range.
+func TestF16RelativeErrorProperty(t *testing.T) {
+	f := func(seed uint32) bool {
+		// Map seed to a value in ~[1e-3, 6e4)
+		v := float32(1e-3 + float64(seed%1000000)/1000000.0*6e4)
+		back := F16ToF32(F32ToF16(v))
+		rel := math.Abs(float64(back-v)) / math.Abs(float64(v))
+		return rel <= 1.0/2048.0+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: rounding is to nearest — the fp16 result is one of the two
+// neighbouring representables, whichever is closer (ties allowed either way
+// here; exact tie-to-even is covered by the dedicated test).
+func TestF16MonotoneProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		// Interpret as positive normal halfs to get ordered pairs.
+		x := F16ToF32(a & 0x7bff)
+		y := F16ToF32(b & 0x7bff)
+		if x > y {
+			x, y = y, x
+		}
+		return F32ToF16(x) <= F32ToF16(y)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestF16TieToEven(t *testing.T) {
+	// 1 + 2^-11 is exactly halfway between 1.0 and the next fp16 (1+2^-10):
+	// must round to even mantissa (1.0).
+	v := float32(1.0 + math.Ldexp(1, -11))
+	if got := F32ToF16(v); got != 0x3c00 {
+		t.Errorf("tie rounding: got %#x, want 0x3c00 (1.0)", got)
+	}
+	// 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds up to even.
+	v = float32(1.0 + 3*math.Ldexp(1, -11))
+	if got := F32ToF16(v); got != 0x3c02 {
+		t.Errorf("tie rounding: got %#x, want 0x3c02", got)
+	}
+}
+
+func TestRegion(t *testing.T) {
+	r := Region{Base: 100, Bytes: 50}
+	if !r.Contains(100) || !r.Contains(149) || r.Contains(150) || r.Contains(99) {
+		t.Error("Region.Contains broken")
+	}
+	if !r.Overlaps(Region{Base: 140, Bytes: 20}) {
+		t.Error("overlapping regions not detected")
+	}
+	if r.Overlaps(Region{Base: 150, Bytes: 10}) {
+		t.Error("adjacent regions must not overlap")
+	}
+	if !r.Overlaps(Region{Base: 90, Bytes: 11}) {
+		t.Error("left overlap not detected")
+	}
+}
+
+func TestArenaAlignment(t *testing.T) {
+	a := NewArena(10, 64)
+	p1 := a.Alloc(1)
+	p2 := a.Alloc(65)
+	p3 := a.Alloc(64)
+	if p1%64 != 0 || p2%64 != 0 || p3%64 != 0 {
+		t.Errorf("allocations not aligned: %d %d %d", p1, p2, p3)
+	}
+	if p1 != 64 {
+		t.Errorf("first alloc = %d, want 64 (rounded from 10)", p1)
+	}
+	if p2 != 128 {
+		t.Errorf("second alloc = %d, want 128", p2)
+	}
+	if p3 != 256 {
+		t.Errorf("third alloc = %d, want 256 (65 rounds to 128)", p3)
+	}
+}
+
+func TestArenaTensors(t *testing.T) {
+	a := NewArena(0, 64)
+	t1 := a.AllocTensor("a", Shape{10}, FP32) // 40 bytes
+	t2 := a.AllocTensor("b", Shape{10}, FP32)
+	if t1.Addr == t2.Addr {
+		t.Error("tensors must not alias")
+	}
+	if t2.Addr != 64 {
+		t.Errorf("second tensor at %d, want 64", t2.Addr)
+	}
+	if Region.Overlaps(Region{Base: t1.Addr, Bytes: t1.Bytes()}, Region{Base: t2.Addr, Bytes: t2.Bytes()}) {
+		t.Error("arena produced overlapping tensors")
+	}
+}
+
+func TestArenaBadAlignPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-power-of-two alignment")
+		}
+	}()
+	NewArena(0, 48)
+}
+
+// Property: arena allocations never overlap and are always aligned.
+func TestArenaProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewArena(0, 64)
+		type span struct{ base, end uint64 }
+		var spans []span
+		for _, s := range sizes {
+			sz := int(s%4096) + 1
+			base := a.Alloc(sz)
+			if base%64 != 0 {
+				return false
+			}
+			end := base + uint64(sz)
+			for _, sp := range spans {
+				if base < sp.end && sp.base < end {
+					return false
+				}
+			}
+			spans = append(spans, span{base, end})
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

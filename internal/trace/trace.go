@@ -1,0 +1,308 @@
+// Package trace generates the virtual-address access streams the CPU
+// simulator replays: the element-wise Adam optimizer sweep of ZeRO-Offload
+// (Figure 4's tensor-shaped streaming) and tiled-GEMM access patterns
+// (Section 6.2). Streams are per-core, matching the paper's observation
+// that core VA streams stay regular even when caches shuffle the physical
+// access order (Figure 9).
+package trace
+
+import (
+	"tensortee/internal/sim"
+	"tensortee/internal/tensor"
+)
+
+// Access is one line-granular memory operation issued by a core.
+type Access struct {
+	Addr  uint64
+	Write bool
+	// Compute is the compute gap the core spends before issuing this
+	// access (the arithmetic between memory operations).
+	Compute sim.Dur
+}
+
+// Stream yields a core's access sequence.
+type Stream interface {
+	// Next returns the next access; ok is false when the stream is done.
+	Next() (a Access, ok bool)
+}
+
+// SliceStream replays a fixed slice (tests).
+type SliceStream struct {
+	Accesses []Access
+	pos      int
+}
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Access, bool) {
+	if s.pos >= len(s.Accesses) {
+		return Access{}, false
+	}
+	a := s.Accesses[s.pos]
+	s.pos++
+	return a, true
+}
+
+// AdamTensors is the per-parameter-group tensor quad of the Adam step:
+// fp32 weights, gradients, and the two moment tensors, all element-aligned
+// (ZeRO-Offload keeps them on the CPU, Figure 1).
+type AdamTensors struct {
+	W, G, M, V *tensor.Tensor
+}
+
+// NewAdamTensors lays out a quad of Elems fp32 tensors in the arena.
+func NewAdamTensors(a *tensor.Arena, name string, elems int) AdamTensors {
+	sh := tensor.Shape{elems}
+	return AdamTensors{
+		W: a.AllocTensor(name+".w", sh, tensor.FP32),
+		G: a.AllocTensor(name+".g", sh, tensor.FP32),
+		M: a.AllocTensor(name+".m", sh, tensor.FP32),
+		V: a.AllocTensor(name+".v", sh, tensor.FP32),
+	}
+}
+
+// adamStream walks one core's chunk of an Adam sweep in prefetch-sized
+// bursts: per burst window it reads BurstLines lines of w, then g, m, v,
+// then stores back w, m, v. The per-stream burst grouping is what the L2
+// streaming prefetchers of a real core produce at the memory controller,
+// and it is what lets the 10-slot Tensor Filter observe four consecutive
+// same-stride misses (Figure 10) even with 7 streams x 8 cores in flight.
+type adamStream struct {
+	quads      []AdamTensors
+	lineBytes  int
+	burst      int
+	computePer sim.Dur // compute gap charged once per line group
+
+	quad  int
+	segs  []lineRange // this core's segments in the current quad
+	seg   int
+	line  int // start of the current burst window
+	phase int // 0..6: read w,g,m,v then write w,m,v
+	idx   int // line within the burst window
+
+	segsOf func(q AdamTensors) []lineRange
+}
+
+// lineRange is a half-open [Start, End) span of line indices.
+type lineRange struct{ Start, End int }
+
+// AdamConfig shapes the per-core Adam streams.
+type AdamConfig struct {
+	LineBytes int
+	// ComputePerLine is the arithmetic time per 64 B line group of the
+	// fused Adam update (vectorized: ~tens of cycles).
+	ComputePerLine sim.Dur
+	// Cores is the thread count; each tensor is split into Cores chunks.
+	Cores int
+	// ChunkShift rotates the chunk boundaries by the given number of lines
+	// (with wraparound, so every line is still covered exactly once),
+	// modeling dynamic work scheduling across iterations — the moving
+	// seams are what the Meta Table re-detects (Figure 18).
+	ChunkShift int
+	// BurstLines is the per-stream prefetch grouping (default 8 lines).
+	BurstLines int
+}
+
+// AdamStreams builds one stream per core over the given parameter groups.
+func AdamStreams(quads []AdamTensors, cfg AdamConfig) []Stream {
+	if cfg.LineBytes <= 0 {
+		cfg.LineBytes = 64
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.BurstLines <= 0 {
+		cfg.BurstLines = 8
+	}
+	streams := make([]Stream, cfg.Cores)
+	for c := 0; c < cfg.Cores; c++ {
+		c := c
+		streams[c] = &adamStream{
+			quads:      quads,
+			lineBytes:  cfg.LineBytes,
+			burst:      cfg.BurstLines,
+			computePer: cfg.ComputePerLine,
+			segsOf: func(q AdamTensors) []lineRange {
+				lines := q.W.Lines(cfg.LineBytes)
+				per := (lines + cfg.Cores - 1) / cfg.Cores
+				shift := 0
+				if lines > 0 {
+					shift = cfg.ChunkShift % lines
+				}
+				start := c*per + shift
+				end := start + per
+				if end > start+lines {
+					end = start + lines
+				}
+				// Rotate into [0, lines), splitting at the wrap point. The
+				// wrapped head segment is processed first so each core's
+				// stream stays ascending (the LLC then emits writebacks in
+				// roughly ascending order, which is what lets epochs close
+				// on the tensor's true last line).
+				var segs []lineRange
+				if start >= lines {
+					segs = append(segs, lineRange{start - lines, min(end-lines, lines)})
+				} else if end <= lines {
+					segs = append(segs, lineRange{start, end})
+				} else {
+					segs = append(segs, lineRange{0, end - lines}, lineRange{start, lines})
+				}
+				out := segs[:0]
+				for _, s := range segs {
+					if s.Start < s.End {
+						out = append(out, s)
+					}
+				}
+				return out
+			},
+		}
+	}
+	for _, s := range streams {
+		s.(*adamStream).reset()
+	}
+	return streams
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (s *adamStream) reset() {
+	s.quad = 0
+	s.phase = 0
+	s.idx = 0
+	s.advanceQuad()
+}
+
+func (s *adamStream) advanceQuad() {
+	for s.quad < len(s.quads) {
+		segs := s.segsOf(s.quads[s.quad])
+		if len(segs) > 0 {
+			s.segs = segs
+			s.seg = 0
+			s.line = segs[0].Start
+			return
+		}
+		s.quad++
+	}
+}
+
+// advanceSeg moves to the next segment or quad after the current segment
+// is exhausted.
+func (s *adamStream) advanceSeg() {
+	s.seg++
+	if s.seg < len(s.segs) {
+		s.line = s.segs[s.seg].Start
+		return
+	}
+	s.quad++
+	s.advanceQuad()
+}
+
+// burstLen returns the burst window size clipped to the segment end.
+func (s *adamStream) burstLen() int {
+	n := s.segs[s.seg].End - s.line
+	if n > s.burst {
+		n = s.burst
+	}
+	return n
+}
+
+// Next implements Stream: per burst window it emits BurstLines reads of w,
+// then g, m, v, then the stores of w, m, v, then advances the window.
+func (s *adamStream) Next() (Access, bool) {
+	if s.quad >= len(s.quads) {
+		return Access{}, false
+	}
+	q := s.quads[s.quad]
+	bl := s.burstLen()
+	off := uint64((s.line + s.idx) * s.lineBytes)
+	var a Access
+	switch s.phase {
+	case 0:
+		a = Access{Addr: q.W.Addr + off, Compute: s.computePer}
+	case 1:
+		a = Access{Addr: q.G.Addr + off}
+	case 2:
+		a = Access{Addr: q.M.Addr + off}
+	case 3:
+		a = Access{Addr: q.V.Addr + off}
+	case 4:
+		a = Access{Addr: q.W.Addr + off, Write: true}
+	case 5:
+		a = Access{Addr: q.M.Addr + off, Write: true}
+	case 6:
+		a = Access{Addr: q.V.Addr + off, Write: true}
+	}
+	s.idx++
+	if s.idx >= bl {
+		s.idx = 0
+		s.phase++
+		if s.phase == 7 {
+			s.phase = 0
+			s.line += bl
+			if s.line >= s.segs[s.seg].End {
+				s.advanceSeg()
+			}
+		}
+	}
+	return a, true
+}
+
+// GEMMConfig describes a tiled 2D matrix-multiply read pattern over one
+// operand matrix (Section 6.2: 256x256 matrix, 64x64 tiles).
+type GEMMConfig struct {
+	Base      uint64 // matrix base address
+	Rows      int    // D1
+	Cols      int    // D2 (row-major fp32)
+	TileRows  int    // d1
+	TileCols  int    // d2
+	LineBytes int
+	// ComputePerLine is the MAC work overlapping each fetched line.
+	ComputePerLine sim.Dur
+	// Repeats re-walks the whole matrix (the k-loop of GEMM revisits
+	// tiles; detection completes within the first walk).
+	Repeats int
+}
+
+// GEMMStream yields the tile-ordered traversal of the matrix: tiles
+// left-to-right, top-to-bottom; within a tile, row-major lines.
+func GEMMStream(cfg GEMMConfig) Stream {
+	if cfg.LineBytes <= 0 {
+		cfg.LineBytes = 64
+	}
+	if cfg.Repeats <= 0 {
+		cfg.Repeats = 1
+	}
+	var accs []Access
+	rowBytes := uint64(cfg.Cols * 4)
+	for rep := 0; rep < cfg.Repeats; rep++ {
+		for tr := 0; tr < cfg.Rows; tr += cfg.TileRows {
+			for tc := 0; tc < cfg.Cols; tc += cfg.TileCols {
+				for r := 0; r < cfg.TileRows; r++ {
+					rowStart := cfg.Base + uint64(tr+r)*rowBytes + uint64(tc*4)
+					for b := 0; b < cfg.TileCols*4; b += cfg.LineBytes {
+						accs = append(accs, Access{
+							Addr:    rowStart + uint64(b),
+							Compute: cfg.ComputePerLine,
+						})
+					}
+				}
+			}
+		}
+	}
+	return &SliceStream{Accesses: accs}
+}
+
+// CountStream counts the accesses a stream yields (draining it).
+func CountStream(s Stream) int {
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			return n
+		}
+		n++
+	}
+}

@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"testing"
+
+	"tensortee/internal/tensor"
+)
+
+func TestSliceStream(t *testing.T) {
+	s := &SliceStream{Accesses: []Access{{Addr: 1}, {Addr: 2, Write: true}}}
+	a, ok := s.Next()
+	if !ok || a.Addr != 1 || a.Write {
+		t.Errorf("first = %+v ok=%v", a, ok)
+	}
+	a, ok = s.Next()
+	if !ok || a.Addr != 2 || !a.Write {
+		t.Errorf("second = %+v", a)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("stream did not terminate")
+	}
+}
+
+func TestNewAdamTensorsLayout(t *testing.T) {
+	arena := tensor.NewArena(0, 64)
+	q := NewAdamTensors(arena, "layer0", 1024)
+	for _, tt := range []*tensor.Tensor{q.W, q.G, q.M, q.V} {
+		if tt.Bytes() != 4096 {
+			t.Errorf("%s bytes = %d, want 4096", tt.Name, tt.Bytes())
+		}
+		if tt.Addr%64 != 0 {
+			t.Errorf("%s not line aligned", tt.Name)
+		}
+	}
+	// No overlaps.
+	all := []*tensor.Tensor{q.W, q.G, q.M, q.V}
+	for i := range all {
+		for j := i + 1; j < len(all); j++ {
+			ri := tensor.Region{Base: all[i].Addr, Bytes: all[i].Bytes()}
+			rj := tensor.Region{Base: all[j].Addr, Bytes: all[j].Bytes()}
+			if ri.Overlaps(rj) {
+				t.Errorf("%s overlaps %s", all[i].Name, all[j].Name)
+			}
+		}
+	}
+}
+
+// drain collects all accesses of a stream.
+func drain(s Stream) []Access {
+	var out []Access
+	for {
+		a, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
+func TestAdamStreamCoversEverythingOnce(t *testing.T) {
+	arena := tensor.NewArena(0, 64)
+	quads := []AdamTensors{NewAdamTensors(arena, "p", 256)} // 16 lines/tensor
+	streams := AdamStreams(quads, AdamConfig{Cores: 2, BurstLines: 4})
+
+	readCount := map[uint64]int{}
+	writeCount := map[uint64]int{}
+	total := 0
+	for _, s := range streams {
+		for _, a := range drain(s) {
+			total++
+			if a.Write {
+				writeCount[a.Addr]++
+			} else {
+				readCount[a.Addr]++
+			}
+		}
+	}
+	// 16 lines x (4 reads + 3 writes) = 112 accesses.
+	if total != 112 {
+		t.Fatalf("total accesses = %d, want 112", total)
+	}
+	q := quads[0]
+	for i := 0; i < 16; i++ {
+		off := uint64(i * 64)
+		for _, base := range []uint64{q.W.Addr, q.G.Addr, q.M.Addr, q.V.Addr} {
+			if readCount[base+off] != 1 {
+				t.Errorf("line %#x read %d times, want 1", base+off, readCount[base+off])
+			}
+		}
+		for _, base := range []uint64{q.W.Addr, q.M.Addr, q.V.Addr} {
+			if writeCount[base+off] != 1 {
+				t.Errorf("line %#x written %d times, want 1", base+off, writeCount[base+off])
+			}
+		}
+		if writeCount[q.G.Addr+off] != 0 {
+			t.Error("gradient tensor must not be written by Adam")
+		}
+	}
+}
+
+func TestAdamStreamBurstGrouping(t *testing.T) {
+	arena := tensor.NewArena(0, 64)
+	quads := []AdamTensors{NewAdamTensors(arena, "p", 16*8)} // 8 lines
+	streams := AdamStreams(quads, AdamConfig{Cores: 1, BurstLines: 4})
+	accs := drain(streams[0])
+	// First burst: 4 reads of w at consecutive lines.
+	q := quads[0]
+	for i := 0; i < 4; i++ {
+		if accs[i].Addr != q.W.Addr+uint64(i*64) || accs[i].Write {
+			t.Fatalf("access %d = %+v, want w read line %d", i, accs[i], i)
+		}
+	}
+	// Next: 4 reads of g.
+	for i := 0; i < 4; i++ {
+		if accs[4+i].Addr != q.G.Addr+uint64(i*64) {
+			t.Fatalf("access %d = %+v, want g read", 4+i, accs[4+i])
+		}
+	}
+	// Burst 1 writes arrive before burst 2 reads.
+	if !accs[16].Write || accs[16].Addr != q.W.Addr {
+		t.Errorf("access 16 = %+v, want w write line 0", accs[16])
+	}
+	if accs[28].Write || accs[28].Addr != q.W.Addr+4*64 {
+		t.Errorf("access 28 = %+v, want w read line 4", accs[28])
+	}
+}
+
+func TestAdamStreamChunking(t *testing.T) {
+	arena := tensor.NewArena(0, 64)
+	quads := []AdamTensors{NewAdamTensors(arena, "p", 32*16)} // 32 lines
+	streams := AdamStreams(quads, AdamConfig{Cores: 4})
+	q := quads[0]
+	for c, s := range streams {
+		accs := drain(s)
+		if len(accs) != 8*7 {
+			t.Fatalf("core %d accesses = %d, want 56", c, len(accs))
+		}
+		wantFirst := q.W.Addr + uint64(c*8*64)
+		if accs[0].Addr != wantFirst {
+			t.Errorf("core %d first access %#x, want %#x", c, accs[0].Addr, wantFirst)
+		}
+	}
+}
+
+func TestAdamStreamChunkShiftRotates(t *testing.T) {
+	arena := tensor.NewArena(0, 64)
+	quads := []AdamTensors{NewAdamTensors(arena, "p", 32*16)} // 32 lines
+	q := quads[0]
+
+	// With a shift every line must still be read exactly once in total,
+	// and the chunk boundary must have moved.
+	countReads := func(shift int) map[uint64]int {
+		counts := map[uint64]int{}
+		for _, s := range AdamStreams(quads, AdamConfig{Cores: 2, ChunkShift: shift}) {
+			for _, a := range drain(s) {
+				if !a.Write && a.Addr >= q.W.Addr && a.Addr < q.W.End() {
+					counts[a.Addr]++
+				}
+			}
+		}
+		return counts
+	}
+	for _, shift := range []int{0, 3, 16, 31} {
+		counts := countReads(shift)
+		for i := 0; i < 32; i++ {
+			if counts[q.W.Addr+uint64(i*64)] != 1 {
+				t.Fatalf("shift %d: line %d read %d times, want 1", shift, i, counts[q.W.Addr+uint64(i*64)])
+			}
+		}
+	}
+	// Core 0's first line moves with the shift.
+	s0 := AdamStreams(quads, AdamConfig{Cores: 2, ChunkShift: 0})
+	s3 := AdamStreams(quads, AdamConfig{Cores: 2, ChunkShift: 3})
+	a0 := drain(s0[0])
+	a3 := drain(s3[0])
+	if a0[0].Addr == a3[0].Addr {
+		t.Error("shift did not move chunk boundaries")
+	}
+}
+
+func TestAdamStreamComputeOnGroupLeader(t *testing.T) {
+	arena := tensor.NewArena(0, 64)
+	quads := []AdamTensors{NewAdamTensors(arena, "p", 64)}
+	streams := AdamStreams(quads, AdamConfig{Cores: 1, ComputePerLine: 100, BurstLines: 1})
+	accs := drain(streams[0])
+	if accs[0].Compute != 100 {
+		t.Error("first access of a group must carry the compute gap")
+	}
+	if accs[1].Compute != 0 {
+		t.Error("subsequent accesses of a group must not re-charge compute")
+	}
+}
+
+func TestGEMMStream(t *testing.T) {
+	s := GEMMStream(GEMMConfig{
+		Base: 0x1000, Rows: 8, Cols: 32, TileRows: 4, TileCols: 16,
+	})
+	accs := drain(s)
+	// 8x32 fp32 matrix = 1024B... accesses: per tile row 16*4/64 = 1 line;
+	// 4 rows per tile; tiles: 2 cols x 2 rows = 4 tiles -> 16 accesses.
+	if len(accs) != 16 {
+		t.Fatalf("accesses = %d, want 16", len(accs))
+	}
+	// First tile, first row at base.
+	if accs[0].Addr != 0x1000 {
+		t.Errorf("first access %#x", accs[0].Addr)
+	}
+	// Second row of first tile at base + rowBytes (128).
+	if accs[1].Addr != 0x1000+128 {
+		t.Errorf("second access %#x, want %#x", accs[1].Addr, 0x1000+128)
+	}
+	// Second tile starts at column 16 -> base + 64.
+	if accs[4].Addr != 0x1000+64 {
+		t.Errorf("second tile first access %#x, want %#x", accs[4].Addr, 0x1000+64)
+	}
+}
+
+func TestGEMMStreamRepeats(t *testing.T) {
+	one := CountStream(GEMMStream(GEMMConfig{Base: 0, Rows: 8, Cols: 32, TileRows: 4, TileCols: 16}))
+	three := CountStream(GEMMStream(GEMMConfig{Base: 0, Rows: 8, Cols: 32, TileRows: 4, TileCols: 16, Repeats: 3}))
+	if three != 3*one {
+		t.Errorf("repeats = %d, want %d", three, 3*one)
+	}
+}

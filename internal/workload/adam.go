@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"tensortee/internal/tensor"
+)
+
+// AdamParams are the optimizer hyper-parameters (DeepSpeed defaults).
+type AdamParams struct {
+	LR, Beta1, Beta2, Eps float64
+	Step                  int // 1-based timestep for bias correction
+}
+
+// DefaultAdam returns the usual configuration.
+func DefaultAdam() AdamParams {
+	return AdamParams{LR: 1e-3, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, Step: 1}
+}
+
+// AdamStep applies one fused Adam update in place over fp32 tensors with
+// backing data: m and v are updated from g, then w. This is the functional
+// counterpart of the sweep the CPU simulator times; the end-to-end security
+// tests run it inside the protected region.
+func AdamStep(w, g, m, v *tensor.Tensor, p AdamParams) error {
+	n := w.Elems()
+	if g.Elems() != n || m.Elems() != n || v.Elems() != n {
+		return fmt.Errorf("workload: adam tensor size mismatch: w=%d g=%d m=%d v=%d",
+			n, g.Elems(), m.Elems(), v.Elems())
+	}
+	for _, t := range []*tensor.Tensor{w, g, m, v} {
+		if t.DType != tensor.FP32 || t.Data == nil {
+			return fmt.Errorf("workload: adam needs fp32 tensors with data, got %v", t)
+		}
+	}
+	bc1 := 1 - math.Pow(p.Beta1, float64(p.Step))
+	bc2 := 1 - math.Pow(p.Beta2, float64(p.Step))
+	for i := 0; i < n; i++ {
+		gi := float64(g.Float32At(i))
+		mi := p.Beta1*float64(m.Float32At(i)) + (1-p.Beta1)*gi
+		vi := p.Beta2*float64(v.Float32At(i)) + (1-p.Beta2)*gi*gi
+		m.SetFloat32At(i, float32(mi))
+		v.SetFloat32At(i, float32(vi))
+		mh := mi / bc1
+		vh := vi / bc2
+		wi := float64(w.Float32At(i)) - p.LR*mh/(math.Sqrt(vh)+p.Eps)
+		w.SetFloat32At(i, float32(wi))
+	}
+	return nil
+}
+
+// HalfWeights converts an fp32 weight tensor to the fp16 image shipped back
+// to the NPU (the CommW payload of Figure 1).
+func HalfWeights(w *tensor.Tensor) []uint16 {
+	out := make([]uint16, w.Elems())
+	for i := range out {
+		out[i] = tensor.F32ToF16(w.Float32At(i))
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+// Package workload: see models.go for the Table-2 zoo and GEMM
+// enumeration, adam.go for the functional fused Adam optimizer.
+//
+// Numbers worth knowing when extending the zoo:
+//
+//   - Params() derives the count from architecture hyper-parameters
+//     (per-layer QKV + attention-out + two FFN matrices with biases, two
+//     LayerNorms, tied token embedding, final LayerNorm). Derived counts
+//     land within a few percent of the published labels; divergences are
+//     recorded in EXPERIMENTS.md.
+//   - ZeRO-Offload communication volumes follow Figure 1: gradients move
+//     NPU->CPU in fp32 (4 bytes/param), updated weights return in fp16
+//     (2 bytes/param).
+//   - The CPU optimizer sweep touches 28 bytes of DRAM per element:
+//     four fp32 reads (w, g, m, v) and three writebacks (w, m, v).
+package workload

@@ -1,0 +1,240 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"tensortee/internal/tensor"
+)
+
+func TestZooMatchesTable2(t *testing.T) {
+	ms := Models()
+	if len(ms) != 12 {
+		t.Fatalf("zoo has %d models, want 12 (Table 2)", len(ms))
+	}
+	wantBatch := map[string]int{
+		"GPT": 60, "GPT2-M": 22, "Roberta-L": 22, "BLOOM": 21,
+		"GPT2-L": 11, "BLOOM-800M": 17, "OPT-1.3B": 10, "GPT2-XL": 6,
+		"OPT-2.7B": 6, "XGLM-4.5B": 3, "LLAMA2-7B": 2, "OPT-6.7B": 2,
+	}
+	for _, m := range ms {
+		if wantBatch[m.Name] != m.BatchSize {
+			t.Errorf("%s batch = %d, want %d", m.Name, m.BatchSize, wantBatch[m.Name])
+		}
+	}
+}
+
+func TestParamsNearNominal(t *testing.T) {
+	// Derived parameter counts should be within 30% of the paper's nominal
+	// labels (architecture hyper-parameters are public; exact embedding
+	// and bias accounting differs slightly).
+	nominal := map[string]float64{
+		"GPT": 117e6, "GPT2-M": 345e6, "Roberta-L": 355e6, "BLOOM": 560e6,
+		"GPT2-L": 774e6, "BLOOM-800M": 800e6, "OPT-1.3B": 1.3e9, "GPT2-XL": 1.6e9,
+		"OPT-2.7B": 2.8e9, "XGLM-4.5B": 4.5e9, "LLAMA2-7B": 6.7e9, "OPT-6.7B": 6.7e9,
+	}
+	for _, m := range Models() {
+		got := float64(m.Params())
+		want := nominal[m.Name]
+		if math.Abs(got-want)/want > 0.30 {
+			t.Errorf("%s params = %.3g, nominal %.3g (>30%% off)", m.Name, got, want)
+		}
+	}
+}
+
+func TestModelByName(t *testing.T) {
+	if _, err := ModelByName("GPT2-M"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ModelByName("nonexistent"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestForwardGEMMShapes(t *testing.T) {
+	m, _ := ModelByName("GPT2-M")
+	gs := m.ForwardGEMMs()
+	// 6 GEMMs per layer + lm head.
+	if len(gs) != m.Layers*6+1 {
+		t.Fatalf("forward GEMMs = %d, want %d", len(gs), m.Layers*6+1)
+	}
+	bs := m.BatchSize * m.SeqLen
+	qkv := gs[0]
+	if qkv.M != bs || qkv.K != m.Hidden || qkv.N != 3*m.Hidden {
+		t.Errorf("qkv dims = %dx%dx%d", qkv.M, qkv.K, qkv.N)
+	}
+	// Attention fusion flags.
+	if !gs[1].NoStoreC {
+		t.Error("attention scores must stay on chip")
+	}
+	if !gs[2].NoLoadA {
+		t.Error("attention context must read scores from chip")
+	}
+	last := gs[len(gs)-1]
+	if last.N != m.Vocab {
+		t.Errorf("lm head N = %d, want vocab %d", last.N, m.Vocab)
+	}
+}
+
+func TestBackwardGEMMsDoubleFLOPs(t *testing.T) {
+	m, _ := ModelByName("GPT")
+	var fwd, bwd float64
+	for _, g := range m.ForwardGEMMs() {
+		fwd += g.FLOPs()
+	}
+	for _, g := range m.BackwardGEMMs() {
+		bwd += g.FLOPs()
+	}
+	if math.Abs(bwd-2*fwd)/fwd > 1e-9 {
+		t.Errorf("backward FLOPs = %.3g, want 2x forward %.3g", bwd, fwd)
+	}
+}
+
+func TestParamTensorsMatchParams(t *testing.T) {
+	for _, m := range Models() {
+		var sum int64
+		for _, pt := range m.ParamTensors() {
+			sum += int64(pt.Elems)
+		}
+		if sum != m.Params() {
+			t.Errorf("%s: tensor inventory %d elems != params %d", m.Name, sum, m.Params())
+		}
+	}
+}
+
+func TestTensorStats(t *testing.T) {
+	m, _ := ModelByName("GPT2-M")
+	s := m.Stats()
+	// Figure 4: hundreds of tensors, large sizes.
+	if s.Count < 100 || s.Count > 500 {
+		t.Errorf("tensor count = %d, want hundreds", s.Count)
+	}
+	if s.LargestBytes < 50<<20 {
+		t.Errorf("largest tensor = %d bytes, want >= 50MB", s.LargestBytes)
+	}
+	if s.TotalBytes != m.Params()*4 {
+		t.Error("total bytes != params * 4")
+	}
+}
+
+func TestCommBytes(t *testing.T) {
+	m, _ := ModelByName("GPT")
+	g, w := m.CommBytes()
+	if g != 4*m.Params() || w != 2*m.Params() {
+		t.Errorf("comm bytes = %d/%d", g, w)
+	}
+}
+
+func TestTrainFLOPsDominatedBy6PT(t *testing.T) {
+	m, _ := ModelByName("GPT2-M")
+	base := 6 * float64(m.Params()) * float64(m.Tokens())
+	got := m.TrainFLOPs()
+	if got < base || got > 1.5*base {
+		t.Errorf("train FLOPs = %.3g, want within [1, 1.5]x of 6PT %.3g", got, base)
+	}
+}
+
+func TestAdamQuadsCoverage(t *testing.T) {
+	m, _ := ModelByName("GPT")
+	arena := tensor.NewArena(0, 64)
+	quads, cov := AdamQuads(arena, m, 1<<20)
+	if len(quads) == 0 {
+		t.Fatal("no quads")
+	}
+	if cov <= 0 || cov > 1 {
+		t.Errorf("coverage = %g", cov)
+	}
+	arena2 := tensor.NewArena(0, 64)
+	all, cov2 := AdamQuads(arena2, m, 0)
+	if cov2 != 1 {
+		t.Errorf("uncapped coverage = %g, want 1", cov2)
+	}
+	if len(all) != len(m.ParamTensors()) {
+		t.Error("uncapped quads should cover every tensor")
+	}
+}
+
+// --- functional Adam ---------------------------------------------------------
+
+func mkTensor(name string, vals []float32) *tensor.Tensor {
+	tt := tensor.NewWithData(name, 0, tensor.Shape{len(vals)}, tensor.FP32)
+	tt.SetFloat32s(vals)
+	return tt
+}
+
+func TestAdamStepMatchesReference(t *testing.T) {
+	w := mkTensor("w", []float32{1, 2, 3})
+	g := mkTensor("g", []float32{0.5, -0.5, 1})
+	m := mkTensor("m", []float32{0, 0, 0})
+	v := mkTensor("v", []float32{0, 0, 0})
+	p := DefaultAdam()
+	if err := AdamStep(w, g, m, v, p); err != nil {
+		t.Fatal(err)
+	}
+	// Reference: step 1, m=0.1g/bc1=g, v=0.001g^2/bc2=g^2,
+	// w -= lr * g / (|g| + eps) = w -+ lr*sign(g).
+	want := []float32{
+		1 - 1e-3*(0.5/(0.5+1e-8)),
+		2 + 1e-3*(0.5/(0.5+1e-8)),
+		3 - 1e-3*(1/(1+1e-8)),
+	}
+	got := w.Float32s()
+	for i := range want {
+		if math.Abs(float64(got[i]-want[i])) > 1e-6 {
+			t.Errorf("w[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Moments updated.
+	if m.Float32At(0) == 0 || v.Float32At(0) == 0 {
+		t.Error("moments not updated")
+	}
+}
+
+func TestAdamStepDecreasesLossDirection(t *testing.T) {
+	// Constant positive gradient must decrease w monotonically.
+	w := mkTensor("w", []float32{5})
+	g := mkTensor("g", []float32{2})
+	m := mkTensor("m", []float32{0})
+	v := mkTensor("v", []float32{0})
+	prev := w.Float32At(0)
+	for step := 1; step <= 5; step++ {
+		p := DefaultAdam()
+		p.Step = step
+		if err := AdamStep(w, g, m, v, p); err != nil {
+			t.Fatal(err)
+		}
+		cur := w.Float32At(0)
+		if cur >= prev {
+			t.Fatalf("step %d: w did not decrease (%v -> %v)", step, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestAdamStepValidation(t *testing.T) {
+	w := mkTensor("w", []float32{1, 2})
+	g := mkTensor("g", []float32{1})
+	m := mkTensor("m", []float32{1, 2})
+	v := mkTensor("v", []float32{1, 2})
+	if err := AdamStep(w, g, m, v, DefaultAdam()); err == nil || !strings.Contains(err.Error(), "mismatch") {
+		t.Errorf("size mismatch not rejected: %v", err)
+	}
+	bad := tensor.New("bad", 0, tensor.Shape{2}, tensor.FP32) // no data
+	if err := AdamStep(bad, mkTensor("g", []float32{1, 2}), mkTensor("m", []float32{0, 0}), mkTensor("v", []float32{0, 0}), DefaultAdam()); err == nil {
+		t.Error("missing data not rejected")
+	}
+}
+
+func TestHalfWeights(t *testing.T) {
+	w := mkTensor("w", []float32{1.0, -2.5, 0.5})
+	h := HalfWeights(w)
+	if len(h) != 3 {
+		t.Fatal("wrong length")
+	}
+	for i, want := range []float32{1.0, -2.5, 0.5} {
+		if tensor.F16ToF32(h[i]) != want {
+			t.Errorf("h[%d] = %v, want %v", i, tensor.F16ToF32(h[i]), want)
+		}
+	}
+}

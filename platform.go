@@ -1,0 +1,282 @@
+package tensortee
+
+import (
+	"fmt"
+
+	"tensortee/internal/comm"
+	"tensortee/internal/enclave"
+	"tensortee/internal/mee"
+	"tensortee/internal/npumac"
+	"tensortee/internal/tensor"
+	"tensortee/internal/workload"
+)
+
+// Side names one of the two enclaves of a Platform.
+type Side int
+
+const (
+	// CPUSide is the host enclave (optimizer states, Meta Table).
+	CPUSide Side = iota
+	// NPUSide is the accelerator enclave (GDDR memory, delayed verifier).
+	NPUSide
+)
+
+func (s Side) String() string {
+	if s == CPUSide {
+		return "cpu"
+	}
+	return "npu"
+}
+
+// Platform is the functional secure-collaboration runtime: two attested
+// enclaves sharing a DH session key, each backing its tensors with real
+// AES-CTR protected memory, connected by the direct transfer protocol.
+// It exists so applications (and the examples) can exercise the actual
+// security mechanisms — not just the timing models.
+type Platform struct {
+	cpuEnclave, npuEnclave *enclave.Enclave
+	cpuRegion, npuRegion   *mee.Region
+	channel                *comm.TrustedChannel
+	verifier               *npumac.Verifier
+	arena                  *tensor.Arena
+	tensors                map[string]*tensor.Tensor
+	transferred            map[string]npumac.TensorID
+	nextID                 npumac.TensorID
+	regionBytes            int
+}
+
+// PlatformConfig sizes the functional platform.
+type PlatformConfig struct {
+	// RegionBytes is the protected memory size per enclave (default 8 MB).
+	RegionBytes int
+	// Seed makes key generation deterministic per platform instance.
+	Seed uint64
+}
+
+// NewPlatform creates both enclaves, runs remote attestation and the
+// Diffie–Hellman key exchange (Section 4.4.2), and allocates the mirrored
+// protected regions the direct channel moves ciphertext between.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	if cfg.RegionBytes <= 0 {
+		cfg.RegionBytes = 8 << 20
+	}
+	cpuE := enclave.Create(enclave.CPUEnclave, []byte("tensortee-cpu-image-v1"), cfg.Seed*2+1)
+	npuE := enclave.Create(enclave.NPUEnclave, []byte("tensortee-npu-image-v1"), cfg.Seed*2+2)
+	kCPU, _, err := enclave.Pair(cpuE, npuE)
+	if err != nil {
+		return nil, fmt.Errorf("tensortee: attestation failed: %w", err)
+	}
+	const base = 0x1000_0000
+	return &Platform{
+		cpuEnclave:  cpuE,
+		npuEnclave:  npuE,
+		cpuRegion:   mee.NewRegion(kCPU, base, cfg.RegionBytes, 64),
+		npuRegion:   mee.NewRegion(kCPU, base, cfg.RegionBytes, 64),
+		channel:     comm.NewTrustedChannel(kCPU),
+		verifier:    npumac.NewVerifier(64),
+		arena:       tensor.NewArena(base, 64),
+		tensors:     make(map[string]*tensor.Tensor),
+		transferred: make(map[string]npumac.TensorID),
+		regionBytes: cfg.RegionBytes,
+	}, nil
+}
+
+func (p *Platform) region(s Side) *mee.Region {
+	if s == CPUSide {
+		return p.cpuRegion
+	}
+	return p.npuRegion
+}
+
+// CreateTensor allocates a named fp32 tensor in the shared address layout
+// and writes vals into the given side's protected memory (encrypting it).
+func (p *Platform) CreateTensor(side Side, name string, vals []float32) error {
+	if _, exists := p.tensors[name]; exists {
+		return fmt.Errorf("tensortee: tensor %q already exists", name)
+	}
+	t := p.arena.AllocTensor(name, tensor.Shape{len(vals)}, tensor.FP32)
+	if t.End() > p.region(side).End() {
+		return fmt.Errorf("tensortee: tensor %q (%d bytes) exceeds the protected region", name, t.Bytes())
+	}
+	t.Data = make([]byte, t.Bytes())
+	t.SetFloat32s(vals)
+	if _, err := p.region(side).WriteBytes(t.Addr, t.Data); err != nil {
+		return err
+	}
+	p.tensors[name] = t
+	return nil
+}
+
+// WriteTensor overwrites an existing tensor's contents on the given side
+// (re-encrypting under a fresh version number).
+func (p *Platform) WriteTensor(side Side, name string, vals []float32) error {
+	t, ok := p.tensors[name]
+	if !ok {
+		return fmt.Errorf("tensortee: unknown tensor %q", name)
+	}
+	if len(vals) != t.Elems() {
+		return fmt.Errorf("tensortee: tensor %q holds %d elems, got %d", name, t.Elems(), len(vals))
+	}
+	buf := &tensor.Tensor{Name: name, Shape: t.Shape, DType: t.DType, Data: make([]byte, t.Bytes())}
+	buf.SetFloat32s(vals)
+	_, err := p.region(side).WriteBytes(t.Addr, buf.Data)
+	return err
+}
+
+// ReadTensor decrypts and verifies a tensor from the given side.
+func (p *Platform) ReadTensor(side Side, name string) ([]float32, error) {
+	t, ok := p.tensors[name]
+	if !ok {
+		return nil, fmt.Errorf("tensortee: unknown tensor %q", name)
+	}
+	raw, err := p.region(side).ReadBytes(t.Addr, t.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	view := &tensor.Tensor{Name: name, Shape: t.Shape, DType: t.DType, Data: raw}
+	return view.Float32s(), nil
+}
+
+// Transfer moves a tensor between the enclaves with the direct protocol:
+// ciphertext over the direct channel, (address, VN, MAC) over the trusted
+// channel, no re-encryption. Verification is delayed — the tensor is
+// poisoned until VerifyBarrier clears it (Section 4.3).
+func (p *Platform) Transfer(from Side, name string) error {
+	t, ok := p.tensors[name]
+	if !ok {
+		return fmt.Errorf("tensortee: unknown tensor %q", name)
+	}
+	src, dst := p.region(from), p.region(other(from))
+	if err := comm.DirectTransfer(src, dst, t.Addr, t.Bytes(), p.channel, false); err != nil {
+		return err
+	}
+	// Register the delayed verification obligation.
+	id := p.nextID
+	p.nextID++
+	p.transferred[name] = id
+	p.verifier.BeginRead(id, src.StoredLineMACXOR(t.Addr, t.Bytes()))
+	for off := 0; off < t.Bytes(); off += 64 {
+		_, mac := dst.ReadLineUnverified(t.Addr+uint64(off), dst.VN(t.Addr+uint64(off)))
+		p.verifier.AccumulateLine(id, mac)
+	}
+	return nil
+}
+
+// TransferStaged moves a tensor with the Graviton-like baseline protocol
+// (Figure 6a): decrypt out of the source enclave, re-encrypt under the
+// session key into non-secure staging, cross the link, decrypt, and
+// re-encrypt into the destination enclave. Functionally equivalent to
+// Transfer but with four crypto passes; it exists so applications can
+// compare the protocols and so tests can pin their equivalence.
+func (p *Platform) TransferStaged(from Side, name string) error {
+	t, ok := p.tensors[name]
+	if !ok {
+		return fmt.Errorf("tensortee: unknown tensor %q", name)
+	}
+	src, dst := p.region(from), p.region(other(from))
+	seq := uint64(p.nextID) | 1<<32 // staging sequence domain
+	p.nextID++
+	return comm.StagedTransfer(src, dst, t.Addr, t.Bytes(), p.cpuEnclave.SessionKey(), seq)
+}
+
+// VerifyBarrier is the verification barrier pragma: it completes the
+// delayed verification of the named tensors and fails closed if any was
+// tampered with in transit or in destination memory.
+func (p *Platform) VerifyBarrier(names ...string) error {
+	for _, name := range names {
+		id, ok := p.transferred[name]
+		if !ok {
+			continue
+		}
+		if err := p.verifier.CompleteRead(id); err != nil {
+			return fmt.Errorf("tensor %q: %w", name, err)
+		}
+	}
+	ids := make([]npumac.TensorID, 0, len(names))
+	for _, name := range names {
+		if id, ok := p.transferred[name]; ok {
+			ids = append(ids, id)
+		}
+	}
+	return p.verifier.Barrier(ids...)
+}
+
+// Poisoned reports whether a transferred tensor is still unverified.
+func (p *Platform) Poisoned(name string) bool {
+	id, ok := p.transferred[name]
+	return ok && p.verifier.Poisoned(id)
+}
+
+// AdamStep runs a real fused Adam update inside the CPU enclave with the
+// DeepSpeed default learning rate (1e-3): the four tensors are decrypted
+// from protected memory, updated, and re-encrypted.
+func (p *Platform) AdamStep(w, g, m, v string, step int) error {
+	return p.AdamStepWithLR(w, g, m, v, step, 1e-3)
+}
+
+// AdamStepWithLR is AdamStep with an explicit learning rate.
+func (p *Platform) AdamStepWithLR(w, g, m, v string, step int, lr float64) error {
+	get := func(name string) (*tensor.Tensor, error) {
+		t, ok := p.tensors[name]
+		if !ok {
+			return nil, fmt.Errorf("tensortee: unknown tensor %q", name)
+		}
+		raw, err := p.cpuRegion.ReadBytes(t.Addr, t.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		return &tensor.Tensor{Name: name, Addr: t.Addr, Shape: t.Shape, DType: t.DType, Data: raw}, nil
+	}
+	tw, err := get(w)
+	if err != nil {
+		return err
+	}
+	tg, err := get(g)
+	if err != nil {
+		return err
+	}
+	tm, err := get(m)
+	if err != nil {
+		return err
+	}
+	tv, err := get(v)
+	if err != nil {
+		return err
+	}
+	params := workload.DefaultAdam()
+	params.Step = step
+	params.LR = lr
+	if err := workload.AdamStep(tw, tg, tm, tv, params); err != nil {
+		return err
+	}
+	for _, t := range []*tensor.Tensor{tw, tm, tv} {
+		if _, err := p.cpuRegion.WriteBytes(t.Addr, t.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TamperMemory flips a bit of the ciphertext backing a tensor on the given
+// side — the bus/cold-boot adversary of the threat model. Subsequent reads
+// or barriers must detect it.
+func (p *Platform) TamperMemory(side Side, name string, bit int) error {
+	t, ok := p.tensors[name]
+	if !ok {
+		return fmt.Errorf("tensortee: unknown tensor %q", name)
+	}
+	p.region(side).TamperCipher(t.Addr+uint64(bit/8%t.Bytes())&^63, bit)
+	return nil
+}
+
+// Attested reports whether the two enclaves hold an established session.
+func (p *Platform) Attested() bool {
+	return p.cpuEnclave.SessionKey() != nil && p.cpuEnclave.SessionKey().Equal(p.npuEnclave.SessionKey())
+}
+
+func other(s Side) Side {
+	if s == CPUSide {
+		return NPUSide
+	}
+	return CPUSide
+}

@@ -1,0 +1,302 @@
+package tensortee
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func newTestPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(PlatformConfig{RegionBytes: 1 << 20, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformAttestation(t *testing.T) {
+	p := newTestPlatform(t)
+	if !p.Attested() {
+		t.Fatal("platform not attested")
+	}
+}
+
+func TestCreateReadRoundTrip(t *testing.T) {
+	p := newTestPlatform(t)
+	want := []float32{1.5, -2.25, 1e6, 0}
+	if err := p.CreateTensor(CPUSide, "x", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadTensor(CPUSide, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCreateTensorValidation(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.CreateTensor(CPUSide, "dup", []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateTensor(CPUSide, "dup", []float32{2}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+	huge := make([]float32, 1<<20) // 4MB > 1MB region
+	if err := p.CreateTensor(CPUSide, "huge", huge); err == nil {
+		t.Error("oversized tensor accepted")
+	}
+	if _, err := p.ReadTensor(CPUSide, "missing"); err == nil {
+		t.Error("missing tensor read succeeded")
+	}
+}
+
+func TestTransferAndBarrier(t *testing.T) {
+	p := newTestPlatform(t)
+	vals := []float32{3, 1, 4, 1, 5, 9, 2, 6}
+	if err := p.CreateTensor(NPUSide, "g", vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Transfer(NPUSide, "g"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Poisoned("g") {
+		t.Error("transferred tensor must be poisoned before the barrier")
+	}
+	if err := p.VerifyBarrier("g"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Poisoned("g") {
+		t.Error("poison not cleared after the barrier")
+	}
+	got, err := p.ReadTensor(CPUSide, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("g[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestTamperDetectedAtBarrier(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.CreateTensor(NPUSide, "v", []float32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TamperMemory(NPUSide, "v", 12); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Transfer(NPUSide, "v")
+	if err == nil {
+		err = p.VerifyBarrier("v")
+	}
+	if err == nil {
+		t.Fatal("tampered tensor passed transfer + barrier")
+	}
+	if !strings.Contains(err.Error(), "MAC") && !strings.Contains(err.Error(), "integrity") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestTamperUnknownTensor(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.TamperMemory(NPUSide, "ghost", 0); err == nil {
+		t.Error("tamper on unknown tensor accepted")
+	}
+	if err := p.Transfer(NPUSide, "ghost"); err == nil {
+		t.Error("transfer of unknown tensor accepted")
+	}
+}
+
+func TestBarrierOnUntransferredIsClean(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.CreateTensor(CPUSide, "local", []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VerifyBarrier("local"); err != nil {
+		t.Errorf("barrier on local tensor: %v", err)
+	}
+}
+
+func TestAdamStepInsideEnclave(t *testing.T) {
+	p := newTestPlatform(t)
+	n := 64
+	w := make([]float32, n)
+	g := make([]float32, n)
+	zero := make([]float32, n)
+	for i := range w {
+		w[i] = 1
+		g[i] = 1 // positive gradient: w must decrease
+	}
+	for _, spec := range []struct {
+		name string
+		vals []float32
+	}{{"w", w}, {"g", g}, {"m", zero}, {"v", zero}} {
+		if err := p.CreateTensor(CPUSide, spec.name, spec.vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := p.AdamStep("w", "g", "m", "v", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadTensor(CPUSide, "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] >= 1 {
+			t.Fatalf("w[%d] = %v did not decrease", i, got[i])
+		}
+		if math.Abs(float64(got[i]-0.999)) > 1e-4 {
+			t.Fatalf("w[%d] = %v, want ~0.999 (lr 1e-3)", i, got[i])
+		}
+	}
+	// Moments were persisted back encrypted.
+	m2, err := p.ReadTensor(CPUSide, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2[0] == 0 {
+		t.Error("moment tensor not updated in the enclave")
+	}
+}
+
+func TestZeROOffloadRoundTrip(t *testing.T) {
+	// The full Figure-1 loop: gradient NPU->CPU, Adam on CPU, weights back.
+	p := newTestPlatform(t)
+	n := 32
+	mk := func(v float32) []float32 {
+		s := make([]float32, n)
+		for i := range s {
+			s[i] = v
+		}
+		return s
+	}
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(p.CreateTensor(CPUSide, "w", mk(2)))
+	must(p.CreateTensor(CPUSide, "m", mk(0)))
+	must(p.CreateTensor(CPUSide, "v", mk(0)))
+	must(p.CreateTensor(NPUSide, "g", mk(-1)))
+
+	must(p.Transfer(NPUSide, "g"))
+	must(p.VerifyBarrier("g"))
+	must(p.AdamStep("w", "g", "m", "v", 1))
+	must(p.Transfer(CPUSide, "w"))
+	must(p.VerifyBarrier("w"))
+
+	cpuW, err := p.ReadTensor(CPUSide, "w")
+	must(err)
+	npuW, err := p.ReadTensor(NPUSide, "w")
+	must(err)
+	if cpuW[0] != npuW[0] {
+		t.Errorf("weights diverged: cpu %v, npu %v", cpuW[0], npuW[0])
+	}
+	if npuW[0] <= 2 {
+		t.Errorf("negative gradient should increase w: %v", npuW[0])
+	}
+}
+
+func TestSideString(t *testing.T) {
+	if CPUSide.String() != "cpu" || NPUSide.String() != "npu" {
+		t.Error("side strings wrong")
+	}
+}
+
+func TestStagedTransferEquivalentToDirect(t *testing.T) {
+	// The baseline protocol must deliver the same bytes as the direct
+	// protocol — it just pays four crypto passes to do it.
+	p := newTestPlatform(t)
+	vals := []float32{1, -2, 3.5, -4.25}
+	if err := p.CreateTensor(NPUSide, "d", vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TransferStaged(NPUSide, "d"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadTensor(CPUSide, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("d[%d] = %v, want %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestStagedTransferDetectsTamper(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.CreateTensor(NPUSide, "t", []float32{9, 8, 7}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TamperMemory(NPUSide, "t", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TransferStaged(NPUSide, "t"); err == nil {
+		t.Error("staged transfer shipped tampered data")
+	}
+}
+
+func TestWriteTensorValidation(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.WriteTensor(CPUSide, "ghost", []float32{1}); err == nil {
+		t.Error("write to unknown tensor accepted")
+	}
+	if err := p.CreateTensor(CPUSide, "wt", []float32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteTensor(CPUSide, "wt", []float32{1}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := p.WriteTensor(CPUSide, "wt", []float32{5, 6}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadTensor(CPUSide, "wt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 5 || got[1] != 6 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestAdamStepMissingTensor(t *testing.T) {
+	p := newTestPlatform(t)
+	if err := p.CreateTensor(CPUSide, "only-w", []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdamStep("only-w", "none", "none", "none", 1); err == nil {
+		t.Error("missing tensors accepted")
+	}
+}
+
+func TestWriteTensorBumpsVersion(t *testing.T) {
+	// Rewriting a tensor must produce fresh ciphertext (freshness: the
+	// version number advanced).
+	p := newTestPlatform(t)
+	if err := p.CreateTensor(CPUSide, "fresh", []float32{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WriteTensor(CPUSide, "fresh", []float32{1, 1, 1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.ReadTensor(CPUSide, "fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Error("value corrupted across rewrite")
+	}
+}

@@ -1,0 +1,208 @@
+package tensortee
+
+import (
+	"testing"
+
+	"tensortee/internal/comm"
+	"tensortee/internal/crypto"
+	"tensortee/internal/enclave"
+	"tensortee/internal/mee"
+	"tensortee/internal/npumac"
+)
+
+// These integration tests walk the threat model of Section 2.4 end to end:
+// the adversary controls the OS, both off-chip memories, and both buses.
+// Every attack must fail closed.
+
+func TestAttackBusSnoopSeesOnlyCiphertext(t *testing.T) {
+	key := crypto.MustKey([]byte("0123456789abcdef"))
+	r := mee.NewRegion(key, 0x1000, 1<<12, 64)
+	secret := make([]byte, 64)
+	copy(secret, "extremely secret model weights!!")
+	r.WriteLine(0x1000, secret)
+
+	// The bus adversary observes the exported line (what DMA would carry).
+	exp := r.ExportLine(0x1000)
+	for i := range secret {
+		if secret[i] != 0 && exp.Ciphertext[i] == secret[i] {
+			// A byte may collide by chance; require most bytes differ.
+			continue
+		}
+	}
+	same := 0
+	for i := range secret {
+		if exp.Ciphertext[i] == secret[i] {
+			same++
+		}
+	}
+	if same > 8 {
+		t.Errorf("%d/64 plaintext bytes visible on the bus", same)
+	}
+}
+
+func TestAttackMemoryCorruptionAllPaths(t *testing.T) {
+	key := crypto.MustKey([]byte("0123456789abcdef"))
+	r := mee.NewRegion(key, 0x1000, 1<<12, 64)
+	line := make([]byte, 64)
+	r.WriteLine(0x1000, line)
+	r.TamperCipher(0x1000, 42)
+
+	// SGX-style verified read.
+	if _, err := r.ReadLine(0x1000); err == nil {
+		t.Error("verified read accepted corrupted line")
+	}
+	// Tensor-mode read with on-chip VN.
+	if _, err := r.ReadLineWithVN(0x1000, 1); err == nil {
+		t.Error("tensor-mode read accepted corrupted line")
+	}
+	// Delayed verification: the recomputed MAC must diverge.
+	_, mac := r.ReadLineUnverified(0x1000, 1)
+	if mac == r.LineMAC(0x1000) {
+		t.Error("delayed verification would accept corrupted line")
+	}
+}
+
+func TestAttackReplayOldTensorAcrossTransfer(t *testing.T) {
+	key := crypto.MustKey([]byte("0123456789abcdef"))
+	src := mee.NewRegion(key, 0x1000, 1<<12, 64)
+	dst := mee.NewRegion(key, 0x1000, 1<<12, 64)
+
+	buf := make([]byte, 256)
+	for i := range buf {
+		buf[i] = 0x11 // version 1 of the tensor
+	}
+	if _, err := src.WriteBytes(0x1000, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Adversary snapshots every line of version 1.
+	snaps := make([]mee.SnapshotLine, 4)
+	for i := range snaps {
+		snaps[i] = src.Snapshot(0x1000 + uint64(i*64))
+	}
+	for i := range buf {
+		buf[i] = 0x22 // version 2
+	}
+	if _, err := src.WriteBytes(0x1000, buf); err != nil {
+		t.Fatal(err)
+	}
+	// Rollback the whole tensor off-chip.
+	for _, s := range snaps {
+		src.Replay(s)
+	}
+
+	// The direct transfer's trusted-channel MAC comes from the on-chip
+	// Meta Table state... here modeled by the stored MACs, which the
+	// replay rolled back consistently — so the transfer-level check alone
+	// would pass. The SGX-path read (Merkle root) must catch the replay.
+	if _, err := src.ReadLine(0x1000); err == nil {
+		t.Error("Merkle-protected read accepted replayed tensor")
+	}
+	_ = dst
+}
+
+func TestAttackTrustedChannelReplay(t *testing.T) {
+	key := crypto.MustKey([]byte("0123456789abcdef"))
+	ch := comm.NewTrustedChannel(key)
+	ch.Send(comm.TensorMeta{Base: 0, Lines: 4, VN: 7, MAC: 0xabc})
+	if _, err := ch.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	// Adversary re-injects the same sealed blob: the sequence number has
+	// moved on, so Open must reject it.
+	ch2 := comm.NewTrustedChannel(key)
+	ch2.Send(comm.TensorMeta{Base: 0, Lines: 4, VN: 7, MAC: 0xabc})
+	blob2, err := ch2.Recv() // consume legitimately
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = blob2
+	// Direct check at the crypto layer: replaying seq 0 against expected 1.
+	sealed := key.Seal([]byte("metadata"), 0)
+	if _, err := key.Open(sealed, 1); err == nil {
+		t.Error("channel replay accepted")
+	}
+}
+
+func TestAttackCrossEnclaveKeyIsolation(t *testing.T) {
+	// A tensor encrypted under one session must be garbage under another
+	// (a malicious platform cannot splice enclave pairs together).
+	cpu1 := enclave.Create(enclave.CPUEnclave, []byte("img"), 1)
+	npu1 := enclave.Create(enclave.NPUEnclave, []byte("img2"), 2)
+	k1, _, err := enclave.Pair(cpu1, npu1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu2 := enclave.Create(enclave.CPUEnclave, []byte("img"), 3)
+	npu2 := enclave.Create(enclave.NPUEnclave, []byte("img2"), 4)
+	k2, _, err := enclave.Pair(cpu2, npu2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := mee.NewRegion(k1, 0x1000, 1<<12, 64)
+	foreign := mee.NewRegion(k2, 0x1000, 1<<12, 64)
+	line := make([]byte, 64)
+	copy(line, "session-1 secret")
+	src.WriteLine(0x1000, line)
+
+	exp := src.ExportLine(0x1000)
+	if err := foreign.ImportLine(exp, true); err == nil {
+		t.Error("foreign session imported another session's ciphertext")
+	}
+}
+
+func TestAttackPoisonedOutputCannotLeaveEnclave(t *testing.T) {
+	v := npumac.NewVerifier(8)
+	// Kernel consumes an unverified input; its output inherits poison.
+	v.BeginRead(1, 0xdead) // reference MAC that will not match
+	v.AccumulateLine(1, 0xbeef)
+	if err := v.CompleteRead(1); err == nil {
+		t.Fatal("verification should fail")
+	}
+	v.Propagate(2, 1)
+	v.Propagate(3, 2)
+	if err := v.Barrier(3); err == nil {
+		t.Error("transitively poisoned tensor crossed the communication barrier")
+	}
+}
+
+func TestAttackPlatformEndToEnd(t *testing.T) {
+	p, err := NewPlatform(PlatformConfig{RegionBytes: 1 << 20, Seed: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.CreateTensor(NPUSide, "grad", []float32{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	// Clean transfer round.
+	if err := p.Transfer(NPUSide, "grad"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.VerifyBarrier("grad"); err != nil {
+		t.Fatal(err)
+	}
+	// Now the adversary corrupts the CPU-side copy post-transfer; a fresh
+	// read must catch it.
+	if err := p.TamperMemory(CPUSide, "grad", 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.ReadTensor(CPUSide, "grad"); err == nil {
+		t.Error("post-transfer corruption read back silently")
+	}
+	// The NPU-side original remains intact.
+	if _, err := p.ReadTensor(NPUSide, "grad"); err != nil {
+		t.Errorf("unrelated side affected: %v", err)
+	}
+}
+
+func TestAttackCodeTamperNotDelayed(t *testing.T) {
+	// Code fetches must verify inline: a tampered instruction line is
+	// rejected before issue, independent of any barrier.
+	v := npumac.NewVerifier(8)
+	if err := v.VerifyCode(0x1111, 0x2222); err == nil {
+		t.Error("tampered code line issued")
+	}
+	if v.Stats().CodeFailures != 1 {
+		t.Error("code failure not recorded")
+	}
+}

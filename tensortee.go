@@ -1,0 +1,175 @@
+// Package tensortee is a library-scale reproduction of "TensorTEE: Unifying
+// Heterogeneous TEE Granularity for Efficient Secure Collaborative Tensor
+// Computing" (ASPLOS 2024).
+//
+// It provides two things:
+//
+//   - A simulation API (System) that times ZeRO-Offload LLM training steps
+//     on three end-to-end systems — a Non-Secure reference, the paper's
+//     SGX+MGX baseline, and TensorTEE — over a gem5-lite CPU model, a
+//     TPU-like NPU model, and a PCIe transfer model. Every table and
+//     figure of the paper's evaluation can be regenerated through
+//     RunExperiment (see cmd/tensorteesim and EXPERIMENTS.md).
+//
+//   - A functional API (Platform) that actually runs the security
+//     protocols: AES-CTR protected memory with per-tensor version numbers,
+//     XOR tensor MACs with delayed verification and poison tracking,
+//     remote attestation with Diffie–Hellman key exchange, and the direct
+//     (no re-encryption) tensor transfer protocol between the CPU and NPU
+//     enclaves. Tampering with the simulated off-chip memory or buses is
+//     detected and surfaced as errors.
+package tensortee
+
+import (
+	"fmt"
+	"time"
+
+	"tensortee/internal/config"
+	"tensortee/internal/core"
+	"tensortee/internal/experiments"
+	"tensortee/internal/sim"
+	"tensortee/internal/workload"
+)
+
+// Kind selects one of the three evaluated systems.
+type Kind int
+
+const (
+	// NonSecure disables all protection (the performance reference).
+	NonSecure Kind = iota
+	// BaselineSGXMGX is the paper's baseline: SGX-like CPU TEE, MGX-like
+	// NPU TEE, Graviton-like staged communication.
+	BaselineSGXMGX
+	// TensorTEE is the unified tensor-granularity system.
+	TensorTEE
+)
+
+func (k Kind) String() string { return k.kind().String() }
+
+func (k Kind) kind() config.SystemKind {
+	switch k {
+	case NonSecure:
+		return config.NonSecure
+	case BaselineSGXMGX:
+		return config.BaselineSGXMGX
+	default:
+		return config.TensorTEE
+	}
+}
+
+// Breakdown is the visible time of one training step per phase.
+type Breakdown struct {
+	NPU, CPU, CommWeights, CommGrads time.Duration
+	Total                            time.Duration
+}
+
+func toDuration(t sim.Dur) time.Duration {
+	// sim time is picoseconds; time.Duration is nanoseconds.
+	return time.Duration(t / 1000)
+}
+
+// System is a calibrated end-to-end system simulator.
+type System struct {
+	inner *core.System
+}
+
+// NewSystem builds and calibrates a system of the given kind. Calibration
+// runs a short CPU-simulation sample, so construction takes a moment.
+func NewSystem(kind Kind) (*System, error) {
+	s, err := core.NewSystem(kind.kind())
+	if err != nil {
+		return nil, err
+	}
+	return &System{inner: s}, nil
+}
+
+// TrainStep simulates one ZeRO-Offload training iteration for the named
+// model (see ModelNames) and returns the visible time breakdown.
+func (s *System) TrainStep(model string) (Breakdown, error) {
+	m, err := workload.ModelByName(model)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b := s.inner.TrainStep(m)
+	out := Breakdown{
+		NPU:         toDuration(b.NPU),
+		CPU:         toDuration(b.CPU),
+		CommWeights: toDuration(b.CommW),
+		CommGrads:   toDuration(b.CommG),
+	}
+	out.Total = out.NPU + out.CPU + out.CommWeights + out.CommGrads
+	return out, nil
+}
+
+// Describe summarizes the system configuration.
+func (s *System) Describe() string { return s.inner.Describe() }
+
+// ModelInfo describes one Table-2 workload.
+type ModelInfo struct {
+	Name        string
+	Params      int64
+	ParamsLabel string
+	BatchSize   int
+	Layers      int
+	Hidden      int
+	TensorCount int
+}
+
+// ModelNames lists the Table-2 workloads in the paper's order.
+func ModelNames() []string {
+	var out []string
+	for _, m := range workload.Models() {
+		out = append(out, m.Name)
+	}
+	return out
+}
+
+// Model returns the named workload's description.
+func Model(name string) (ModelInfo, error) {
+	m, err := workload.ModelByName(name)
+	if err != nil {
+		return ModelInfo{}, err
+	}
+	return ModelInfo{
+		Name:        m.Name,
+		Params:      m.Params(),
+		ParamsLabel: m.ParamsStr,
+		BatchSize:   m.BatchSize,
+		Layers:      m.Layers,
+		Hidden:      m.Hidden,
+		TensorCount: m.Stats().Count,
+	}, nil
+}
+
+// ExperimentIDs lists the reproducible tables and figures.
+func ExperimentIDs() []string {
+	var out []string
+	for _, e := range experiments.Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// RunExperiment regenerates one of the paper's tables or figures and
+// returns the rendered report.
+func RunExperiment(id string) (string, error) {
+	r, err := experiments.Run(id)
+	if err != nil {
+		return "", err
+	}
+	return r.String(), nil
+}
+
+// ExperimentScalar runs an experiment and returns one of its headline
+// numbers (e.g. fig16's "avg_speedup").
+func ExperimentScalar(id, name string) (float64, error) {
+	r, err := experiments.Run(id)
+	if err != nil {
+		return 0, err
+	}
+	v, ok := r.Scalars[name]
+	if !ok {
+		return 0, fmt.Errorf("tensortee: experiment %s has no scalar %q", id, name)
+	}
+	return v, nil
+}
