@@ -299,12 +299,12 @@ func BenchmarkTrainStepAllModels(b *testing.B) {
 // BenchmarkFunctionalTransfer measures the functional direct-transfer path
 // (real crypto) per megabyte.
 func BenchmarkFunctionalTransfer(b *testing.B) {
-	p, err := NewPlatform(PlatformConfig{RegionBytes: 4 << 20})
+	p, err := NewPlatform(WithRegionBytes(4 << 20))
 	if err != nil {
 		b.Fatal(err)
 	}
 	vals := make([]float32, 1<<18) // 1 MB
-	if err := p.CreateTensor(NPUSide, "t", vals); err != nil {
+	if _, err := p.CreateTensor(NPUSide, "t", vals); err != nil {
 		b.Fatal(err)
 	}
 	b.SetBytes(1 << 20)

@@ -3,38 +3,49 @@
 //
 // Usage:
 //
-//	tensorteesim -list              list experiment ids
-//	tensorteesim -exp fig16         regenerate one experiment
-//	tensorteesim -exp all           regenerate everything (slow)
-//	tensorteesim -step GPT2-M       simulate one training step on all systems
+//	tensorteesim -list                      list experiment ids
+//	tensorteesim -exp fig16                 regenerate one experiment
+//	tensorteesim -exp all                   regenerate everything
+//	tensorteesim -exp all -parallel 4       ... on 4 workers, shared calibration
+//	tensorteesim -exp fig16 -json           emit typed JSON
+//	tensorteesim -step GPT2-M               simulate one training step on all systems
+//	tensorteesim -models                    list workload models
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
+	"os/signal"
 	"time"
 
 	"tensortee"
-	"tensortee/internal/experiments"
 )
-
-var jsonOut = flag.Bool("json", false, "emit experiment results as JSON")
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	exp := flag.String("exp", "", "experiment id to regenerate (or 'all')")
 	step := flag.String("step", "", "simulate one training step for the named model")
 	models := flag.Bool("models", false, "list workload models and exit")
+	jsonOut := flag.Bool("json", false, "emit experiment results as JSON")
+	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	runner := tensortee.NewRunner(
+		tensortee.WithParallelism(*parallel),
+		tensortee.WithCalibrationCache(true),
+	)
 
 	switch {
 	case *list:
 		fmt.Println("experiments:")
-		for _, e := range experiments.Registry() {
-			fmt.Printf("  %s\n", e.ID)
+		for _, id := range tensortee.ExperimentIDs() {
+			fmt.Printf("  %s\n", id)
 		}
 	case *models:
 		for _, name := range tensortee.ModelNames() {
@@ -43,11 +54,31 @@ func main() {
 				m.Name, m.ParamsLabel, m.BatchSize, m.Layers, m.Hidden, m.TensorCount)
 		}
 	case *exp == "all":
-		for _, e := range experiments.Registry() {
-			runOne(e.ID)
+		start := time.Now()
+		results, err := runner.RunAll(ctx)
+		if err != nil {
+			fatal(err)
 		}
+		if *jsonOut {
+			// One JSON document (an array), not a concatenated stream.
+			out, err := json.MarshalIndent(results, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			os.Stdout.Write(append(out, '\n'))
+		} else {
+			for _, res := range results {
+				emit(res, false)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%d experiments regenerated in %v, parallelism %d]\n",
+			len(results), time.Since(start).Round(time.Millisecond), *parallel)
 	case *exp != "":
-		runOne(*exp)
+		res, err := runner.Run(ctx, *exp)
+		if err != nil {
+			fatal(fmt.Errorf("experiment %s: %w", *exp, err))
+		}
+		emit(res, *jsonOut)
 	case *step != "":
 		runStep(*step)
 	default:
@@ -56,29 +87,17 @@ func main() {
 	}
 }
 
-func runOne(id string) {
-	start := time.Now()
-	if *jsonOut {
-		rep, err := experiments.Run(id)
+func emit(res *tensortee.Result, jsonOut bool) {
+	if jsonOut {
+		out, err := res.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
-			os.Exit(1)
+			fatal(err)
 		}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		os.Stdout.Write(append(out, '\n'))
 		return
 	}
-	out, err := tensortee.RunExperiment(id)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
-		os.Exit(1)
-	}
-	fmt.Print(out)
-	fmt.Printf("[%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	fmt.Print(res.Text())
+	fmt.Printf("[%s regenerated in %v]\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
 }
 
 func runStep(model string) {
@@ -86,18 +105,20 @@ func runStep(model string) {
 	for _, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
 		sys, err := tensortee.NewSystem(kind)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		b, err := sys.TrainStep(model)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("%-12s total=%-10v npu=%v cpu=%v commW=%v commG=%v\n",
 			kind, b.Total.Round(time.Millisecond),
 			b.NPU.Round(time.Millisecond), b.CPU.Round(time.Millisecond),
 			b.CommWeights.Round(time.Millisecond), b.CommGrads.Round(time.Millisecond))
 	}
-	_ = strings.TrimSpace
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
 }

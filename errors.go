@@ -1,0 +1,57 @@
+package tensortee
+
+import (
+	"errors"
+	"fmt"
+
+	"tensortee/internal/mee"
+	"tensortee/internal/npumac"
+)
+
+// Sentinel errors returned by the Platform API. Wrapped failures keep
+// their full diagnostic chain, so both the sentinel and the underlying
+// internal error types match with errors.Is / errors.As:
+//
+//	if errors.Is(err, tensortee.ErrTampered) { ... }
+var (
+	// ErrUnknownTensor reports an operation on a tensor name that was
+	// never created on this platform.
+	ErrUnknownTensor = errors.New("tensortee: unknown tensor")
+	// ErrTensorExists reports a CreateTensor with an already-used name.
+	ErrTensorExists = errors.New("tensortee: tensor already exists")
+	// ErrTampered reports a detected integrity violation: a MAC or Merkle
+	// check failed on read, transfer, or at a verification barrier.
+	ErrTampered = errors.New("tensortee: integrity violation")
+	// ErrPoisoned reports use of a tensor whose delayed verification has
+	// not completed (or has failed): the poison bit is still set.
+	ErrPoisoned = errors.New("tensortee: tensor poisoned (unverified)")
+	// ErrRegionFull reports a CreateTensor that exceeds the enclave's
+	// protected region.
+	ErrRegionFull = errors.New("tensortee: protected region full")
+)
+
+// errUnknownTensor builds an ErrUnknownTensor for a name.
+func errUnknownTensor(name string) error {
+	return fmt.Errorf("%w: %q", ErrUnknownTensor, name)
+}
+
+// classify wraps integrity failures surfacing from the internal layers
+// with the matching public sentinel. Errors that are neither integrity
+// nor poison failures pass through unchanged.
+func classify(err error) error {
+	if err == nil {
+		return nil
+	}
+	var ie *mee.IntegrityError
+	var ve *npumac.VerificationError
+	switch {
+	case errors.As(err, &ve):
+		if ve.Unverified {
+			return fmt.Errorf("%w: %w", ErrPoisoned, err)
+		}
+		return fmt.Errorf("%w: %w", ErrTampered, err)
+	case errors.As(err, &ie):
+		return fmt.Errorf("%w: %w", ErrTampered, err)
+	}
+	return err
+}

@@ -1,0 +1,187 @@
+package tensortee
+
+import (
+	"errors"
+	"testing"
+
+	"tensortee/internal/mee"
+	"tensortee/internal/npumac"
+)
+
+// TestSentinelErrorsRoundTrip pins that every public failure mode is
+// matchable with errors.Is against its sentinel, and that the underlying
+// internal error types remain reachable with errors.As.
+func TestSentinelErrorsRoundTrip(t *testing.T) {
+	p := newTestPlatform(t)
+
+	// ErrUnknownTensor: every name-keyed entry point.
+	if _, err := p.ReadTensor(CPUSide, "ghost"); !errors.Is(err, ErrUnknownTensor) {
+		t.Errorf("ReadTensor = %v, want ErrUnknownTensor", err)
+	}
+	if err := p.WriteTensor(CPUSide, "ghost", []float32{1}); !errors.Is(err, ErrUnknownTensor) {
+		t.Errorf("WriteTensor = %v, want ErrUnknownTensor", err)
+	}
+	if err := p.Transfer(NPUSide, "ghost"); !errors.Is(err, ErrUnknownTensor) {
+		t.Errorf("Transfer = %v, want ErrUnknownTensor", err)
+	}
+	if err := p.TransferStaged(NPUSide, "ghost"); !errors.Is(err, ErrUnknownTensor) {
+		t.Errorf("TransferStaged = %v, want ErrUnknownTensor", err)
+	}
+	if err := p.TamperMemory(NPUSide, "ghost", 0); !errors.Is(err, ErrUnknownTensor) {
+		t.Errorf("TamperMemory = %v, want ErrUnknownTensor", err)
+	}
+	if _, err := p.Tensor("ghost"); !errors.Is(err, ErrUnknownTensor) {
+		t.Errorf("Tensor = %v, want ErrUnknownTensor", err)
+	}
+	if err := p.AdamStep("ghost", "ghost", "ghost", "ghost", 1); !errors.Is(err, ErrUnknownTensor) {
+		t.Errorf("AdamStep = %v, want ErrUnknownTensor", err)
+	}
+
+	// ErrTensorExists.
+	if _, err := p.CreateTensor(CPUSide, "dup", []float32{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateTensor(CPUSide, "dup", []float32{2}); !errors.Is(err, ErrTensorExists) {
+		t.Errorf("duplicate CreateTensor = %v, want ErrTensorExists", err)
+	}
+
+	// ErrRegionFull (1 MB region from newTestPlatform).
+	if _, err := p.CreateTensor(CPUSide, "huge", make([]float32, 1<<20)); !errors.Is(err, ErrRegionFull) {
+		t.Errorf("oversized CreateTensor = %v, want ErrRegionFull", err)
+	}
+
+	// ErrPoisoned: a transferred tensor cannot be consumed pre-barrier.
+	g, err := p.CreateTensor(NPUSide, "g", []float32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Transfer(NPUSide); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Read(CPUSide); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("pre-barrier read = %v, want ErrPoisoned", err)
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Read(CPUSide); err != nil {
+		t.Errorf("post-barrier read = %v, want nil", err)
+	}
+
+	// ErrTampered on a direct read, with the mee error still reachable.
+	v, err := p.CreateTensor(NPUSide, "victim", []float32{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TamperMemory(NPUSide, "victim", 12); err != nil {
+		t.Fatal(err)
+	}
+	_, err = v.Read(NPUSide)
+	if !errors.Is(err, ErrTampered) {
+		t.Errorf("tampered read = %v, want ErrTampered", err)
+	}
+	var ie *mee.IntegrityError
+	if !errors.As(err, &ie) {
+		t.Errorf("underlying IntegrityError lost: %v", err)
+	}
+
+	// ErrTampered at the verification barrier, with the npumac error
+	// still reachable.
+	err = v.Transfer(NPUSide)
+	if err == nil {
+		err = v.Verify()
+	}
+	if !errors.Is(err, ErrTampered) {
+		t.Errorf("tampered transfer+barrier = %v, want ErrTampered", err)
+	}
+	var ve *npumac.VerificationError
+	if !errors.As(err, &ve) && !errors.As(err, &ie) {
+		t.Errorf("underlying error type lost: %v", err)
+	}
+
+	// A failed tensor stays poisoned: reads keep failing closed.
+	if _, err := v.Read(CPUSide); !errors.Is(err, ErrPoisoned) && !errors.Is(err, ErrTampered) {
+		t.Errorf("read of failed tensor = %v, want ErrPoisoned/ErrTampered", err)
+	}
+}
+
+// TestAdamStepRefusesPoisonedGradient pins that the optimizer is a
+// consumer like any other: a transferred-but-unverified gradient must not
+// reach the Adam update.
+func TestAdamStepRefusesPoisonedGradient(t *testing.T) {
+	p := newTestPlatform(t)
+	for _, name := range []string{"w", "m", "v"} {
+		if _, err := p.CreateTensor(CPUSide, name, []float32{1, 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := p.CreateTensor(NPUSide, "g", []float32{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Transfer(NPUSide); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdamStep("w", "g", "m", "v", 1); !errors.Is(err, ErrPoisoned) {
+		t.Errorf("AdamStep on unverified gradient = %v, want ErrPoisoned", err)
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AdamStep("w", "g", "m", "v", 1); err != nil {
+		t.Errorf("AdamStep after barrier = %v, want nil", err)
+	}
+}
+
+func TestTamperMemoryRejectsOutOfRangeBits(t *testing.T) {
+	p := newTestPlatform(t)
+	// 40 floats = 160 bytes: spans three 64-byte lines, 1280 valid bits.
+	h, err := p.CreateTensor(NPUSide, "t", make([]float32, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bit := range []int{-1, 160 * 8, 160*8 + 7, 1 << 20} {
+		if err := p.TamperMemory(NPUSide, "t", bit); err == nil {
+			t.Errorf("out-of-range bit %d accepted", bit)
+		}
+	}
+	// The last valid bit targets the LAST line; the fix must not wrap it
+	// onto an earlier one. The flip must be detected on read.
+	if err := p.TamperMemory(NPUSide, "t", 160*8-1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Read(NPUSide); !errors.Is(err, ErrTampered) {
+		t.Errorf("tamper of last bit undetected: %v", err)
+	}
+	// Earlier lines are untouched: reading just the first element's line
+	// via a fresh tensor on the same platform still works.
+	clean, err := p.CreateTensor(NPUSide, "clean", []float32{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := clean.Read(NPUSide); err != nil || got[0] != 42 {
+		t.Errorf("unrelated tensor affected: %v %v", got, err)
+	}
+}
+
+func TestVerifyBarrierDedupesNames(t *testing.T) {
+	p := newTestPlatform(t)
+	g, err := p.CreateTensor(NPUSide, "g", []float32{3, 1, 4, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Transfer(NPUSide); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicated names must complete each pending verification once.
+	if err := p.VerifyBarrier("g", "g", "g"); err != nil {
+		t.Fatalf("duplicated names at barrier: %v", err)
+	}
+	if g.Poisoned() {
+		t.Error("poison not cleared")
+	}
+	// Mixing unknown and untransferred names stays clean.
+	if err := p.VerifyBarrier("g", "never-created", "g"); err != nil {
+		t.Errorf("barrier with unknown names: %v", err)
+	}
+}

@@ -2,11 +2,12 @@
 // enclave creation and measurement, mutual remote attestation, DH key
 // exchange, a ZeRO-Offload round trip (gradients NPU->CPU via the direct
 // channel, a real Adam step inside the CPU enclave, weights back), and the
-// three attacks the threat model covers — ciphertext tampering, trusted
-// channel tampering, and replay.
+// attacks the threat model covers — ciphertext tampering surfacing as
+// typed ErrTampered/ErrPoisoned sentinels.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -14,7 +15,7 @@ import (
 )
 
 func main() {
-	p, err := tensortee.NewPlatform(tensortee.PlatformConfig{Seed: 7})
+	p, err := tensortee.NewPlatform(tensortee.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,44 +30,61 @@ func main() {
 		w[i] = 1.0
 		g[i] = float32(i%7) - 3.0
 	}
-	must(p.CreateTensor(tensortee.CPUSide, "w", w))
-	must(p.CreateTensor(tensortee.CPUSide, "m", zero))
-	must(p.CreateTensor(tensortee.CPUSide, "v", zero))
-	must(p.CreateTensor(tensortee.NPUSide, "g", g))
+	hw := create(p, tensortee.CPUSide, "w", w)
+	create(p, tensortee.CPUSide, "m", zero)
+	create(p, tensortee.CPUSide, "v", zero)
+	hg := create(p, tensortee.NPUSide, "g", g)
 
-	must(p.Transfer(tensortee.NPUSide, "g")) // gradients, direct channel
-	must(p.VerifyBarrier("g"))
+	must(hg.Transfer(tensortee.NPUSide)) // gradients, direct channel
+	must(hg.Verify())
 	fmt.Println("2. gradient transfer + verification barrier: ok")
 
 	must(p.AdamStep("w", "g", "m", "v", 1)) // real fused Adam in the enclave
-	updated, err := p.ReadTensor(tensortee.CPUSide, "w")
+	updated, err := hw.Read(tensortee.CPUSide)
 	must(err)
 	fmt.Printf("3. Adam step inside the CPU enclave: w[0] %.4f -> %.4f\n", w[0], updated[0])
 
-	must(p.Transfer(tensortee.CPUSide, "w")) // weights back to the NPU
-	must(p.VerifyBarrier("w"))
-	npuW, err := p.ReadTensor(tensortee.NPUSide, "w")
+	must(hw.Transfer(tensortee.CPUSide)) // weights back to the NPU
+	must(hw.Verify())
+	npuW, err := hw.Read(tensortee.NPUSide)
 	must(err)
 	fmt.Printf("4. weights back on the NPU: w[0]=%.4f (matches: %v)\n",
 		npuW[0], npuW[0] == updated[0])
 
 	// --- attacks -----------------------------------------------------------
 	fmt.Println("\nattacks from the threat model:")
-	must(p.CreateTensor(tensortee.NPUSide, "a1", []float32{1, 2, 3, 4}))
+	a1 := create(p, tensortee.NPUSide, "a1", []float32{1, 2, 3, 4})
 	must(p.TamperMemory(tensortee.NPUSide, "a1", 100))
-	if err := p.Transfer(tensortee.NPUSide, "a1"); err != nil {
-		fmt.Println("  - GDDR bit-flip: rejected at transfer:", short(err))
-	} else if err := p.VerifyBarrier("a1"); err != nil {
-		fmt.Println("  - GDDR bit-flip: caught at the barrier:", short(err))
+	err = a1.Transfer(tensortee.NPUSide)
+	if err == nil {
+		err = a1.Verify()
+	}
+	if errors.Is(err, tensortee.ErrTampered) {
+		fmt.Println("  - GDDR bit-flip: caught, errors.Is(err, ErrTampered):", short(err))
+	} else if err != nil {
+		fmt.Println("  - GDDR bit-flip: caught:", short(err))
 	} else {
 		log.Fatal("GDDR tamper went undetected")
 	}
 
-	if _, err := p.ReadTensor(tensortee.NPUSide, "a1"); err != nil {
-		fmt.Println("  - direct read of tampered line: caught:", short(err))
+	if _, err := a1.Read(tensortee.NPUSide); err != nil {
+		fmt.Println("  - direct read of tampered tensor: caught:", short(err))
 	} else {
 		log.Fatal("tampered read went undetected")
 	}
+
+	// Out-of-range tamper offsets are rejected, not silently wrapped.
+	if err := p.TamperMemory(tensortee.NPUSide, "a1", 4*4*8); err != nil {
+		fmt.Println("  - out-of-range tamper bit: rejected:", short(err))
+	}
+}
+
+func create(p *tensortee.Platform, side tensortee.Side, name string, vals []float32) *tensortee.TensorHandle {
+	h, err := p.CreateTensor(side, name, vals)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return h
 }
 
 func status(ok bool) string {
@@ -78,8 +96,8 @@ func status(ok bool) string {
 
 func short(err error) string {
 	s := err.Error()
-	if len(s) > 80 {
-		return s[:80] + "..."
+	if len(s) > 100 {
+		return s[:100] + "..."
 	}
 	return s
 }

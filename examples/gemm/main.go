@@ -1,12 +1,16 @@
 // gemm demonstrates TenAnalyzer's tensor-structure detection on the
 // Section 6.2 workload: a tiled matrix multiply whose 2D access pattern is
 // reassembled by the Tensor Filter and the multi-direction entry merging of
-// Figure 11. It prints the hit-rate evolution and the detected structure.
+// Figure 11. It prints the hit-rate evolution and the detected structure,
+// then cross-checks against the public "gemm" experiment via the Runner.
 package main
 
 import (
+	"context"
 	"fmt"
+	"log"
 
+	"tensortee"
 	"tensortee/internal/tenanalyzer"
 	"tensortee/internal/trace"
 )
@@ -47,4 +51,17 @@ func main() {
 	} else {
 		fmt.Println("on-chip/off-chip VN invariant holds for every covered line")
 	}
+
+	// The same study through the public experiment harness: a typed Result
+	// with the headline scalar, no output parsing.
+	res, err := tensortee.NewRunner().Run(context.Background(), "gemm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hitIn, err := res.Scalar("hit_in")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull cpusim pipeline (%s): hit_in=%.1f%% in %v\n",
+		res.ID, hitIn*100, res.Elapsed.Round(1e6))
 }

@@ -1,57 +1,58 @@
-// llmtraining sweeps all twelve Table-2 models across the three systems and
-// prints the Figure 16/17 view: per-batch latency, the TensorTEE speedup
-// over the SGX+MGX baseline, and the per-phase breakdown.
+// llmtraining regenerates the Figure 16/17 view — per-batch latency for
+// all twelve Table-2 models under the three systems, plus the per-phase
+// breakdown — through the typed Runner API: both experiments run
+// concurrently over a shared calibration cache, and the tables are
+// consumed as typed rows (no string parsing).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"time"
 
 	"tensortee"
 )
 
 func main() {
-	systems := map[tensortee.Kind]*tensortee.System{}
-	for _, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
-		sys, err := tensortee.NewSystem(kind)
-		if err != nil {
-			log.Fatal(err)
-		}
-		systems[kind] = sys
+	runner := tensortee.NewRunner(
+		tensortee.WithParallelism(2),
+		tensortee.WithSystems(tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE),
+	)
+	results, err := runner.RunAll(context.Background(), "fig16", "fig17")
+	if err != nil {
+		log.Fatal(err)
 	}
+	fig16, fig17 := results[0], results[1]
 
-	fmt.Printf("%-12s %-8s  %12s %12s %12s  %8s %9s\n",
-		"model", "params", "non-secure", "SGX+MGX", "TensorTEE", "speedup", "overhead")
-	var sumSpeedup float64
-	names := tensortee.ModelNames()
-	for _, name := range names {
-		info, _ := tensortee.Model(name)
-		var totals [3]time.Duration
-		for i, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
-			b, err := systems[kind].TrainStep(name)
-			if err != nil {
-				log.Fatal(err)
-			}
-			totals[i] = b.Total
-		}
-		speedup := float64(totals[1]) / float64(totals[2])
-		overhead := (float64(totals[2])/float64(totals[0]) - 1) * 100
-		sumSpeedup += speedup
-		fmt.Printf("%-12s %-8s  %12v %12v %12v  %7.2fx %8.1f%%\n",
-			name, info.ParamsLabel,
-			totals[0].Round(time.Millisecond), totals[1].Round(time.Millisecond),
-			totals[2].Round(time.Millisecond), speedup, overhead)
+	// Typed access: pick columns by name, read cells as numbers.
+	perf := fig16.Tables[0]
+	model, speedup, overhead := perf.Column("model"), perf.Column("speedup"), perf.Column("overhead vs NS (%)")
+	fmt.Printf("%-12s %8s %9s\n", "model", "speedup", "overhead")
+	for _, row := range perf.Rows {
+		fmt.Printf("%-12s %7.2fx %8.1f%%\n",
+			row[model].Text, row[speedup].Number, row[overhead].Number)
 	}
-	fmt.Printf("\naverage speedup over the baseline: %.2fx (paper: 4.0x, up to 5.5x)\n",
-		sumSpeedup/float64(len(names)))
+	avg, err := fig16.Scalar("avg_speedup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	max, err := fig16.Scalar("max_speedup")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\naverage speedup over the baseline: %.2fx, max %.2fx (paper: 4.0x, up to 5.5x)\n", avg, max)
 
 	fmt.Println("\nper-phase breakdown of GPT2-M (Figure 5/17):")
-	for _, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
-		b, _ := systems[kind].TrainStep("GPT2-M")
-		t := float64(b.Total)
+	bd := fig17.Tables[0]
+	mCol, sCol := bd.Column("model"), bd.Column("system")
+	npu, cpu, cw, cg := bd.Column("NPU"), bd.Column("CPU"), bd.Column("CommW"), bd.Column("CommG")
+	for _, row := range bd.Rows {
+		if row[mCol].Text != "GPT2-M" {
+			continue
+		}
 		fmt.Printf("%-12s npu=%4.1f%% cpu=%4.1f%% commW=%4.1f%% commG=%4.1f%%\n",
-			kind, 100*float64(b.NPU)/t, 100*float64(b.CPU)/t,
-			100*float64(b.CommWeights)/t, 100*float64(b.CommGrads)/t)
+			row[sCol].Text, row[npu].Number, row[cpu].Number, row[cw].Number, row[cg].Number)
 	}
+	fmt.Printf("\n[fig16 in %v, fig17 in %v — three calibrations shared across both]\n",
+		fig16.Elapsed.Round(1e6), fig17.Elapsed.Round(1e6))
 }

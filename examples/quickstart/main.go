@@ -1,9 +1,12 @@
-// Quickstart: build the three systems, simulate one GPT2-M training step
-// on each, and show the functional security path — attestation, a direct
-// tensor transfer, delayed verification, and tamper detection.
+// Quickstart: regenerate a paper experiment through the typed Runner API,
+// then show the functional security path — attestation, a direct tensor
+// transfer through a TensorHandle, delayed verification, and tamper
+// detection with typed sentinel errors.
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -12,6 +15,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// --- timing: one training step under each system ---------------------
 	fmt.Println("== GPT2-M training step (simulated) ==")
 	for _, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
@@ -26,44 +31,62 @@ func main() {
 		fmt.Printf("%-12s total=%v\n", kind, b.Total.Round(time.Millisecond))
 	}
 
+	// --- typed experiment results through the Runner ----------------------
+	runner := tensortee.NewRunner()
+	res, err := runner.Run(ctx, "hw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	total, _ := res.Scalar("total_kb")
+	fmt.Printf("\n== %s ==\non-chip storage: %.1f KB (typed scalar, no string parsing)\n", res.Title, total)
+
 	// --- function: a real secure transfer --------------------------------
 	fmt.Println("\n== functional security path ==")
-	p, err := tensortee.NewPlatform(tensortee.PlatformConfig{})
+	p, err := tensortee.NewPlatform(tensortee.WithRegionBytes(8 << 20))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("attestation + key exchange:", ok(p.Attested()))
 
-	grads := []float32{0.25, -1.5, 3.0, 0.125}
-	if err := p.CreateTensor(tensortee.NPUSide, "grad", grads); err != nil {
+	grad, err := p.CreateTensor(tensortee.NPUSide, "grad", []float32{0.25, -1.5, 3.0, 0.125})
+	if err != nil {
 		log.Fatal(err)
 	}
-	if err := p.Transfer(tensortee.NPUSide, "grad"); err != nil {
+	if err := grad.Transfer(tensortee.NPUSide); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("direct transfer NPU->CPU (no re-encryption): done,",
-		"poisoned until barrier:", p.Poisoned("grad"))
-	if err := p.VerifyBarrier("grad"); err != nil {
+		"poisoned until barrier:", grad.Poisoned())
+	if _, err := grad.Read(tensortee.CPUSide); !errors.Is(err, tensortee.ErrPoisoned) {
+		log.Fatalf("pre-barrier read should be poisoned, got %v", err)
+	}
+	if err := grad.Verify(); err != nil {
 		log.Fatal(err)
 	}
-	got, err := p.ReadTensor(tensortee.CPUSide, "grad")
+	got, err := grad.Read(tensortee.CPUSide)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("verification barrier passed; CPU enclave reads:", got)
 
 	// --- tamper detection -------------------------------------------------
-	if err := p.CreateTensor(tensortee.NPUSide, "victim", []float32{1, 2, 3, 4}); err != nil {
+	victim, err := p.CreateTensor(tensortee.NPUSide, "victim", []float32{1, 2, 3, 4})
+	if err != nil {
 		log.Fatal(err)
 	}
 	if err := p.TamperMemory(tensortee.NPUSide, "victim", 17); err != nil {
 		log.Fatal(err)
 	}
-	if err := p.Transfer(tensortee.NPUSide, "victim"); err != nil {
-		fmt.Println("tampered transfer rejected immediately:", err)
-	} else if err := p.VerifyBarrier("victim"); err != nil {
-		fmt.Println("tamper detected at verification barrier:", err)
-	} else {
+	err = victim.Transfer(tensortee.NPUSide)
+	if err == nil {
+		err = victim.Verify()
+	}
+	switch {
+	case errors.Is(err, tensortee.ErrTampered):
+		fmt.Println("tamper detected (errors.Is(err, ErrTampered)):", err)
+	case err != nil:
+		fmt.Println("tamper detected:", err)
+	default:
 		log.Fatal("TAMPER WENT UNDETECTED")
 	}
 }

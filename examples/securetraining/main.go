@@ -37,7 +37,7 @@ func npuForwardBackward(w, b float32) (loss, gw, gb float32) {
 }
 
 func main() {
-	p, err := tensortee.NewPlatform(tensortee.PlatformConfig{Seed: 2024})
+	p, err := tensortee.NewPlatform(tensortee.WithSeed(2024))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -46,49 +46,53 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	create := func(side tensortee.Side, name string, vals []float32) *tensortee.TensorHandle {
+		h, err := p.CreateTensor(side, name, vals)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return h
+	}
 
 	// CPU enclave holds fp32 master weights and optimizer state
 	// (ZeRO-Offload's layout, Figure 1).
-	must(p.CreateTensor(tensortee.CPUSide, "w", []float32{0, 0})) // [w, b]
-	must(p.CreateTensor(tensortee.CPUSide, "m", []float32{0, 0}))
-	must(p.CreateTensor(tensortee.CPUSide, "v", []float32{0, 0}))
+	w := create(tensortee.CPUSide, "w", []float32{0, 0}) // [w, b]
+	create(tensortee.CPUSide, "m", []float32{0, 0})
+	create(tensortee.CPUSide, "v", []float32{0, 0})
 	// NPU enclave holds the gradient buffer.
-	must(p.CreateTensor(tensortee.NPUSide, "g", []float32{0, 0}))
+	g := create(tensortee.NPUSide, "g", []float32{0, 0})
 	// Ship initial weights to the NPU.
-	must(p.Transfer(tensortee.CPUSide, "w"))
-	must(p.VerifyBarrier("w"))
+	must(w.Transfer(tensortee.CPUSide))
+	must(w.Verify())
 
 	fmt.Println("step   loss        w        b")
 	for step := 1; step <= 400; step++ {
 		// NPU: forward+backward on its (decrypted-inside-the-enclave) weights.
-		wvals, err := p.ReadTensor(tensortee.NPUSide, "w")
+		wvals, err := w.Read(tensortee.NPUSide)
 		must(err)
 		loss, gw, gb := npuForwardBackward(wvals[0], wvals[1])
 
 		// NPU writes gradients into its protected memory...
-		gvals, err := p.ReadTensor(tensortee.NPUSide, "g")
-		must(err)
-		gvals[0], gvals[1] = gw, gb
-		must(p.WriteTensor(tensortee.NPUSide, "g", gvals))
+		must(g.Write(tensortee.NPUSide, []float32{gw, gb}))
 
 		// ...and they cross to the CPU via the direct channel + barrier.
-		must(p.Transfer(tensortee.NPUSide, "g"))
-		must(p.VerifyBarrier("g"))
+		must(g.Transfer(tensortee.NPUSide))
+		must(g.Verify())
 
 		// CPU enclave: fused Adam on the master weights.
 		must(p.AdamStepWithLR("w", "g", "m", "v", step, 0.05))
 
 		// Updated weights return to the NPU for the next step.
-		must(p.Transfer(tensortee.CPUSide, "w"))
-		must(p.VerifyBarrier("w"))
+		must(w.Transfer(tensortee.CPUSide))
+		must(w.Verify())
 
 		if step%80 == 0 || step == 1 {
-			cur, err := p.ReadTensor(tensortee.CPUSide, "w")
+			cur, err := w.Read(tensortee.CPUSide)
 			must(err)
 			fmt.Printf("%4d  %8.5f  %7.4f  %7.4f\n", step, loss, cur[0], cur[1])
 		}
 	}
-	final, err := p.ReadTensor(tensortee.CPUSide, "w")
+	final, err := w.Read(tensortee.CPUSide)
 	must(err)
 	fmt.Printf("\nconverged to y = %.3fx + %.3f (target: y = 2x + 1)\n", final[0], final[1])
 	fmt.Println("every step ran on AES-CTR protected memory with barrier-gated transfers")

@@ -1,0 +1,3 @@
+module tensortee
+
+go 1.24

@@ -135,7 +135,7 @@ const fig18Bytes = 64 << 20
 // Fig3 reproduces the motivation study: normalized Adam latency and SGX
 // slowdown versus thread count (1-8). The paper reports the transition to
 // memory-bound and a slowdown reaching ~3.7x.
-func Fig3() (*Report, error) {
+func Fig3(_ *Env) (*Report, error) {
 	r := newReport("fig3", "CPU TEE overhead vs thread count (Adam step)")
 	tb := stats.NewTable("Adam step, 2M-element window", "threads", "non-secure (ms)", "normalized", "SGX (ms)", "slowdown")
 
@@ -165,7 +165,7 @@ func Fig3() (*Report, error) {
 // Fig18 reproduces the Meta Table hit-rate convergence across iterations
 // using GPT2-M's real tensor inventory (scaled footprint, full tensor
 // count) on 8 threads.
-func Fig18() (*Report, error) {
+func Fig18(_ *Env) (*Report, error) {
 	r := newReport("fig18", "Meta Table hit rate vs iteration (GPT2-M inventory)")
 	m, err := workload.ModelByName("GPT2-M")
 	if err != nil {
@@ -201,7 +201,7 @@ func Fig18() (*Report, error) {
 // Fig19 reproduces the CPU performance comparison: normalized latency of
 // SGX, SoftVN, and TensorTEE at increasing iteration counts, for 4 and 8
 // threads.
-func Fig19() (*Report, error) {
+func Fig19(_ *Env) (*Report, error) {
 	r := newReport("fig19", "CPU TEE comparison at iteration counts (normalized latency)")
 	m, err := workload.ModelByName("GPT2-M")
 	if err != nil {
@@ -257,7 +257,7 @@ func Fig19() (*Report, error) {
 // GEMMDetection reproduces the Section 6.2 complex-pattern study: a
 // 256x256 fp32 matrix read through 64x64 tiles reaches ~98.8% hit_in after
 // a single GEMM pass.
-func GEMMDetection() (*Report, error) {
+func GEMMDetection(_ *Env) (*Report, error) {
 	r := newReport("gemm", "Tiled GEMM tensor detection (Section 6.2)")
 	cfg := config.Default(config.BaselineSGXMGX)
 	s := cpusim.New(cfg, cpusim.Options{Mode: mee.ModeTensor, DataLines: 1 << 16})

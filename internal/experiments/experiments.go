@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 
+	"tensortee/internal/config"
+	"tensortee/internal/core"
 	"tensortee/internal/stats"
 )
 
@@ -53,8 +55,30 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Generator produces a report.
-type Generator func() (*Report, error)
+// SystemProvider returns a calibrated end-to-end system for the kind.
+// Providers may cache: calibration is the expensive part of NewSystem, and
+// every returned *core.System is safe for concurrent read-only use
+// (TrainStep and friends construct their per-call simulators fresh).
+type SystemProvider func(kind config.SystemKind) (*core.System, error)
+
+// Env carries the execution environment a generator runs under. The zero
+// value (and a nil *Env) is valid: systems are then built and calibrated
+// on demand, uncached — the historical behavior.
+type Env struct {
+	// Systems supplies calibrated systems; nil means core.NewSystem.
+	Systems SystemProvider
+}
+
+// System resolves a calibrated system through the provider (or directly).
+func (e *Env) System(kind config.SystemKind) (*core.System, error) {
+	if e != nil && e.Systems != nil {
+		return e.Systems(kind)
+	}
+	return core.NewSystem(kind)
+}
+
+// Generator produces a report within an environment.
+type Generator func(env *Env) (*Report, error)
 
 // Registry maps experiment ids to generators, in the paper's order.
 func Registry() []struct {
@@ -82,11 +106,16 @@ func Registry() []struct {
 	}
 }
 
-// Run finds and runs one experiment by id.
+// Run finds and runs one experiment by id with an on-demand environment.
 func Run(id string) (*Report, error) {
+	return RunWith(nil, id)
+}
+
+// RunWith finds and runs one experiment by id under env.
+func RunWith(env *Env, id string) (*Report, error) {
 	for _, e := range Registry() {
 		if e.ID == id {
-			return e.Gen()
+			return e.Gen(env)
 		}
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)

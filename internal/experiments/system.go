@@ -12,23 +12,25 @@ import (
 	"tensortee/internal/workload"
 )
 
-// threeSystems builds the calibrated Non-Secure / SGX+MGX / TensorTEE
-// systems (shared by fig5/16/17/21).
-func threeSystems() (ns, base, tte *core.System, err error) {
-	if ns, err = core.NewSystem(config.NonSecure); err != nil {
+// threeSystems resolves the calibrated Non-Secure / SGX+MGX / TensorTEE
+// systems through the environment (shared by fig5/15/16/17/21) — with a
+// caching provider each system calibrates once per process, not once per
+// experiment.
+func threeSystems(env *Env) (ns, base, tte *core.System, err error) {
+	if ns, err = env.System(config.NonSecure); err != nil {
 		return
 	}
-	if base, err = core.NewSystem(config.BaselineSGXMGX); err != nil {
+	if base, err = env.System(config.BaselineSGXMGX); err != nil {
 		return
 	}
-	tte, err = core.NewSystem(config.TensorTEE)
+	tte, err = env.System(config.TensorTEE)
 	return
 }
 
 // Fig4 reports the tensor inventory of every model: tensor count and the
 // largest tensor size — the "small numbers, large sizes" observation that
 // motivates tensor-granularity protection.
-func Fig4() (*Report, error) {
+func Fig4(_ *Env) (*Report, error) {
 	r := newReport("fig4", "Optimizer tensor inventory per model")
 	tb := stats.NewTable("fp32 optimizer tensors", "model", "params", "tensor count", "largest (MB)", "total (MB)")
 	maxCount := 0
@@ -49,9 +51,9 @@ func Fig4() (*Report, error) {
 // Fig5 reports the GPT2-M time breakdown for Non-Secure and the SGX+MGX
 // baseline (the motivation pie charts: communication grows from 12% to
 // ~53% under the mismatched-granularity TEE).
-func Fig5() (*Report, error) {
+func Fig5(env *Env) (*Report, error) {
 	r := newReport("fig5", "GPT2-M ZeRO-Offload breakdown: Non-Secure vs SGX+MGX")
-	ns, base, _, err := threeSystems()
+	ns, base, _, err := threeSystems(env)
 	if err != nil {
 		return nil, err
 	}
@@ -78,9 +80,9 @@ func Fig5() (*Report, error) {
 // Fig15 renders the computation/communication overlap timelines: the
 // baseline's serialized backward + gradient transfer versus TensorTEE's
 // overlapped schedule (Figures 7 and 15).
-func Fig15() (*Report, error) {
+func Fig15(env *Env) (*Report, error) {
 	r := newReport("fig15", "Compute/communication overlap (Figures 7 and 15)")
-	_, base, tte, err := threeSystems()
+	_, base, tte, err := threeSystems(env)
 	if err != nil {
 		return nil, err
 	}
@@ -107,9 +109,9 @@ func Fig15() (*Report, error) {
 
 // Fig16 is the headline result: latency per batch for all twelve models
 // under the three systems, with the TensorTEE speedup over the baseline.
-func Fig16() (*Report, error) {
+func Fig16(env *Env) (*Report, error) {
 	r := newReport("fig16", "Overall performance (latency per batch)")
-	ns, base, tte, err := threeSystems()
+	ns, base, tte, err := threeSystems(env)
 	if err != nil {
 		return nil, err
 	}
@@ -134,9 +136,9 @@ func Fig16() (*Report, error) {
 }
 
 // Fig17 is the per-model breakdown for all three systems.
-func Fig17() (*Report, error) {
+func Fig17(env *Env) (*Report, error) {
 	r := newReport("fig17", "Per-model breakdown across systems")
-	ns, base, tte, err := threeSystems()
+	ns, base, tte, err := threeSystems(env)
 	if err != nil {
 		return nil, err
 	}
@@ -156,7 +158,7 @@ func Fig17() (*Report, error) {
 // Fig20 sweeps the NPU MAC granularity: normalized performance and storage
 // overhead for the MGX-like scheme at 64B..4KB against TensorTEE's delayed
 // tensor-granularity verification.
-func Fig20() (*Report, error) {
+func Fig20(_ *Env) (*Report, error) {
 	r := newReport("fig20", "NPU MAC granularity sweep (normalized performance and storage)")
 	cfg := config.Default(config.BaselineSGXMGX)
 	m, err := workload.ModelByName("GPT2-M")
@@ -196,9 +198,9 @@ func Fig20() (*Report, error) {
 
 // Fig21 decomposes the gradient transfer per model: re-encryption, wire,
 // decryption for the baseline versus the direct protocol.
-func Fig21() (*Report, error) {
+func Fig21(env *Env) (*Report, error) {
 	r := newReport("fig21", "Gradient transfer breakdown (per model)")
-	_, base, tte, err := threeSystems()
+	_, base, tte, err := threeSystems(env)
 	if err != nil {
 		return nil, err
 	}

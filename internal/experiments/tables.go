@@ -7,7 +7,7 @@ import (
 )
 
 // Tab1 prints the system simulation configuration (Table 1).
-func Tab1() (*Report, error) {
+func Tab1(_ *Env) (*Report, error) {
 	r := newReport("tab1", "System simulation configuration (Table 1)")
 	c := config.Default(config.TensorTEE)
 
@@ -39,7 +39,7 @@ func Tab1() (*Report, error) {
 }
 
 // Tab2 prints the workload zoo (Table 2) with the derived parameter counts.
-func Tab2() (*Report, error) {
+func Tab2(_ *Env) (*Report, error) {
 	r := newReport("tab2", "Workloads and parameters (Table 2)")
 	tb := stats.NewTable("LLM training workloads", "model", "# params (paper)", "# params (derived)", "batch size", "layers", "hidden")
 	for _, m := range workload.Models() {
@@ -52,7 +52,7 @@ func Tab2() (*Report, error) {
 
 // HardwareOverhead reproduces the Section 6.5 on-chip storage accounting:
 // the Meta Table, Tensor Filter, bitmap cache, and poison bits total ~24KB.
-func HardwareOverhead() (*Report, error) {
+func HardwareOverhead(_ *Env) (*Report, error) {
 	r := newReport("hw", "On-chip hardware overhead (Section 6.5)")
 	c := config.Default(config.TensorTEE)
 

@@ -86,6 +86,11 @@ type tensorState struct {
 type VerificationError struct {
 	Tensor TensorID
 	Reason string
+	// Unverified marks failures where the tensor is still poisoned
+	// (pending or propagated verification) rather than a detected MAC
+	// mismatch; callers use it to distinguish "not yet verified" from
+	// "tampered".
+	Unverified bool
 }
 
 func (e *VerificationError) Error() string {
@@ -229,7 +234,7 @@ func (v *Verifier) Barrier(ids ...TensorID) error {
 			return &VerificationError{Tensor: id, Reason: "verification failed before communication"}
 		}
 		if s.poisoned {
-			return &VerificationError{Tensor: id, Reason: "unverified at communication barrier"}
+			return &VerificationError{Tensor: id, Reason: "unverified at communication barrier", Unverified: true}
 		}
 	}
 	return nil

@@ -9,11 +9,21 @@ import (
 	"strings"
 )
 
-// Table is a simple column-aligned text table.
+// Cell is one table value: the rendered text plus, for numeric cells, the
+// raw number AddRow received — so consumers (the public Result API, JSON
+// and CSV renderers) get typed data instead of re-parsing strings.
+type Cell struct {
+	Text  string
+	Num   float64
+	IsNum bool
+}
+
+// Table is a simple column-aligned text table of typed cells.
 type Table struct {
 	Title   string
 	Headers []string
-	Rows    [][]string
+	// Cells holds the typed values of every row.
+	Cells [][]Cell
 }
 
 // NewTable creates a table with the given headers.
@@ -21,20 +31,29 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// AddRow appends a row; values are formatted with %v.
+// AddRow appends a row; values are formatted with %v and numeric values
+// additionally keep their raw number.
 func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
+	typed := make([]Cell, len(cells))
 	for i, c := range cells {
 		switch v := c.(type) {
 		case float64:
-			row[i] = fmtFloat(v)
+			typed[i] = Cell{Text: fmtFloat(v), Num: v, IsNum: true}
+		case float32:
+			typed[i] = Cell{Text: fmtFloat(float64(v)), Num: float64(v), IsNum: true}
+		case int:
+			typed[i] = Cell{Text: fmt.Sprint(v), Num: float64(v), IsNum: true}
+		case int64:
+			typed[i] = Cell{Text: fmt.Sprint(v), Num: float64(v), IsNum: true}
+		case uint64:
+			typed[i] = Cell{Text: fmt.Sprint(v), Num: float64(v), IsNum: true}
 		case string:
-			row[i] = v
+			typed[i] = Cell{Text: v}
 		default:
-			row[i] = fmt.Sprint(v)
+			typed[i] = Cell{Text: fmt.Sprint(c)}
 		}
 	}
-	t.Rows = append(t.Rows, row)
+	t.Cells = append(t.Cells, typed)
 }
 
 func fmtFloat(v float64) string {
@@ -58,10 +77,10 @@ func (t *Table) String() string {
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
-	for _, r := range t.Rows {
+	for _, r := range t.Cells {
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			if i < len(widths) && len(c.Text) > widths[i] {
+				widths[i] = len(c.Text)
 			}
 		}
 	}
@@ -84,8 +103,12 @@ func (t *Table) String() string {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	writeRow(sep)
-	for _, r := range t.Rows {
-		writeRow(r)
+	for _, r := range t.Cells {
+		row := make([]string, len(r))
+		for i, c := range r {
+			row[i] = c.Text
+		}
+		writeRow(row)
 	}
 	return b.String()
 }

@@ -8,7 +8,7 @@ import (
 
 func newTestPlatform(t *testing.T) *Platform {
 	t.Helper()
-	p, err := NewPlatform(PlatformConfig{RegionBytes: 1 << 20, Seed: 42})
+	p, err := NewPlatform(WithRegionBytes(1<<20), WithSeed(42))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestPlatformAttestation(t *testing.T) {
 func TestCreateReadRoundTrip(t *testing.T) {
 	p := newTestPlatform(t)
 	want := []float32{1.5, -2.25, 1e6, 0}
-	if err := p.CreateTensor(CPUSide, "x", want); err != nil {
+	if _, err := p.CreateTensor(CPUSide, "x", want); err != nil {
 		t.Fatal(err)
 	}
 	got, err := p.ReadTensor(CPUSide, "x")
@@ -41,14 +41,14 @@ func TestCreateReadRoundTrip(t *testing.T) {
 
 func TestCreateTensorValidation(t *testing.T) {
 	p := newTestPlatform(t)
-	if err := p.CreateTensor(CPUSide, "dup", []float32{1}); err != nil {
+	if _, err := p.CreateTensor(CPUSide, "dup", []float32{1}); err != nil {
 		t.Fatal(err)
 	}
-	if err := p.CreateTensor(CPUSide, "dup", []float32{2}); err == nil {
+	if _, err := p.CreateTensor(CPUSide, "dup", []float32{2}); err == nil {
 		t.Error("duplicate name accepted")
 	}
 	huge := make([]float32, 1<<20) // 4MB > 1MB region
-	if err := p.CreateTensor(CPUSide, "huge", huge); err == nil {
+	if _, err := p.CreateTensor(CPUSide, "huge", huge); err == nil {
 		t.Error("oversized tensor accepted")
 	}
 	if _, err := p.ReadTensor(CPUSide, "missing"); err == nil {
@@ -59,7 +59,7 @@ func TestCreateTensorValidation(t *testing.T) {
 func TestTransferAndBarrier(t *testing.T) {
 	p := newTestPlatform(t)
 	vals := []float32{3, 1, 4, 1, 5, 9, 2, 6}
-	if err := p.CreateTensor(NPUSide, "g", vals); err != nil {
+	if _, err := p.CreateTensor(NPUSide, "g", vals); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.Transfer(NPUSide, "g"); err != nil {
@@ -87,7 +87,7 @@ func TestTransferAndBarrier(t *testing.T) {
 
 func TestTamperDetectedAtBarrier(t *testing.T) {
 	p := newTestPlatform(t)
-	if err := p.CreateTensor(NPUSide, "v", []float32{1, 2, 3, 4}); err != nil {
+	if _, err := p.CreateTensor(NPUSide, "v", []float32{1, 2, 3, 4}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.TamperMemory(NPUSide, "v", 12); err != nil {
@@ -117,7 +117,7 @@ func TestTamperUnknownTensor(t *testing.T) {
 
 func TestBarrierOnUntransferredIsClean(t *testing.T) {
 	p := newTestPlatform(t)
-	if err := p.CreateTensor(CPUSide, "local", []float32{1}); err != nil {
+	if _, err := p.CreateTensor(CPUSide, "local", []float32{1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.VerifyBarrier("local"); err != nil {
@@ -139,7 +139,7 @@ func TestAdamStepInsideEnclave(t *testing.T) {
 		name string
 		vals []float32
 	}{{"w", w}, {"g", g}, {"m", zero}, {"v", zero}} {
-		if err := p.CreateTensor(CPUSide, spec.name, spec.vals); err != nil {
+		if _, err := p.CreateTensor(CPUSide, spec.name, spec.vals); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -185,10 +185,15 @@ func TestZeROOffloadRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	must(p.CreateTensor(CPUSide, "w", mk(2)))
-	must(p.CreateTensor(CPUSide, "m", mk(0)))
-	must(p.CreateTensor(CPUSide, "v", mk(0)))
-	must(p.CreateTensor(NPUSide, "g", mk(-1)))
+	create := func(side Side, name string, vals []float32) {
+		t.Helper()
+		_, err := p.CreateTensor(side, name, vals)
+		must(err)
+	}
+	create(CPUSide, "w", mk(2))
+	create(CPUSide, "m", mk(0))
+	create(CPUSide, "v", mk(0))
+	create(NPUSide, "g", mk(-1))
 
 	must(p.Transfer(NPUSide, "g"))
 	must(p.VerifyBarrier("g"))
@@ -219,7 +224,7 @@ func TestStagedTransferEquivalentToDirect(t *testing.T) {
 	// protocol — it just pays four crypto passes to do it.
 	p := newTestPlatform(t)
 	vals := []float32{1, -2, 3.5, -4.25}
-	if err := p.CreateTensor(NPUSide, "d", vals); err != nil {
+	if _, err := p.CreateTensor(NPUSide, "d", vals); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.TransferStaged(NPUSide, "d"); err != nil {
@@ -238,7 +243,7 @@ func TestStagedTransferEquivalentToDirect(t *testing.T) {
 
 func TestStagedTransferDetectsTamper(t *testing.T) {
 	p := newTestPlatform(t)
-	if err := p.CreateTensor(NPUSide, "t", []float32{9, 8, 7}); err != nil {
+	if _, err := p.CreateTensor(NPUSide, "t", []float32{9, 8, 7}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.TamperMemory(NPUSide, "t", 3); err != nil {
@@ -254,7 +259,7 @@ func TestWriteTensorValidation(t *testing.T) {
 	if err := p.WriteTensor(CPUSide, "ghost", []float32{1}); err == nil {
 		t.Error("write to unknown tensor accepted")
 	}
-	if err := p.CreateTensor(CPUSide, "wt", []float32{1, 2}); err != nil {
+	if _, err := p.CreateTensor(CPUSide, "wt", []float32{1, 2}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.WriteTensor(CPUSide, "wt", []float32{1}); err == nil {
@@ -274,7 +279,7 @@ func TestWriteTensorValidation(t *testing.T) {
 
 func TestAdamStepMissingTensor(t *testing.T) {
 	p := newTestPlatform(t)
-	if err := p.CreateTensor(CPUSide, "only-w", []float32{1}); err != nil {
+	if _, err := p.CreateTensor(CPUSide, "only-w", []float32{1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.AdamStep("only-w", "none", "none", "none", 1); err == nil {
@@ -286,7 +291,7 @@ func TestWriteTensorBumpsVersion(t *testing.T) {
 	// Rewriting a tensor must produce fresh ciphertext (freshness: the
 	// version number advanced).
 	p := newTestPlatform(t)
-	if err := p.CreateTensor(CPUSide, "fresh", []float32{1, 1, 1, 1}); err != nil {
+	if _, err := p.CreateTensor(CPUSide, "fresh", []float32{1, 1, 1, 1}); err != nil {
 		t.Fatal(err)
 	}
 	if err := p.WriteTensor(CPUSide, "fresh", []float32{1, 1, 1, 1}); err != nil {

@@ -1,0 +1,9 @@
+//go:build race
+
+package tensortee
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heaviest sweep tests skip under it (the detector slows the simulators
+// ~10x past the test timeout, and they add no synchronization coverage
+// beyond the fast fan-out tests).
+const raceEnabled = true

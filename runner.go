@@ -1,0 +1,223 @@
+package tensortee
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tensortee/internal/config"
+	"tensortee/internal/core"
+	"tensortee/internal/experiments"
+)
+
+// systemCache shares calibrated systems across experiments and goroutines.
+// Calibration (a short CPU-simulation sample) is the expensive part of
+// building a system; with the cache each SystemKind calibrates exactly
+// once per Runner instead of once per experiment. Concurrent requests for
+// the same kind block on a single calibration (per-entry sync.Once).
+type systemCache struct {
+	mu      sync.Mutex
+	entries map[config.SystemKind]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	sys  *core.System
+	err  error
+}
+
+func newSystemCache() *systemCache {
+	return &systemCache{entries: make(map[config.SystemKind]*cacheEntry)}
+}
+
+func (c *systemCache) get(kind config.SystemKind) (*core.System, error) {
+	c.mu.Lock()
+	e, ok := c.entries[kind]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[kind] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.sys, e.err = core.NewSystem(kind) })
+	return e.sys, e.err
+}
+
+// Runner executes experiments, optionally many at a time, sharing one
+// calibration cache across all of them. The zero configuration
+// (NewRunner() with no options) runs sequentially with caching on; a
+// Runner is safe for concurrent use.
+type Runner struct {
+	parallelism int
+	cache       *systemCache // nil when caching is disabled
+	prewarm     []Kind
+}
+
+// RunnerOption configures a Runner.
+type RunnerOption func(*Runner)
+
+// WithParallelism sets how many experiments may run concurrently in
+// RunAll (default 1; n < 1 selects GOMAXPROCS).
+func WithParallelism(n int) RunnerOption {
+	return func(r *Runner) {
+		if n < 1 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		r.parallelism = n
+	}
+}
+
+// WithSystems pre-declares the system kinds the workload will use: the
+// Runner calibrates them up front (once, at the first Run/RunAll) instead
+// of lazily inside the first experiment that needs each.
+func WithSystems(kinds ...Kind) RunnerOption {
+	return func(r *Runner) { r.prewarm = append(r.prewarm, kinds...) }
+}
+
+// WithCalibrationCache toggles the shared calibrated-system cache
+// (default on). Disabling it restores the historical
+// calibrate-per-experiment behavior — useful to bound memory or to force
+// fully independent runs.
+func WithCalibrationCache(enabled bool) RunnerOption {
+	return func(r *Runner) {
+		if enabled && r.cache == nil {
+			r.cache = newSystemCache()
+		} else if !enabled {
+			r.cache = nil
+		}
+	}
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts ...RunnerOption) *Runner {
+	r := &Runner{parallelism: 1, cache: newSystemCache()}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// env builds the experiment environment backed by this Runner's cache.
+func (r *Runner) env() *experiments.Env {
+	if r.cache == nil {
+		return nil // on-demand, uncached systems
+	}
+	return &experiments.Env{Systems: r.cache.get}
+}
+
+// warm calibrates the pre-declared systems, honoring ctx between kinds.
+// Without a cache there is nothing to keep the results in, so prewarming
+// would calibrate and discard on every call — skip it.
+func (r *Runner) warm(ctx context.Context) error {
+	if r.cache == nil {
+		return nil
+	}
+	env := r.env()
+	for _, k := range r.prewarm {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, err := env.System(k.kind()); err != nil {
+			return fmt.Errorf("tensortee: calibrating %s: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Run regenerates one experiment and returns its typed result. The
+// context is checked before the (potentially long) generation starts;
+// cancellation during generation takes effect at the next experiment
+// boundary.
+func (r *Runner) Run(ctx context.Context, id string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.warm(ctx); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rep, err := experiments.RunWith(r.env(), id)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(rep, time.Since(start)), nil
+}
+
+// RunAll regenerates the given experiments (all registered ones when ids
+// is empty), fanning them out over a worker pool of WithParallelism
+// goroutines. Results come back in ids order. On the first failure — or
+// when ctx is cancelled — remaining experiments are skipped and the error
+// is returned; cancellation surfaces as ctx.Err().
+func (r *Runner) RunAll(ctx context.Context, ids ...string) ([]*Result, error) {
+	if len(ids) == 0 {
+		ids = ExperimentIDs()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := r.warm(ctx); err != nil {
+		return nil, err
+	}
+
+	env := r.env()
+	results := make([]*Result, len(ids))
+	jobs := make(chan int, len(ids))
+	for i := range ids {
+		jobs <- i
+	}
+	close(jobs)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		stopped  atomic.Bool
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stopped.Store(true)
+	}
+
+	workers := r.parallelism
+	if workers < 1 {
+		workers = 1 // a zero-value Runner still makes progress
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if stopped.Load() {
+					continue // drain: an error or cancellation already fired
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					continue
+				}
+				start := time.Now()
+				rep, err := experiments.RunWith(env, ids[i])
+				if err != nil {
+					fail(fmt.Errorf("experiment %s: %w", ids[i], err))
+					continue
+				}
+				results[i] = newResult(rep, time.Since(start))
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// A cancellation racing the last job may leave no recorded error but a
+	// dead context; surface it rather than returning partial results.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

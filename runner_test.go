@@ -1,0 +1,206 @@
+package tensortee
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fastIDs are experiments cheap enough to fan out in unit tests; fig5
+// exercises the shared calibration cache from multiple workers.
+var fastIDs = []string{"tab1", "tab2", "fig4", "hw", "gemm", "fig5"}
+
+func TestRunAllParallel(t *testing.T) {
+	r := NewRunner(WithParallelism(4))
+	results, err := r.RunAll(context.Background(), fastIDs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(fastIDs) {
+		t.Fatalf("results = %d, want %d", len(results), len(fastIDs))
+	}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("results[%d] is nil", i)
+		}
+		if res.ID != fastIDs[i] {
+			t.Errorf("results[%d].ID = %s, want %s (order must match ids)", i, res.ID, fastIDs[i])
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: elapsed not recorded", res.ID)
+		}
+	}
+}
+
+func TestRunAllDefaultsToRegistry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	if raceEnabled {
+		t.Skip("full registry sweep is too slow under the race detector; TestRunAllParallel covers the concurrency")
+	}
+	r := NewRunner(WithParallelism(0)) // 0 = GOMAXPROCS
+	results, err := r.RunAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := ExperimentIDs()
+	if len(results) != len(ids) {
+		t.Fatalf("results = %d, want %d", len(results), len(ids))
+	}
+	for i, res := range results {
+		if res.ID != ids[i] {
+			t.Errorf("results[%d].ID = %s, want %s", i, res.ID, ids[i])
+		}
+	}
+}
+
+func TestZeroValueRunner(t *testing.T) {
+	// A zero-value Runner (no NewRunner) must still run experiments —
+	// parallelism floors at 1 and the nil cache means uncached systems.
+	var r Runner
+	res, err := r.RunAll(context.Background(), "tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] == nil || res[0].ID != "tab1" {
+		t.Fatalf("zero-value RunAll = %+v", res)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	r := NewRunner()
+	if _, err := r.Run(context.Background(), "bogus"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if _, err := r.RunAll(context.Background(), "tab1", "bogus"); err == nil {
+		t.Error("unknown experiment accepted by RunAll")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := NewRunner()
+	if _, err := r.Run(ctx, "tab1"); !errors.Is(err, context.Canceled) {
+		t.Errorf("Run on cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := r.RunAll(ctx, "tab1", "tab2"); !errors.Is(err, context.Canceled) {
+		t.Errorf("RunAll on cancelled ctx = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunAllCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := NewRunner(WithParallelism(1))
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		// Heavy ids: calibration plus 12-model sweeps take far longer
+		// than the cancellation delay below.
+		_, err := r.RunAll(ctx, "fig16", "fig17", "fig21", "fig15")
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("RunAll after mid-run cancel = %v, want context.Canceled", err)
+		}
+		if elapsed := time.Since(start); elapsed > 30*time.Second {
+			t.Errorf("cancellation took %v; remaining experiments were not skipped", elapsed)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("RunAll did not return after cancellation")
+	}
+}
+
+// TestCalibrationCacheIdentical pins that sharing calibrated systems does
+// not change any reported number: a cached run of fig5 must produce
+// byte-identical tables and scalars to an uncached (per-experiment
+// calibration) run.
+func TestCalibrationCacheIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates six systems")
+	}
+	ctx := context.Background()
+	cached, err := NewRunner(WithCalibrationCache(true)).Run(ctx, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncached, err := NewRunner(WithCalibrationCache(false)).Run(ctx, "fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cached.Tables, uncached.Tables) {
+		t.Errorf("cached tables differ from uncached:\n%s\nvs\n%s", cached.Text(), uncached.Text())
+	}
+	if !reflect.DeepEqual(cached.Scalars, uncached.Scalars) {
+		t.Errorf("cached scalars %v differ from uncached %v", cached.Scalars, uncached.Scalars)
+	}
+}
+
+// TestCalibrationCacheReused pins the cache actually short-circuits: with
+// the cache on, a second experiment needing the same systems must not
+// re-calibrate (it runs much faster than the first).
+func TestCalibrationCacheReused(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates three systems")
+	}
+	r := NewRunner(WithSystems(NonSecure, BaselineSGXMGX, TensorTEE))
+	ctx := context.Background()
+	first, err := r.Run(ctx, "fig5") // warm + experiment
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(ctx, "fig5") // all systems cached
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Scalars, second.Scalars) {
+		t.Errorf("repeated run not deterministic: %v vs %v", first.Scalars, second.Scalars)
+	}
+}
+
+func TestRunnerSharedAcrossGoroutines(t *testing.T) {
+	// One Runner, many concurrent Run calls: exercises the calibration
+	// cache's single-flight behavior under the race detector.
+	r := NewRunner()
+	ctx := context.Background()
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			_, err := r.Run(ctx, "fig5")
+			errs <- err
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	out, err := RunExperiment("tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := NewRunner().Run(context.Background(), "tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != res.Text() {
+		t.Error("RunExperiment output diverged from Result.Text()")
+	}
+	v, err := ExperimentScalar("tab2", "models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 12 {
+		t.Errorf("models scalar = %g, want 12", v)
+	}
+}

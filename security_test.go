@@ -167,11 +167,11 @@ func TestAttackPoisonedOutputCannotLeaveEnclave(t *testing.T) {
 }
 
 func TestAttackPlatformEndToEnd(t *testing.T) {
-	p, err := NewPlatform(PlatformConfig{RegionBytes: 1 << 20, Seed: 99})
+	p, err := NewPlatform(WithRegionBytes(1<<20), WithSeed(99))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := p.CreateTensor(NPUSide, "grad", []float32{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+	if _, err := p.CreateTensor(NPUSide, "grad", []float32{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
 		t.Fatal(err)
 	}
 	// Clean transfer round.

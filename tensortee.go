@@ -4,24 +4,37 @@
 //
 // It provides two things:
 //
-//   - A simulation API (System) that times ZeRO-Offload LLM training steps
-//     on three end-to-end systems — a Non-Secure reference, the paper's
-//     SGX+MGX baseline, and TensorTEE — over a gem5-lite CPU model, a
-//     TPU-like NPU model, and a PCIe transfer model. Every table and
-//     figure of the paper's evaluation can be regenerated through
-//     RunExperiment (see cmd/tensorteesim and EXPERIMENTS.md).
+//   - A simulation API that times ZeRO-Offload LLM training steps on three
+//     end-to-end systems — a Non-Secure reference, the paper's SGX+MGX
+//     baseline, and TensorTEE — over a gem5-lite CPU model, a TPU-like NPU
+//     model, and a PCIe transfer model. Every table and figure of the
+//     paper's evaluation regenerates through a Runner:
+//
+//     r := tensortee.NewRunner(tensortee.WithParallelism(4))
+//     res, err := r.Run(ctx, "fig16")         // one experiment
+//     all, err := r.RunAll(ctx)               // everything, concurrently
+//
+//     Results come back typed (Result: tables, scalars, notes) with
+//     Text/JSON/CSV renderers, and a shared calibration cache means each
+//     system kind calibrates once per Runner, not once per experiment.
+//     See cmd/tensorteesim and EXPERIMENTS.md for the experiment index.
+//     Single steps can still be timed directly through System/TrainStep.
 //
 //   - A functional API (Platform) that actually runs the security
 //     protocols: AES-CTR protected memory with per-tensor version numbers,
 //     XOR tensor MACs with delayed verification and poison tracking,
 //     remote attestation with Diffie–Hellman key exchange, and the direct
 //     (no re-encryption) tensor transfer protocol between the CPU and NPU
-//     enclaves. Tampering with the simulated off-chip memory or buses is
-//     detected and surfaced as errors.
+//     enclaves. NewPlatform takes functional options (WithRegionBytes,
+//     WithSeed, WithLineSize); CreateTensor returns a *TensorHandle whose
+//     Write/Read/Transfer/Verify methods drive the protocol. Tampering
+//     with the simulated off-chip memory or buses is detected and surfaced
+//     as typed sentinel errors (ErrTampered, ErrPoisoned, ...) matchable
+//     with errors.Is.
 package tensortee
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"tensortee/internal/config"
@@ -152,24 +165,28 @@ func ExperimentIDs() []string {
 
 // RunExperiment regenerates one of the paper's tables or figures and
 // returns the rendered report.
+//
+// Deprecated: use Runner.Run, which returns a typed Result (render with
+// Result.Text for the same output) and shares calibration across
+// experiments.
 func RunExperiment(id string) (string, error) {
-	r, err := experiments.Run(id)
+	res, err := NewRunner().Run(context.Background(), id)
 	if err != nil {
 		return "", err
 	}
-	return r.String(), nil
+	return res.Text(), nil
 }
 
 // ExperimentScalar runs an experiment and returns one of its headline
 // numbers (e.g. fig16's "avg_speedup").
+//
+// Deprecated: use Runner.Run and Result.Scalar — re-running a whole
+// experiment per scalar repeats all of its simulations; the typed Result
+// exposes every scalar from a single run.
 func ExperimentScalar(id, name string) (float64, error) {
-	r, err := experiments.Run(id)
+	res, err := NewRunner().Run(context.Background(), id)
 	if err != nil {
 		return 0, err
 	}
-	v, ok := r.Scalars[name]
-	if !ok {
-		return 0, fmt.Errorf("tensortee: experiment %s has no scalar %q", id, name)
-	}
-	return v, nil
+	return res.Scalar(name)
 }
