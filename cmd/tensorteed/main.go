@@ -1,0 +1,112 @@
+// Command tensorteed serves the TensorTEE paper's experiments over HTTP.
+// Results are computed on first request, memoized in memory (calibrated
+// systems and finished Results are both cached), and served with strong
+// ETags so clients can revalidate cheaply.
+//
+// Usage:
+//
+//	tensorteed                         serve on :8344
+//	tensorteed -addr :9000             custom listen address
+//	tensorteed -parallel 4             worker pool inside the Runner
+//	tensorteed -max-concurrent 2       bound concurrent cold computations
+//	tensorteed -warm                   compute every experiment at startup
+//
+// Endpoints:
+//
+//	GET /v1/experiments                index with paper-artifact metadata
+//	GET /v1/experiments/{id}           one result (?format=text|json|csv)
+//	GET /v1/experiments/all            every result
+//	GET /healthz                       liveness probe
+//	GET /metrics                       request/cache/latency counters
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
+// accepting, in-flight requests drain, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tensortee"
+	"tensortee/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: parse flags, listen, serve until ctx
+// dies, drain, and return the exit code. The bound address is echoed to
+// stdout (resolved, so -addr :0 works under test).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tensorteed", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8344", "listen address")
+	parallel := fs.Int("parallel", 1, "experiments the Runner may execute concurrently (0 = GOMAXPROCS)")
+	maxConcurrent := fs.Int("max-concurrent", 4, "cold experiment computations in flight at once (0 = unbounded)")
+	warm := fs.Bool("warm", false, "compute every experiment before accepting traffic")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	runner := tensortee.NewRunner(
+		tensortee.WithParallelism(*parallel),
+		tensortee.WithCalibrationCache(true),
+	)
+	srv := server.New(server.Config{Runner: runner, MaxConcurrent: *maxConcurrent})
+
+	if *warm {
+		fmt.Fprintln(stdout, "warming: computing all experiments...")
+		start := time.Now()
+		if _, err := runner.RunAll(ctx); err != nil {
+			fmt.Fprintf(stderr, "warm failed: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "warm done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "listen: %v\n", err)
+		return 1
+	}
+	// Request contexts deliberately do NOT descend from the signal context:
+	// a SIGTERM must stop the listener and let in-flight requests finish
+	// (Shutdown below), not cancel them mid-computation.
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stdout, "tensorteed listening on %s\n", ln.Addr())
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "signal received, draining...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(stderr, "drain incomplete: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "drained, bye")
+		return 0
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(stderr, "serve: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+}

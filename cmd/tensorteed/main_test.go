@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer: the daemon writes from its
+// serve goroutine while the test polls for the bound address.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon boots run() on an ephemeral port and returns the base URL,
+// a cancel func, and the channel the exit code arrives on.
+func startDaemon(t *testing.T, args ...string) (base string, stop context.CancelFunc, exit <-chan int, out *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out = &syncBuffer{}
+	errBuf := &syncBuffer{}
+	codeCh := make(chan int, 1)
+	go func() {
+		codeCh <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out, errBuf)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			line := s[strings.Index(s, "listening on ")+len("listening on "):]
+			addr := strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			t.Cleanup(cancel)
+			return "http://" + addr, cancel, codeCh, out
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never reported its address (stdout %q, stderr %q)", out.String(), errBuf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestDaemonServesAndDrains boots the real daemon loop, exercises the
+// cache-hit path end to end (200 with ETag, then 304), and checks the
+// context-cancel path drains cleanly with exit code 0 — the same flow a
+// SIGTERM takes in production.
+func TestDaemonServesAndDrains(t *testing.T) {
+	base, cancel, exit, out := startDaemon(t, "-max-concurrent", "1")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/v1/experiments/tab2?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "=== tab2:") {
+		t.Fatalf("tab2 = %d %q", resp.StatusCode, body)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" {
+		t.Fatal("no ETag on experiment response")
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, base+"/v1/experiments/tab2?format=text", nil)
+	req.Header.Set("If-None-Match", etag)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation = %d, want 304", resp2.StatusCode)
+	}
+
+	cancel()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code = %d, want 0 (output: %s)", code, out.String())
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon did not exit after cancellation")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("drain message missing from output: %s", out.String())
+	}
+}
+
+// TestDaemonDrainsInFlightComputation pins the shipped configuration's
+// drain path: a request still computing its experiment when the signal
+// context dies must complete with 200, not be cancelled mid-flight.
+func TestDaemonDrainsInFlightComputation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("computes a calibrating experiment")
+	}
+	base, cancel, exit, out := startDaemon(t)
+
+	type reply struct {
+		code int
+		err  error
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		// fig5 calibrates two systems, so it is still in flight when the
+		// daemon starts draining.
+		resp, err := http.Get(base + "/v1/experiments/fig5?format=text")
+		if err != nil {
+			replies <- reply{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		replies <- reply{resp.StatusCode, nil}
+	}()
+	time.Sleep(150 * time.Millisecond) // let the request reach the handler
+	cancel()                           // what SIGTERM does in production
+
+	select {
+	case r := <-replies:
+		if r.err != nil || r.code != http.StatusOK {
+			t.Errorf("in-flight request = %d %v, want 200", r.code, r.err)
+		}
+	case <-time.After(3 * time.Minute):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit code = %d, want 0 (output: %s)", code, out.String())
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon did not exit after drain")
+	}
+}
+
+func TestDaemonBadFlag(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errBuf); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestDaemonBadAddr(t *testing.T) {
+	var out, errBuf bytes.Buffer
+	code := run(context.Background(), []string{"-addr", "256.256.256.256:99999"}, &out, &errBuf)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(errBuf.String(), "listen") {
+		t.Errorf("listen error not reported: %s", errBuf.String())
+	}
+}

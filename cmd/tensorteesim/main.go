@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -25,16 +26,26 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	exp := flag.String("exp", "", "experiment id to regenerate (or 'all')")
-	step := flag.String("step", "", "simulate one training step for the named model")
-	models := flag.Bool("models", false, "list workload models and exit")
-	jsonOut := flag.Bool("json", false, "emit experiment results as JSON")
-	parallel := flag.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
-	flag.Parse()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable body of main: parse args, dispatch, and return the
+// process exit code. All output goes through stdout/stderr so tests can
+// capture it.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tensorteesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	exp := fs.String("exp", "", "experiment id to regenerate (or 'all')")
+	step := fs.String("step", "", "simulate one training step for the named model")
+	models := fs.Bool("models", false, "list workload models and exit")
+	jsonOut := fs.Bool("json", false, "emit experiment results as JSON")
+	parallel := fs.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	runner := tensortee.NewRunner(
 		tensortee.WithParallelism(*parallel),
@@ -43,82 +54,91 @@ func main() {
 
 	switch {
 	case *list:
-		fmt.Println("experiments:")
-		for _, id := range tensortee.ExperimentIDs() {
-			fmt.Printf("  %s\n", id)
+		fmt.Fprintln(stdout, "experiments:")
+		for _, e := range tensortee.Experiments() {
+			fmt.Fprintf(stdout, "  %-6s %-13s %s\n", e.ID, e.Artifact, e.About)
 		}
 	case *models:
 		for _, name := range tensortee.ModelNames() {
 			m, _ := tensortee.Model(name)
-			fmt.Printf("%-12s %-6s batch=%-3d layers=%-3d hidden=%-5d tensors=%d\n",
+			fmt.Fprintf(stdout, "%-12s %-6s batch=%-3d layers=%-3d hidden=%-5d tensors=%d\n",
 				m.Name, m.ParamsLabel, m.BatchSize, m.Layers, m.Hidden, m.TensorCount)
 		}
 	case *exp == "all":
 		start := time.Now()
 		results, err := runner.RunAll(ctx)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		if *jsonOut {
 			// One JSON document (an array), not a concatenated stream.
 			out, err := json.MarshalIndent(results, "", "  ")
 			if err != nil {
-				fatal(err)
+				fmt.Fprintln(stderr, err)
+				return 1
 			}
-			os.Stdout.Write(append(out, '\n'))
+			stdout.Write(append(out, '\n'))
 		} else {
 			for _, res := range results {
-				emit(res, false)
+				if err := emit(stdout, stderr, res, false); err != nil {
+					return 1
+				}
 			}
 		}
-		fmt.Fprintf(os.Stderr, "[%d experiments regenerated in %v, parallelism %d]\n",
+		fmt.Fprintf(stderr, "[%d experiments regenerated in %v, parallelism %d]\n",
 			len(results), time.Since(start).Round(time.Millisecond), *parallel)
 	case *exp != "":
 		res, err := runner.Run(ctx, *exp)
 		if err != nil {
-			fatal(fmt.Errorf("experiment %s: %w", *exp, err))
+			fmt.Fprintln(stderr, fmt.Errorf("experiment %s: %w", *exp, err))
+			return 1
 		}
-		emit(res, *jsonOut)
+		if err := emit(stdout, stderr, res, *jsonOut); err != nil {
+			return 1
+		}
 	case *step != "":
-		runStep(*step)
+		if err := runStep(stdout, *step); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
-func emit(res *tensortee.Result, jsonOut bool) {
+func emit(stdout, stderr io.Writer, res *tensortee.Result, jsonOut bool) error {
 	if jsonOut {
 		out, err := res.JSON()
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, err)
+			return err
 		}
-		os.Stdout.Write(append(out, '\n'))
-		return
+		stdout.Write(append(out, '\n'))
+		return nil
 	}
-	fmt.Print(res.Text())
-	fmt.Printf("[%s regenerated in %v]\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprint(stdout, res.Text())
+	fmt.Fprintf(stdout, "[%s regenerated in %v]\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
+	return nil
 }
 
-func runStep(model string) {
-	fmt.Printf("one ZeRO-Offload training step of %s:\n\n", model)
+func runStep(stdout io.Writer, model string) error {
+	fmt.Fprintf(stdout, "one ZeRO-Offload training step of %s:\n\n", model)
 	for _, kind := range []tensortee.Kind{tensortee.NonSecure, tensortee.BaselineSGXMGX, tensortee.TensorTEE} {
 		sys, err := tensortee.NewSystem(kind)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		b, err := sys.TrainStep(model)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("%-12s total=%-10v npu=%v cpu=%v commW=%v commG=%v\n",
+		fmt.Fprintf(stdout, "%-12s total=%-10v npu=%v cpu=%v commW=%v commG=%v\n",
 			kind, b.Total.Round(time.Millisecond),
 			b.NPU.Round(time.Millisecond), b.CPU.Round(time.Millisecond),
 			b.CommWeights.Round(time.Millisecond), b.CommGrads.Round(time.Millisecond))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"tensortee"
+)
+
+// runCLI invokes run with captured output.
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errBuf bytes.Buffer
+	code = run(context.Background(), args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestListShowsIndexMetadata(t *testing.T) {
+	code, out, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, e := range tensortee.Experiments() {
+		if !strings.Contains(out, e.ID) {
+			t.Errorf("-list missing id %s", e.ID)
+		}
+		if !strings.Contains(out, e.Artifact) {
+			t.Errorf("-list missing artifact %q for %s", e.Artifact, e.ID)
+		}
+	}
+}
+
+func TestModels(t *testing.T) {
+	code, out, _ := runCLI(t, "-models")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	if !strings.Contains(out, "GPT2-M") || !strings.Contains(out, "LLAMA2-7B") {
+		t.Errorf("-models output incomplete:\n%s", out)
+	}
+}
+
+func TestExpFig16JSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates systems")
+	}
+	code, out, stderr := runCLI(t, "-exp", "fig16", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var res struct {
+		ID      string `json:"id"`
+		Tables  []any  `json:"tables"`
+		Scalars map[string]float64
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if res.ID != "fig16" {
+		t.Errorf("id = %q, want fig16", res.ID)
+	}
+	if len(res.Tables) == 0 {
+		t.Error("no tables in JSON output")
+	}
+	if res.Scalars["avg_speedup"] <= 1 {
+		t.Errorf("avg_speedup = %g, want > 1", res.Scalars["avg_speedup"])
+	}
+}
+
+func TestExpAllParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	if raceEnabled {
+		t.Skip("full sweep is too slow under the race detector (same gating as the root registry sweep)")
+	}
+	code, out, stderr := runCLI(t, "-exp", "all", "-parallel", "2")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	for _, id := range tensortee.ExperimentIDs() {
+		if !strings.Contains(out, "=== "+id+":") {
+			t.Errorf("-exp all output missing %s", id)
+		}
+	}
+	if !strings.Contains(stderr, "14 experiments regenerated") {
+		t.Errorf("summary line missing from stderr: %s", stderr)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	code, _, stderr := runCLI(t, "-exp", "bogus")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown experiment") || !strings.Contains(stderr, "bogus") {
+		t.Errorf("error message does not name the unknown experiment: %s", stderr)
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	code, _, stderr := runCLI(t)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "Usage") && !strings.Contains(stderr, "-exp") {
+		t.Errorf("usage not printed: %s", stderr)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	code, _, _ := runCLI(t, "-no-such-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}

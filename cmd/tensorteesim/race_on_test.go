@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heaviest integration tests skip under it, mirroring the root package's
+// registry-sweep gating.
+const raceEnabled = true

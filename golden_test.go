@@ -1,0 +1,138 @@
+package tensortee
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// updateGolden regenerates testdata/golden from the current simulators:
+//
+//	go test -run TestGoldenOutputs -update
+//
+// Run it without -race so the heavy experiments regenerate too.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden files")
+
+// goldenRunner is shared across the golden subtests so system calibration
+// happens once for the whole sweep.
+var goldenRunner = NewRunner(WithParallelism(0))
+
+// goldenResult computes the experiment through the Runner's result cache
+// and returns a copy with Elapsed zeroed: wall-clock time is the only
+// nondeterministic field of a Result, so the pinned renderings stay
+// byte-identical run to run.
+func goldenResult(t *testing.T, id string) *Result {
+	t.Helper()
+	res, err := goldenRunner.Cached(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := *res
+	clone.Elapsed = 0
+	return &clone
+}
+
+// TestGoldenOutputs pins every experiment's Text, JSON and CSV renderings
+// byte-for-byte against testdata/golden/<id>.{txt,json,csv}. Any change
+// to a simulator, a table layout, or a renderer shows up as a diff here;
+// intentional changes regenerate with -update. Heavy (system-calibrating
+// or sweep) experiments are gated like the existing registry sweep: they
+// skip under -short and under the race detector.
+func TestGoldenOutputs(t *testing.T) {
+	for _, info := range Experiments() {
+		t.Run(info.ID, func(t *testing.T) {
+			if info.Heavy {
+				if testing.Short() {
+					t.Skip("heavy experiment in -short mode")
+				}
+				if raceEnabled {
+					t.Skip("heavy experiment under the race detector; the non-race CI job covers it")
+				}
+			}
+			t.Parallel()
+			res := goldenResult(t, info.ID)
+			jsonBytes, err := res.JSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			renders := map[string][]byte{
+				"txt":  []byte(res.Text()),
+				"json": append(jsonBytes, '\n'),
+				"csv":  []byte(res.CSV()),
+			}
+			for _, ext := range []string{"txt", "json", "csv"} {
+				got := renders[ext]
+				path := filepath.Join("testdata", "golden", info.ID+"."+ext)
+				if *updateGolden {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, got, 0o644); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden file (regenerate with -update): %v", err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s diverges from golden %s:\n%s", info.ID, path, diffHint(got, want))
+				}
+			}
+		})
+	}
+}
+
+// TestGoldenFingerprintStable pins that Fingerprint is a pure function of
+// the result's content: two computations of the same experiment agree,
+// and Elapsed does not participate.
+func TestGoldenFingerprintStable(t *testing.T) {
+	a, err := NewRunner().Run(context.Background(), "tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRunner().Run(context.Background(), "tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed == b.Elapsed {
+		// Forcing distinct elapsed values keeps the assertion meaningful.
+		b.Elapsed = a.Elapsed + 1
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Errorf("fingerprints differ across identical runs: %s vs %s", a.Fingerprint(), b.Fingerprint())
+	}
+	if a.Fingerprint() == "" {
+		t.Error("empty fingerprint")
+	}
+}
+
+// diffHint renders a compact first-divergence report for golden failures.
+func diffHint(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	i := 0
+	for i < n && got[i] == want[i] {
+		i++
+	}
+	start := i - 40
+	if start < 0 {
+		start = 0
+	}
+	end := i + 40
+	gotEnd, wantEnd := end, end
+	if gotEnd > len(got) {
+		gotEnd = len(got)
+	}
+	if wantEnd > len(want) {
+		wantEnd = len(want)
+	}
+	return fmt.Sprintf("first divergence at byte %d\ngot:  %q\nwant: %q", i, got[start:gotEnd], want[start:wantEnd])
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"tensortee"
+)
+
+// Format selects one of a Result's three wire representations.
+type Format string
+
+const (
+	FormatText Format = "text"
+	FormatJSON Format = "json"
+	FormatCSV  Format = "csv"
+)
+
+// contentType maps a format to its Content-Type header value.
+func (f Format) contentType() string {
+	switch f {
+	case FormatJSON:
+		return "application/json"
+	case FormatCSV:
+		return "text/csv; charset=utf-8"
+	default:
+		return "text/plain; charset=utf-8"
+	}
+}
+
+// rendered is one cached wire representation of a result: the body bytes
+// plus the strong ETag derived from the result's content fingerprint.
+type rendered struct {
+	body        []byte
+	etag        string
+	contentType string
+}
+
+// resultStore is the server-side experiment cache. Each id fills at most
+// once per store (singleflight via per-entry sync.Once, mirroring the
+// Runner's caches); the fill runs detached from any single request's
+// context so an impatient first client cannot poison the cache, and
+// concurrent cold requests for the same id queue on one computation.
+// Rendered representations are memoized per format on top of the Result.
+//
+// The store keeps its own singleflight even though Runner.Cached already
+// has one: the store's fill is the single place the -max-concurrent
+// semaphore is held and the one spot that can increment the
+// experiment-runs metric exactly once (Runner.Cached cannot tell callers
+// which of them triggered the computation).
+type resultStore struct {
+	runner  *tensortee.Runner
+	sem     chan struct{} // bounds concurrent fills; nil = unbounded
+	metrics *Metrics
+
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+}
+
+type storeEntry struct {
+	once sync.Once
+	done chan struct{} // closed when res/err are final
+	res  *tensortee.Result
+	err  error
+
+	rmu     sync.Mutex
+	renders map[Format]*rendered
+}
+
+func newResultStore(r *tensortee.Runner, maxConcurrent int, m *Metrics) *resultStore {
+	var sem chan struct{}
+	if maxConcurrent > 0 {
+		sem = make(chan struct{}, maxConcurrent)
+	}
+	return &resultStore{
+		runner:  r,
+		sem:     sem,
+		metrics: m,
+		entries: make(map[string]*storeEntry),
+	}
+}
+
+func (s *resultStore) entry(id string) *storeEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[id]
+	if !ok {
+		e = &storeEntry{done: make(chan struct{}), renders: make(map[Format]*rendered)}
+		s.entries[id] = e
+	}
+	return e
+}
+
+// result returns the experiment's Result, computing it on first request.
+// A hit (the entry already computed) is counted in the metrics; a miss
+// starts — or joins — the single fill and waits for it, honoring ctx for
+// the wait only.
+func (s *resultStore) result(ctx context.Context, id string) (*tensortee.Result, error) {
+	e := s.entry(id)
+	select {
+	case <-e.done:
+		s.metrics.CacheHit()
+		return e.res, e.err
+	default:
+	}
+	e.once.Do(func() {
+		go func() {
+			defer close(e.done)
+			if s.sem != nil {
+				s.sem <- struct{}{} // queue cold computations instead of thrashing calibration
+				defer func() { <-s.sem }()
+			}
+			e.res, e.err = s.runner.Cached(context.WithoutCancel(ctx), id)
+			if e.err == nil {
+				s.metrics.ExperimentRun(id, e.res.Elapsed.Seconds())
+			}
+		}()
+	})
+	select {
+	case <-e.done:
+		return e.res, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// render returns the cached wire representation of the experiment in the
+// given format, rendering (and memoizing) it on first use.
+func (s *resultStore) render(ctx context.Context, id string, f Format) (*rendered, error) {
+	res, err := s.result(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	e := s.entry(id)
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	if r, ok := e.renders[f]; ok {
+		return r, nil
+	}
+	body, err := renderResult(res, f)
+	if err != nil {
+		return nil, err
+	}
+	r := &rendered{
+		body:        body,
+		etag:        fmt.Sprintf("%q", res.Fingerprint()+"-"+string(f)),
+		contentType: f.contentType(),
+	}
+	e.renders[f] = r
+	return r, nil
+}
+
+// fingerprintStrings derives one stable hex digest from a list of tags
+// (used to build the /all ETag out of the member ETags).
+func fingerprintStrings(ss []string) string {
+	h := sha256.New()
+	for _, s := range ss {
+		h.Write([]byte(s))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// renderResult produces the wire body. Elapsed is zeroed first: it is the
+// only run-to-run varying field, and a strong ETag (derived from
+// Fingerprint, which also excludes it) must label byte-identical bodies —
+// including across daemon restarts. Per-experiment compute latency is
+// still observable at /metrics.
+func renderResult(res *tensortee.Result, f Format) ([]byte, error) {
+	clone := *res
+	clone.Elapsed = 0
+	switch f {
+	case FormatJSON:
+		return clone.JSON()
+	case FormatCSV:
+		return []byte(clone.CSV()), nil
+	default:
+		return []byte(clone.Text()), nil
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the daemon's operational counter set, rendered at /metrics in
+// the Prometheus text exposition format. All methods are safe for
+// concurrent use.
+type Metrics struct {
+	requests    atomic.Int64 // every request the daemon saw
+	inFlight    atomic.Int64 // requests currently being served
+	cacheHits   atomic.Int64 // experiment lookups served from memory
+	notModified atomic.Int64 // 304 responses to If-None-Match revalidations
+	errors      atomic.Int64 // 4xx/5xx responses
+
+	mu  sync.Mutex
+	exp map[string]*experimentMetrics
+}
+
+// experimentMetrics records one experiment's compute history: how many
+// times the daemon actually ran it (1 with the cache working, once per
+// request without) and how long the last run took.
+type experimentMetrics struct {
+	runs           int64
+	latencySeconds float64
+}
+
+// NewMetrics builds an empty metric set.
+func NewMetrics() *Metrics {
+	return &Metrics{exp: make(map[string]*experimentMetrics)}
+}
+
+// RequestStarted counts a request in; the returned func counts it out.
+func (m *Metrics) RequestStarted() (done func()) {
+	m.requests.Add(1)
+	m.inFlight.Add(1)
+	var once sync.Once
+	return func() { once.Do(func() { m.inFlight.Add(-1) }) }
+}
+
+// CacheHit counts an experiment lookup served from the in-memory result
+// store without recomputation.
+func (m *Metrics) CacheHit() { m.cacheHits.Add(1) }
+
+// NotModified counts a 304 revalidation response.
+func (m *Metrics) NotModified() { m.notModified.Add(1) }
+
+// Error counts a 4xx/5xx response.
+func (m *Metrics) Error() { m.errors.Add(1) }
+
+// ExperimentRun records one actual computation of an experiment.
+func (m *Metrics) ExperimentRun(id string, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.exp[id]
+	if !ok {
+		e = &experimentMetrics{}
+		m.exp[id] = e
+	}
+	e.runs++
+	e.latencySeconds = seconds
+}
+
+// Render emits the metric set in Prometheus text exposition format, with
+// per-experiment series in sorted id order so output is deterministic.
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# TYPE tensorteed_requests_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_requests_total %d\n", m.requests.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_in_flight gauge\n")
+	fmt.Fprintf(&b, "tensorteed_in_flight %d\n", m.inFlight.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_result_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_result_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_not_modified_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_not_modified_total %d\n", m.notModified.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_errors_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_errors_total %d\n", m.errors.Load())
+
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.exp))
+	for id := range m.exp {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Fprintf(&b, "# TYPE tensorteed_experiment_runs_total counter\n")
+	for _, id := range ids {
+		fmt.Fprintf(&b, "tensorteed_experiment_runs_total{id=%q} %d\n", id, m.exp[id].runs)
+	}
+	fmt.Fprintf(&b, "# TYPE tensorteed_experiment_latency_seconds gauge\n")
+	for _, id := range ids {
+		fmt.Fprintf(&b, "tensorteed_experiment_latency_seconds{id=%q} %.6f\n", id, m.exp[id].latencySeconds)
+	}
+	m.mu.Unlock()
+	return b.String()
+}

@@ -1,0 +1,287 @@
+// Package server implements tensorteed's HTTP API: the paper's experiment
+// index and results served over HTTP with in-memory memoization, content
+// negotiation, strong ETags, and Prometheus-style metrics.
+//
+//	GET /v1/experiments        index with paper-artifact metadata (JSON)
+//	GET /v1/experiments/{id}   one result (text, json or csv)
+//	GET /v1/experiments/all    every result (text, json or csv)
+//	GET /healthz               liveness probe
+//	GET /metrics               request/cache/latency counters
+//
+// The representation is chosen by ?format=text|json|csv, else by the
+// Accept header (application/json, text/csv, text/plain), defaulting to
+// JSON. Responses carry strong ETags derived from the result's content
+// fingerprint; If-None-Match revalidations answer 304.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"tensortee"
+)
+
+// Config sizes a Server.
+type Config struct {
+	// Runner executes and memoizes experiments (nil builds a default one).
+	Runner *tensortee.Runner
+	// MaxConcurrent bounds concurrent experiment computations: a burst of
+	// cold requests queues behind the bound instead of thrashing system
+	// calibration. 0 means unbounded.
+	MaxConcurrent int
+}
+
+// Server is the tensorteed HTTP API. Build with New, mount with Handler.
+type Server struct {
+	store   *resultStore
+	metrics *Metrics
+	index   []tensortee.ExperimentInfo
+	known   map[string]bool
+	mux     *http.ServeMux
+}
+
+// New builds a Server around the runner.
+func New(cfg Config) *Server {
+	r := cfg.Runner
+	if r == nil {
+		r = tensortee.NewRunner()
+	}
+	m := NewMetrics()
+	s := &Server{
+		store:   newResultStore(r, cfg.MaxConcurrent, m),
+		metrics: m,
+		index:   tensortee.Experiments(),
+		known:   make(map[string]bool),
+	}
+	for _, e := range s.index {
+		s.known[e.ID] = true
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/experiments", s.handleIndex)
+	mux.HandleFunc("GET /v1/experiments/{$}", s.handleIndex)
+	mux.HandleFunc("GET /v1/experiments/all", s.handleAll)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	s.mux = mux
+	return s
+}
+
+// Handler returns the fully-instrumented HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return s.instrument(s.mux)
+}
+
+// Metrics exposes the server's counters (the /metrics endpoint renders
+// the same set).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// statusRecorder captures the response code for the request metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps h with the request/in-flight/error counters.
+func (s *Server) instrument(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		done := s.metrics.RequestStarted()
+		defer done()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		if rec.code >= 400 {
+			s.metrics.Error()
+		}
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Render())
+}
+
+// indexEntry is one /v1/experiments row: the shared paper-artifact
+// metadata plus the resource URL.
+type indexEntry struct {
+	tensortee.ExperimentInfo
+	URL string `json:"url"`
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, _ *http.Request) {
+	entries := make([]indexEntry, len(s.index))
+	for i, e := range s.index {
+		entries[i] = indexEntry{ExperimentInfo: e, URL: "/v1/experiments/" + e.ID}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"experiments": entries,
+		"count":       len(entries),
+	})
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.known[id] {
+		http.Error(w, fmt.Sprintf("unknown experiment %q", id), http.StatusNotFound)
+		return
+	}
+	f, err := negotiate(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rd, err := s.store.render(r.Context(), id, f)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.serve(w, r, rd)
+}
+
+func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
+	f, err := negotiate(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Fan the fills out; the store's semaphore bounds actual concurrency
+	// and each id still computes at most once.
+	type outcome struct {
+		rd  *rendered
+		err error
+	}
+	outcomes := make([]outcome, len(s.index))
+	doneCh := make(chan int, len(s.index))
+	for i, e := range s.index {
+		go func(i int, id string) {
+			rd, err := s.store.render(r.Context(), id, f)
+			outcomes[i] = outcome{rd, err}
+			doneCh <- i
+		}(i, e.ID)
+	}
+	for range s.index {
+		<-doneCh
+	}
+	var bodies [][]byte
+	var tags []string
+	for i, o := range outcomes {
+		if o.err != nil {
+			http.Error(w, fmt.Sprintf("experiment %s: %v", s.index[i].ID, o.err), http.StatusInternalServerError)
+			return
+		}
+		bodies = append(bodies, o.rd.body)
+		tags = append(tags, o.rd.etag)
+	}
+	s.serve(w, r, combine(bodies, tags, f))
+}
+
+// combine aggregates per-experiment representations into the /all body:
+// JSON becomes one array document, text and CSV concatenate, and the ETag
+// is derived from the per-experiment ETags so it stays stable exactly
+// when every member representation is.
+func combine(bodies [][]byte, tags []string, f Format) *rendered {
+	var b strings.Builder
+	if f == FormatJSON {
+		b.WriteString("[\n")
+		for i, body := range bodies {
+			if i > 0 {
+				b.WriteString(",\n")
+			}
+			b.Write(body)
+		}
+		b.WriteString("\n]\n")
+	} else {
+		for _, body := range bodies {
+			b.Write(body)
+			if len(body) > 0 && body[len(body)-1] != '\n' {
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return &rendered{
+		body:        []byte(b.String()),
+		etag:        fmt.Sprintf("%q", fingerprintStrings(tags)+"-all-"+string(f)),
+		contentType: f.contentType(),
+	}
+}
+
+// serve writes one cached representation, answering conditional requests
+// with 304 when the client's validator still matches.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, rd *rendered) {
+	h := w.Header()
+	h.Set("ETag", rd.etag)
+	h.Set("Content-Type", rd.contentType)
+	h.Set("Cache-Control", "no-cache") // serve from cache only after revalidation
+	if etagMatches(r.Header.Get("If-None-Match"), rd.etag) {
+		s.metrics.NotModified()
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Write(rd.body)
+}
+
+// etagMatches reports whether any member of an If-None-Match header
+// matches the given strong ETag ("*" matches everything; weak validators
+// compare by opaque tag).
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	for _, c := range strings.Split(header, ",") {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == "*" || c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// errUnknownFormat rejects ?format= values outside text|json|csv.
+var errUnknownFormat = errors.New(`unknown format (want "text", "json" or "csv")`)
+
+// negotiate picks the response representation: an explicit ?format= wins,
+// else the first recognized media type in the Accept header, else JSON.
+func negotiate(r *http.Request) (Format, error) {
+	if q := r.URL.Query().Get("format"); q != "" {
+		switch q {
+		case "text", "txt":
+			return FormatText, nil
+		case "json":
+			return FormatJSON, nil
+		case "csv":
+			return FormatCSV, nil
+		default:
+			return "", fmt.Errorf("%w: %q", errUnknownFormat, q)
+		}
+	}
+	for _, part := range strings.Split(r.Header.Get("Accept"), ",") {
+		mt := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch mt {
+		case "application/json", "application/*":
+			return FormatJSON, nil
+		case "text/csv":
+			return FormatCSV, nil
+		case "text/plain", "text/*":
+			return FormatText, nil
+		case "*/*":
+			return FormatJSON, nil
+		}
+	}
+	return FormatJSON, nil
+}

@@ -1,0 +1,342 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tensortee"
+)
+
+// newTestServer builds a Server over a fresh Runner and mounts it on an
+// httptest.Server. Tests use the fast experiments (tab1/tab2/fig4/fig20/
+// gemm/hw) so nothing here calibrates an end-to-end system.
+func newTestServer(t *testing.T, maxConcurrent int) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Runner: tensortee.NewRunner(), MaxConcurrent: maxConcurrent})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func get(t *testing.T, url string, hdr map[string]string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp, body := get(t, ts.URL+"/healthz", nil)
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "ok" {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestIndexListsAllExperimentsWithMetadata(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp, body := get(t, ts.URL+"/v1/experiments", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var idx struct {
+		Count       int `json:"count"`
+		Experiments []struct {
+			ID       string `json:"id"`
+			Artifact string `json:"artifact"`
+			About    string `json:"about"`
+			URL      string `json:"url"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(body), &idx); err != nil {
+		t.Fatal(err)
+	}
+	want := tensortee.Experiments()
+	if idx.Count != len(want) || len(idx.Experiments) != len(want) {
+		t.Fatalf("count = %d/%d, want %d", idx.Count, len(idx.Experiments), len(want))
+	}
+	for i, e := range idx.Experiments {
+		if e.ID != want[i].ID || e.Artifact != want[i].Artifact || e.About != want[i].About {
+			t.Errorf("index[%d] = %+v, want %+v", i, e, want[i])
+		}
+		if e.URL != "/v1/experiments/"+e.ID {
+			t.Errorf("index[%d].URL = %q", i, e.URL)
+		}
+	}
+}
+
+func TestContentNegotiation(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	cases := []struct {
+		name     string
+		url      string
+		accept   string
+		wantCT   string
+		wantFrag string
+	}{
+		{"default is JSON", "/v1/experiments/tab2", "", "application/json", `"id": "tab2"`},
+		{"format=text", "/v1/experiments/tab2?format=text", "", "text/plain; charset=utf-8", "=== tab2:"},
+		{"format=json", "/v1/experiments/tab2?format=json", "", "application/json", `"id": "tab2"`},
+		{"format=csv", "/v1/experiments/tab2?format=csv", "", "text/csv; charset=utf-8", "table,"},
+		{"accept text/plain", "/v1/experiments/tab2", "text/plain", "text/plain; charset=utf-8", "=== tab2:"},
+		{"accept text/csv", "/v1/experiments/tab2", "text/csv", "text/csv; charset=utf-8", "table,"},
+		{"accept json", "/v1/experiments/tab2", "application/json", "application/json", `"id": "tab2"`},
+		{"accept wildcard", "/v1/experiments/tab2", "*/*", "application/json", `"id": "tab2"`},
+		{"format beats accept", "/v1/experiments/tab2?format=csv", "application/json", "text/csv; charset=utf-8", "table,"},
+		{"accept with params", "/v1/experiments/tab2", "text/plain; q=0.9, application/json; q=0.1", "text/plain; charset=utf-8", "=== tab2:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hdr := map[string]string{}
+			if tc.accept != "" {
+				hdr["Accept"] = tc.accept
+			}
+			resp, body := get(t, ts.URL+tc.url, hdr)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d (%s)", resp.StatusCode, body)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != tc.wantCT {
+				t.Errorf("Content-Type = %q, want %q", ct, tc.wantCT)
+			}
+			if !strings.Contains(body, tc.wantFrag) {
+				t.Errorf("body missing %q:\n%.200s", tc.wantFrag, body)
+			}
+		})
+	}
+}
+
+// TestServedJSONIsRestartStable pins that the JSON body carries no
+// wall-clock time: the strong ETag excludes Elapsed, so the body must be
+// byte-identical across daemon restarts too (a 304 must never validate a
+// body the origin would no longer send).
+func TestServedJSONIsRestartStable(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	_, body := get(t, ts.URL+"/v1/experiments/tab1?format=json", nil)
+	if !strings.Contains(body, `"elapsed_ns": 0`) {
+		t.Errorf("served JSON embeds wall-clock time:\n%.300s", body)
+	}
+	_, ts2 := newTestServer(t, 0) // a "restarted" daemon
+	_, body2 := get(t, ts2.URL+"/v1/experiments/tab1?format=json", nil)
+	if body != body2 {
+		t.Error("JSON body differs across server instances despite identical ETags")
+	}
+}
+
+func TestUnknownFormatRejected(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp, body := get(t, ts.URL+"/v1/experiments/tab2?format=yaml", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d, want 400 (%s)", resp.StatusCode, body)
+	}
+}
+
+func TestETagRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp, body := get(t, ts.URL+"/v1/experiments/tab1?format=text", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	etag := resp.Header.Get("ETag")
+	if etag == "" || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("missing or weak ETag: %q", etag)
+	}
+	if body == "" {
+		t.Fatal("empty body")
+	}
+
+	// Revalidation with the returned tag answers 304 without a body.
+	resp2, body2 := get(t, ts.URL+"/v1/experiments/tab1?format=text", map[string]string{"If-None-Match": etag})
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("revalidation status = %d, want 304", resp2.StatusCode)
+	}
+	if body2 != "" {
+		t.Errorf("304 carried a body: %q", body2)
+	}
+	if got := resp2.Header.Get("ETag"); got != etag {
+		t.Errorf("304 ETag = %q, want %q", got, etag)
+	}
+
+	// A stale or foreign tag gets the full representation again.
+	resp3, body3 := get(t, ts.URL+"/v1/experiments/tab1?format=text", map[string]string{"If-None-Match": `"deadbeef"`})
+	if resp3.StatusCode != http.StatusOK || body3 != body {
+		t.Errorf("stale-tag status = %d, body match = %v", resp3.StatusCode, body3 == body)
+	}
+
+	// List and wildcard forms match too.
+	resp4, _ := get(t, ts.URL+"/v1/experiments/tab1?format=text", map[string]string{"If-None-Match": `"nope", ` + etag})
+	if resp4.StatusCode != http.StatusNotModified {
+		t.Errorf("list revalidation status = %d, want 304", resp4.StatusCode)
+	}
+	resp5, _ := get(t, ts.URL+"/v1/experiments/tab1?format=text", map[string]string{"If-None-Match": "*"})
+	if resp5.StatusCode != http.StatusNotModified {
+		t.Errorf("wildcard revalidation status = %d, want 304", resp5.StatusCode)
+	}
+
+	// The ETag is representation-specific: another format has another tag.
+	respCSV, _ := get(t, ts.URL+"/v1/experiments/tab1?format=csv", nil)
+	if csvTag := respCSV.Header.Get("ETag"); csvTag == etag {
+		t.Errorf("csv and text share ETag %q", etag)
+	}
+}
+
+func TestConcurrentSameIDComputesOnce(t *testing.T) {
+	_, ts := newTestServer(t, 2)
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/experiments/tab2?format=json")
+			if err != nil {
+				errs <- err
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	_, metrics := get(t, ts.URL+"/metrics", nil)
+	if !strings.Contains(metrics, `tensorteed_experiment_runs_total{id="tab2"} 1`) {
+		t.Errorf("tab2 did not compute exactly once:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "tensorteed_result_cache_hits_total") {
+		t.Errorf("metrics missing cache-hit counter:\n%s", metrics)
+	}
+}
+
+func TestMetricsCountersProgress(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	get(t, ts.URL+"/v1/experiments/hw", nil)               // compute
+	resp, _ := get(t, ts.URL+"/v1/experiments/hw", nil)    // memory hit
+	get(t, ts.URL+"/v1/experiments/hw", map[string]string{ // revalidation
+		"If-None-Match": resp.Header.Get("ETag"),
+	})
+	get(t, ts.URL+"/v1/experiments/nope", nil) // error
+
+	_, metrics := get(t, ts.URL+"/metrics", nil)
+	for _, want := range []string{
+		`tensorteed_experiment_runs_total{id="hw"} 1`,
+		"tensorteed_not_modified_total 1",
+		"tensorteed_errors_total 1",
+		"tensorteed_in_flight 1", // the /metrics request itself
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics)
+		}
+	}
+	// Latency is recorded per computed experiment.
+	if !strings.Contains(metrics, `tensorteed_experiment_latency_seconds{id="hw"}`) {
+		t.Errorf("metrics missing hw latency:\n%s", metrics)
+	}
+}
+
+func TestNotFoundAndMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	resp, body := get(t, ts.URL+"/v1/experiments/nope", nil)
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, "nope") {
+		t.Errorf("unknown id = %d %q, want 404 naming the id", resp.StatusCode, body)
+	}
+	resp, _ = get(t, ts.URL+"/v1/bogus", nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", resp.StatusCode)
+	}
+	postResp, err := http.Post(ts.URL+"/v1/experiments/tab1", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, postResp.Body)
+	postResp.Body.Close()
+	if postResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST = %d, want 405", postResp.StatusCode)
+	}
+}
+
+// TestGracefulShutdownDrain pins the drain semantics tensorteed relies
+// on: Shutdown stops the listener but in-flight requests — including one
+// still computing its experiment — complete before Shutdown returns.
+func TestGracefulShutdownDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("computes a calibrating experiment")
+	}
+	s := New(Config{Runner: tensortee.NewRunner(), MaxConcurrent: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: s.Handler()}
+	go httpSrv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+
+	type reply struct {
+		code int
+		err  error
+	}
+	replies := make(chan reply, 1)
+	go func() {
+		// fig5 calibrates two systems, so this request is still in flight
+		// when Shutdown begins.
+		resp, err := http.Get(base + "/v1/experiments/fig5?format=text")
+		if err != nil {
+			replies <- reply{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		replies <- reply{resp.StatusCode, nil}
+	}()
+
+	time.Sleep(150 * time.Millisecond) // let the request reach the handler
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("Shutdown = %v (in-flight request was dropped)", err)
+	}
+	select {
+	case r := <-replies:
+		if r.err != nil || r.code != http.StatusOK {
+			t.Errorf("drained request = %d %v, want 200", r.code, r.err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("in-flight request never completed")
+	}
+	// After drain the listener is gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("listener still accepting after Shutdown")
+	}
+}

@@ -93,7 +93,13 @@ func (t *Table) String() string {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// Ragged rows can carry more cells than there are headers;
+			// render the extras unpadded instead of indexing past widths.
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w, c)
 		}
 		b.WriteByte('\n')
 	}

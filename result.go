@@ -1,7 +1,9 @@
 package tensortee
 
 import (
+	"crypto/sha256"
 	"encoding/csv"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -34,6 +36,30 @@ func (c Cell) MarshalJSON() ([]byte, error) {
 		return json.Marshal(c.Number)
 	}
 	return json.Marshal(c.Text)
+}
+
+// UnmarshalJSON inverts MarshalJSON: JSON numbers become numeric cells
+// (with a full-precision text rendering), strings become text cells, and
+// null becomes the empty text cell (MarshalJSON never emits null, but
+// decoding must not fabricate a numeric zero from it). This lets a Result
+// round-trip through its own JSON, so HTTP clients of tensorteed can
+// decode responses back into typed Results.
+func (c *Cell) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*c = Cell{}
+		return nil
+	}
+	var n float64
+	if err := json.Unmarshal(b, &n); err == nil {
+		*c = Cell{Text: strconv.FormatFloat(n, 'g', -1, 64), Number: n, IsNumber: true}
+		return nil
+	}
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return fmt.Errorf("tensortee: cell is neither number nor string: %w", err)
+	}
+	*c = Cell{Text: s}
+	return nil
 }
 
 // ResultTable is one table of an experiment result: named columns and
@@ -155,6 +181,24 @@ func (r *Result) Text() string {
 // JSON numbers, so downstream tooling gets typed data.
 func (r *Result) JSON() ([]byte, error) {
 	return json.MarshalIndent(r, "", "  ")
+}
+
+// Fingerprint returns a stable hex content hash of the result's data —
+// tables, scalars, notes, id and title, but not Elapsed (which varies run
+// to run while the simulated numbers stay byte-identical). Two runs of the
+// same experiment on the same code produce the same fingerprint, so it is
+// suitable as a strong HTTP ETag and as a golden-output pin.
+func (r *Result) Fingerprint() string {
+	clone := *r
+	clone.Elapsed = 0
+	b, err := json.Marshal(&clone)
+	if err != nil {
+		// Result marshalling cannot fail (all fields are plain data), but
+		// degrade to a distinguishable fingerprint rather than panicking.
+		b = []byte("unmarshalable:" + r.ID + ":" + err.Error())
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
 }
 
 // CSV renders every table as a CSV block (a "table" header line, the

@@ -92,6 +92,45 @@ func TestResultJSON(t *testing.T) {
 	}
 }
 
+func TestCellJSONRoundTrip(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Cell
+	}{
+		{`3.5`, Cell{Text: "3.5", Number: 3.5, IsNumber: true}},
+		{`"GPT2-M"`, Cell{Text: "GPT2-M"}},
+		{`null`, Cell{}}, // foreign input: must not fabricate a numeric 0
+	}
+	for _, tc := range cases {
+		var c Cell
+		if err := json.Unmarshal([]byte(tc.in), &c); err != nil {
+			t.Errorf("unmarshal %s: %v", tc.in, err)
+			continue
+		}
+		if c != tc.want {
+			t.Errorf("unmarshal %s = %+v, want %+v", tc.in, c, tc.want)
+		}
+	}
+	var c Cell
+	if err := json.Unmarshal([]byte(`true`), &c); err == nil {
+		t.Error("bool accepted as a cell")
+	}
+	// Marshal → Unmarshal round-trips both cell kinds.
+	for _, orig := range []Cell{{Text: "x"}, {Text: "2", Number: 2, IsNumber: true}} {
+		raw, err := json.Marshal(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Cell
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != orig {
+			t.Errorf("round-trip %+v -> %+v", orig, back)
+		}
+	}
+}
+
 func TestResultCSV(t *testing.T) {
 	res := runResult(t, "hw")
 	csvOut := res.CSV()

@@ -45,6 +45,69 @@ func (c *systemCache) get(kind config.SystemKind) (*core.System, error) {
 	return e.sys, e.err
 }
 
+// resultCache memoizes computed Results per experiment id, mirroring
+// systemCache: each id computes at most once per Runner, concurrent
+// requests for the same id share the single computation, and hits are
+// served from memory. Because experiment outputs are deterministic (pinned
+// by TestGoldenOutputs), a memoized Result is indistinguishable from a
+// fresh run — apart from being ~instant.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[string]*resultEntry
+}
+
+type resultEntry struct {
+	once sync.Once
+	done chan struct{} // closed when res/err are final
+	res  *Result
+	err  error
+}
+
+func newResultCache() *resultCache {
+	return &resultCache{entries: make(map[string]*resultEntry)}
+}
+
+func (c *resultCache) entry(id string) *resultEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[id]
+	if !ok {
+		e = &resultEntry{done: make(chan struct{})}
+		c.entries[id] = e
+	}
+	return e
+}
+
+// seed records an already-computed result so future Cached calls hit.
+// The entry's own sync.Once arbitrates the race with an in-flight Cached
+// computation: whichever completes first wins, and experiment outputs are
+// deterministic so the two results are interchangeable. Never call seed
+// from inside Cached's compute path — the once is not reentrant.
+func (c *resultCache) seed(id string, res *Result) {
+	e := c.entry(id)
+	e.once.Do(func() {
+		e.res = res
+		close(e.done)
+	})
+}
+
+// cached reports whether the id has already finished computing (a lookup
+// now would be a memory hit, not a compute or a wait).
+func (c *resultCache) cached(id string) bool {
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Runner executes experiments, optionally many at a time, sharing one
 // calibration cache across all of them. The zero configuration
 // (NewRunner() with no options) runs sequentially with caching on; a
@@ -52,6 +115,8 @@ func (c *systemCache) get(kind config.SystemKind) (*core.System, error) {
 type Runner struct {
 	parallelism int
 	cache       *systemCache // nil when caching is disabled
+	results     *resultCache // lazily built by Cached on the zero value
+	resultsOnce sync.Once
 	prewarm     []Kind
 }
 
@@ -92,11 +157,57 @@ func WithCalibrationCache(enabled bool) RunnerOption {
 
 // NewRunner builds a Runner.
 func NewRunner(opts ...RunnerOption) *Runner {
-	r := &Runner{parallelism: 1, cache: newSystemCache()}
+	r := &Runner{parallelism: 1, cache: newSystemCache(), results: newResultCache()}
 	for _, o := range opts {
 		o(r)
 	}
 	return r
+}
+
+// resultsCache returns the result cache, building it on first use so the
+// zero-value Runner supports Cached too.
+func (r *Runner) resultsCache() *resultCache {
+	r.resultsOnce.Do(func() {
+		if r.results == nil {
+			r.results = newResultCache()
+		}
+	})
+	return r.results
+}
+
+// Cached returns the experiment's Result from the Runner's result cache,
+// computing it (via Run) on the first request. Concurrent Cached calls for
+// the same id share one computation; later calls return the memoized
+// Result immediately. The computation is detached from ctx — cancelling a
+// waiting caller abandons the wait (returning ctx.Err()) but lets the
+// shared computation finish for future callers, so a cancelled first
+// request never poisons the cache. Errors are memoized like results:
+// experiment outcomes are deterministic, so retrying cannot help.
+//
+// Callers share the returned *Result — treat it as read-only.
+func (r *Runner) Cached(ctx context.Context, id string) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e := r.resultsCache().entry(id)
+	e.once.Do(func() {
+		go func() {
+			defer close(e.done)
+			e.res, e.err = r.Run(context.WithoutCancel(ctx), id)
+		}()
+	})
+	select {
+	case <-e.done:
+		return e.res, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// ResultCached reports whether Cached(id) would be served from memory
+// (the experiment has finished computing in this Runner).
+func (r *Runner) ResultCached(id string) bool {
+	return r.resultsCache().cached(id)
 }
 
 // env builds the experiment environment backed by this Runner's cache.
@@ -206,6 +317,10 @@ func (r *Runner) RunAll(ctx context.Context, ids ...string) ([]*Result, error) {
 					continue
 				}
 				results[i] = newResult(rep, time.Since(start))
+				// Completed results also warm the Cached store, so
+				// RunAll (e.g. tensorteed -warm) pre-populates what
+				// Cached will serve.
+				r.resultsCache().seed(ids[i], results[i])
 			}
 		}()
 	}

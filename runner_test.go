@@ -184,6 +184,130 @@ func TestRunnerSharedAcrossGoroutines(t *testing.T) {
 	}
 }
 
+func TestCachedReturnsSameResult(t *testing.T) {
+	r := NewRunner()
+	ctx := context.Background()
+	first, err := r.Cached(ctx, "tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ResultCached("tab2") {
+		t.Error("ResultCached = false after Cached computed")
+	}
+	second, err := r.Cached(ctx, "tab2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Error("Cached recomputed: distinct *Result pointers for the same id")
+	}
+	if r.ResultCached("tab1") {
+		t.Error("ResultCached = true for an id never requested")
+	}
+}
+
+func TestCachedConcurrentSingleFlight(t *testing.T) {
+	// Many goroutines ask for the same id at once; they must all get the
+	// one memoized Result (pointer identity proves a single computation).
+	r := NewRunner()
+	ctx := context.Background()
+	const n = 8
+	results := make(chan *Result, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			res, err := r.Cached(ctx, "gemm")
+			if err != nil {
+				t.Error(err)
+				results <- nil
+				return
+			}
+			results <- res
+		}()
+	}
+	var first *Result
+	for i := 0; i < n; i++ {
+		res := <-results
+		if res == nil {
+			t.Fatal("Cached failed")
+		}
+		if first == nil {
+			first = res
+		} else if res != first {
+			t.Fatal("concurrent Cached calls returned distinct results")
+		}
+	}
+}
+
+func TestRunAllSeedsResultCache(t *testing.T) {
+	// tensorteed -warm relies on this: a RunAll populates the Cached
+	// store, so the first Cached call per id is a memory hit, not a
+	// recomputation.
+	r := NewRunner(WithParallelism(2))
+	ctx := context.Background()
+	results, err := r.RunAll(ctx, "tab1", "tab2", "gemm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range []string{"tab1", "tab2", "gemm"} {
+		if !r.ResultCached(id) {
+			t.Errorf("%s not cached after RunAll", id)
+		}
+		res, err := r.Cached(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res != results[i] {
+			t.Errorf("%s: Cached recomputed instead of serving the RunAll result", id)
+		}
+	}
+}
+
+func TestCachedErrorsMemoized(t *testing.T) {
+	r := NewRunner()
+	ctx := context.Background()
+	_, err1 := r.Cached(ctx, "bogus")
+	if err1 == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	_, err2 := r.Cached(ctx, "bogus")
+	if err2 == nil {
+		t.Fatal("unknown experiment accepted on second call")
+	}
+	if !r.ResultCached("bogus") {
+		t.Error("error outcome not memoized")
+	}
+}
+
+func TestCachedCancelledWaiterDoesNotPoison(t *testing.T) {
+	r := NewRunner()
+	// A first caller with a dead-on-arrival context must not block and
+	// must not be recorded as the experiment's outcome.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Cached(cancelled, "tab1"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Cached on cancelled ctx = %v, want context.Canceled", err)
+	}
+	// A later caller with a live context gets the real result.
+	res, err := r.Cached(context.Background(), "tab1")
+	if err != nil {
+		t.Fatalf("cache poisoned by the cancelled waiter: %v", err)
+	}
+	if res.ID != "tab1" {
+		t.Fatalf("res.ID = %s", res.ID)
+	}
+}
+
+func TestZeroValueRunnerCached(t *testing.T) {
+	var r Runner
+	res, err := r.Cached(context.Background(), "tab1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "tab1" {
+		t.Fatalf("res.ID = %s", res.ID)
+	}
+}
+
 func TestDeprecatedWrappersStillWork(t *testing.T) {
 	out, err := RunExperiment("tab2")
 	if err != nil {

@@ -154,6 +154,31 @@ func Model(name string) (ModelInfo, error) {
 	}, nil
 }
 
+// ExperimentInfo describes one entry of the experiment index: the stable
+// id plus the paper-artifact metadata shared by every index consumer (the
+// CLI's -list, the tensorteed daemon's /v1/experiments, EXPERIMENTS.md).
+type ExperimentInfo struct {
+	// ID is the stable experiment id (e.g. "fig16").
+	ID string `json:"id"`
+	// Artifact names the paper artifact reproduced (e.g. "Figure 16").
+	Artifact string `json:"artifact"`
+	// About is a one-line description of what regenerates.
+	About string `json:"about"`
+	// Heavy marks experiments that calibrate end-to-end systems or run
+	// long iteration sweeps.
+	Heavy bool `json:"heavy"`
+}
+
+// Experiments lists the reproducible tables and figures with their
+// paper-artifact metadata, in the paper's order.
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range experiments.Registry() {
+		out = append(out, ExperimentInfo{ID: e.ID, Artifact: e.Artifact, About: e.About, Heavy: e.Heavy})
+	}
+	return out
+}
+
 // ExperimentIDs lists the reproducible tables and figures.
 func ExperimentIDs() []string {
 	var out []string
