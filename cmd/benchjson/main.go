@@ -1,0 +1,153 @@
+// Command benchjson runs the repo's benchmark suite and records the
+// results as a dated JSON file, so before/after comparisons of the
+// simulator fast paths live in version control instead of scrollback.
+//
+// Usage:
+//
+//	benchjson                          # go test -bench . -benchmem -count 3 .
+//	benchjson -bench 'Fig16|Fig19'     # subset
+//	benchjson -count 5 -out BENCH.json
+//	benchjson -benchtime 1x ./...      # one iteration per benchmark, all packages
+//
+// The output file (default BENCH_<yyyy-mm-dd>.json) carries one entry
+// per benchmark line with every metric Go printed — ns/op, B/op,
+// allocs/op, and the custom experiment metrics (ns/access, avg_speedup,
+// ...) the benches report.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// BenchResult is one parsed benchmark output line.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Date      string        `json:"date"`
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Command   string        `json:"command"`
+	Results   []BenchResult `json:"results"`
+}
+
+// parseBench extracts benchmark lines from `go test -bench` output:
+//
+//	BenchmarkFig16Overall-8   1   944441356 ns/op   4.208 avg_speedup   31102176 B/op   51782 allocs/op
+//
+// Lines that do not start with "Benchmark" (build noise, PASS, ok) are
+// ignored; malformed value/unit pairs skip the pair, not the line.
+func parseBench(r io.Reader) []BenchResult {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		res := BenchResult{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			res.Metrics[fields[i+1]] = v
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func run(args []string, stdout, stderr io.Writer, now time.Time) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bench := fs.String("bench", ".", "benchmark regex passed to go test -bench")
+	count := fs.Int("count", 3, "go test -count")
+	benchtime := fs.String("benchtime", "", "go test -benchtime (empty = default)")
+	outPath := fs.String("out", "", "output file (default BENCH_<date>.json)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pkg := "."
+	if fs.NArg() > 0 {
+		pkg = fs.Arg(0)
+	}
+	if *outPath == "" {
+		*outPath = fmt.Sprintf("BENCH_%s.json", now.Format("2006-01-02"))
+	}
+
+	goArgs := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-count", strconv.Itoa(*count)}
+	if *benchtime != "" {
+		goArgs = append(goArgs, "-benchtime", *benchtime)
+	}
+	goArgs = append(goArgs, pkg)
+
+	cmd := exec.Command("go", goArgs...)
+	cmd.Stderr = stderr
+	pipe, err := cmd.StdoutPipe()
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if err := cmd.Start(); err != nil {
+		fmt.Fprintf(stderr, "benchjson: starting go test: %v\n", err)
+		return 1
+	}
+	// Tee: the operator still sees live benchmark output.
+	results := parseBench(io.TeeReader(pipe, stdout))
+	if err := cmd.Wait(); err != nil {
+		fmt.Fprintf(stderr, "benchjson: go test: %v\n", err)
+		return 1
+	}
+	if len(results) == 0 {
+		fmt.Fprintf(stderr, "benchjson: no benchmark lines matched %q\n", *bench)
+		return 1
+	}
+
+	rep := Report{
+		Date:      now.Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Command:   "go " + strings.Join(goArgs, " "),
+		Results:   results,
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d results)\n", *outPath, len(results))
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, time.Now()))
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: tensortee
+cpu: some cpu
+BenchmarkFig16Overall          	       1	 944441356 ns/op	         4.208 avg_speedup	31102176 B/op	   51782 allocs/op
+BenchmarkFig16Overall          	       1	 954500051 ns/op	         4.208 avg_speedup	31139272 B/op	   51790 allocs/op
+BenchmarkAdamIterationTensor-8 	      75	  15913713 ns/op	        69.38 ns/access	   12302 B/op	      38 allocs/op
+PASS
+ok  	tensortee	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	results := parseBench(strings.NewReader(sampleOutput))
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	r := results[0]
+	if r.Name != "BenchmarkFig16Overall" || r.Iterations != 1 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.Metrics["ns/op"] != 944441356 || r.Metrics["avg_speedup"] != 4.208 || r.Metrics["allocs/op"] != 51782 {
+		t.Errorf("metrics = %+v", r.Metrics)
+	}
+	if results[2].Name != "BenchmarkAdamIterationTensor-8" || results[2].Metrics["ns/access"] != 69.38 {
+		t.Errorf("third result = %+v", results[2])
+	}
+}
+
+func TestParseBenchIgnoresNoise(t *testing.T) {
+	if got := parseBench(strings.NewReader("PASS\nok x 1s\n?   pkg [no test files]\n")); len(got) != 0 {
+		t.Errorf("parsed noise: %+v", got)
+	}
+}
+
+// TestRunEmitsDatedJSON drives run() end to end against the real go
+// toolchain, but scoped to this tiny package's own benchmark so it
+// finishes in milliseconds.
+func TestRunEmitsDatedJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	dir := t.TempDir()
+	out := filepath.Join(dir, "bench.json")
+	var stdout, stderr bytes.Buffer
+	now := time.Date(2026, 7, 28, 0, 0, 0, 0, time.UTC)
+	code := run([]string{"-bench", "BenchmarkParseSelf", "-count", "1", "-benchtime", "1x", "-out", out, "./"},
+		&stdout, &stderr, now)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if rep.Date != "2026-07-28" || len(rep.Results) != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+	if !strings.HasPrefix(rep.Results[0].Name, "BenchmarkParseSelf") {
+		t.Errorf("result name = %q", rep.Results[0].Name)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such"}, &stdout, &stderr, time.Now()); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// BenchmarkParseSelf keeps the end-to-end test self-contained: run()
+// needs some benchmark to execute, and parsing the sample output is as
+// good a microbench as any.
+func BenchmarkParseSelf(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		parseBench(strings.NewReader(sampleOutput))
+	}
+}

@@ -10,6 +10,7 @@
 //	tensorteed -parallel 4             worker pool inside the Runner
 //	tensorteed -max-concurrent 2       bound concurrent cold computations
 //	tensorteed -warm                   compute every experiment at startup
+//	tensorteed -pprof localhost:6060   net/http/pprof on a side listener
 //
 // Endpoints:
 //
@@ -31,6 +32,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,8 +59,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxConcurrent := fs.Int("max-concurrent", 4, "cold experiment computations in flight at once (0 = unbounded)")
 	warm := fs.Bool("warm", false, "compute every experiment before accepting traffic")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	// Profiling side listener: kept off the serving mux so the debug
+	// surface is never exposed on the public address, and bound before
+	// warm-up so cold computations can be profiled too.
+	if *pprofAddr != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "pprof listen: %v\n", err)
+			return 1
+		}
+		defer pln.Close()
+		go func() {
+			if err := http.Serve(pln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintf(stderr, "pprof serve: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(stdout, "pprof listening on %s\n", pln.Addr())
 	}
 
 	runner := tensortee.NewRunner(

@@ -43,8 +43,10 @@ func startDaemon(t *testing.T, args ...string) (base string, stop context.Cancel
 	}()
 	deadline := time.Now().Add(10 * time.Second)
 	for {
-		if s := out.String(); strings.Contains(s, "listening on ") {
-			line := s[strings.Index(s, "listening on ")+len("listening on "):]
+		// Match the daemon's own line specifically: with -pprof a
+		// "pprof listening on ..." line precedes it.
+		if s := out.String(); strings.Contains(s, "tensorteed listening on ") {
+			line := s[strings.Index(s, "tensorteed listening on ")+len("tensorteed listening on "):]
 			addr := strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
 			t.Cleanup(cancel)
 			return "http://" + addr, cancel, codeCh, out
@@ -176,5 +178,49 @@ func TestDaemonBadAddr(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "listen") {
 		t.Errorf("listen error not reported: %s", errBuf.String())
+	}
+}
+
+// TestDaemonPprofSideListener boots the daemon with -pprof on an
+// ephemeral side port and checks the profiling surface is served there —
+// and only there: the public address must not expose /debug/pprof/.
+func TestDaemonPprofSideListener(t *testing.T) {
+	base, stop, exit, out := startDaemon(t, "-pprof", "127.0.0.1:0")
+	defer stop()
+
+	// The pprof line is printed before the serving line, so it is
+	// already in the buffer.
+	s := out.String()
+	marker := "pprof listening on "
+	i := strings.Index(s, marker)
+	if i < 0 {
+		t.Fatalf("no pprof address in output %q", s)
+	}
+	pprofAddr := strings.TrimSpace(strings.SplitN(s[i+len(marker):], "\n", 2)[0])
+
+	resp, err := http.Get("http://" + pprofAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline status = %d, want 200", resp.StatusCode)
+	}
+
+	// The public mux must not serve the debug surface.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("public endpoint: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("public address exposes /debug/pprof/")
+	}
+
+	stop()
+	if code := <-exit; code != 0 {
+		t.Errorf("exit code = %d", code)
 	}
 }

@@ -6,6 +6,12 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"tensortee/internal/config"
+	"tensortee/internal/cpusim"
+	"tensortee/internal/mee"
+	"tensortee/internal/sim"
+	"tensortee/internal/trace"
 )
 
 // buildFuzzResult deterministically shapes a Result out of raw fuzz
@@ -149,6 +155,70 @@ func FuzzTamperMemory(f *testing.F) {
 				t.Fatalf("rejected tamper still corrupted the tensor: %v", readErr)
 			} else if len(got) != 4 || got[0] != 1 {
 				t.Fatalf("rejected tamper changed data: %v", got)
+			}
+		}
+	})
+}
+
+// FuzzRunSpanParity pins the run-length fast path against the
+// line-granular oracle for fuzzer-shaped traces: raw bytes decode into a
+// soup of coalesced runs — spans that straddle tensor boundaries,
+// metadata-line (8-slot) groups, and the region end — which replay
+// through two fresh simulators, one consuming spans and one stepping
+// lines. The Results (makespan, DRAM traffic, MEE and analyzer stats)
+// must be identical, and the same must hold after a span-drained Flush.
+func FuzzRunSpanParity(f *testing.F) {
+	f.Add([]byte{0, 8, 0, 1, 8, 1, 2, 16, 2, 255, 3, 0}, uint8(2))
+	f.Add([]byte{7, 1, 0, 7, 1, 1}, uint8(0))     // single-line runs, mode off
+	f.Add([]byte{63, 12, 2, 60, 12, 2}, uint8(1)) // region-end straddle, SGX
+	f.Fuzz(func(t *testing.T, data []byte, modeByte uint8) {
+		const dataLines = 1 << 9
+		mode := []mee.Mode{mee.ModeOff, mee.ModeSGX, mee.ModeTensor}[int(modeByte)%3]
+		var runs []trace.Run
+		for len(data) >= 3 && len(runs) < 256 {
+			addr := uint64(data[0]) % (dataLines - 1)
+			lines := 1 + int(data[1])%32
+			if addr+uint64(lines) > dataLines {
+				lines = int(dataLines - addr)
+			}
+			runs = append(runs, trace.Run{
+				Addr:    addr * 64,
+				Lines:   lines,
+				Stride:  64,
+				Write:   data[2]%3 == 0,
+				Compute: sim.Dur(data[2]%5) * 100,
+			})
+			data = data[3:]
+		}
+		if len(runs) == 0 {
+			return
+		}
+		cfg := config.Default(config.BaselineSGXMGX)
+		mk := func() *trace.RunSlice {
+			return &trace.RunSlice{Runs: append([]trace.Run(nil), runs...)}
+		}
+		fast := cpusim.New(cfg, cpusim.Options{Mode: mode, DataLines: dataLines})
+		oracle := cpusim.New(cfg, cpusim.Options{Mode: mode, DataLines: dataLines})
+		for it := 0; it < 2; it++ {
+			rFast := fast.Run([]trace.Stream{mk()})
+			rOracle := oracle.Run(trace.LineOnlyStreams([]trace.Stream{mk()}))
+			if rFast != rOracle {
+				t.Fatalf("iteration %d: fast %+v != oracle %+v", it, rFast, rOracle)
+			}
+		}
+		fast.Flush()
+		oracle.Flush()
+		if fast.Engine().Stats() != oracle.Engine().Stats() {
+			t.Fatalf("engine stats diverge after flush:\nfast:   %+v\noracle: %+v",
+				fast.Engine().Stats(), oracle.Engine().Stats())
+		}
+		if mode == mee.ModeTensor {
+			if fast.Analyzer().Stats() != oracle.Analyzer().Stats() {
+				t.Fatalf("analyzer stats diverge after flush:\nfast:   %+v\noracle: %+v",
+					fast.Analyzer().Stats(), oracle.Analyzer().Stats())
+			}
+			if err := fast.Analyzer().CheckInvariant(); err != nil {
+				t.Fatal(err)
 			}
 		}
 	})

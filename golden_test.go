@@ -36,17 +36,25 @@ func goldenResult(t *testing.T, id string) *Result {
 	return &clone
 }
 
+// shortOK lists heavy experiment ids fast enough for -short mode since
+// the run-length fast path and the concurrent system calibration: their
+// own work is sub-millisecond once the shared goldenRunner's calibration
+// cache is warm, and the one-time calibration they trigger stays around
+// a second. They remain skipped under the race detector (it slows the
+// calibration simulators ~10x).
+var shortOK = map[string]bool{"fig15": true, "fig21": true}
+
 // TestGoldenOutputs pins every experiment's Text, JSON and CSV renderings
 // byte-for-byte against testdata/golden/<id>.{txt,json,csv}. Any change
 // to a simulator, a table layout, or a renderer shows up as a diff here;
 // intentional changes regenerate with -update. Heavy (system-calibrating
 // or sweep) experiments are gated like the existing registry sweep: they
-// skip under -short and under the race detector.
+// skip under -short (except the shortOK ids) and under the race detector.
 func TestGoldenOutputs(t *testing.T) {
 	for _, info := range Experiments() {
 		t.Run(info.ID, func(t *testing.T) {
 			if info.Heavy {
-				if testing.Short() {
+				if testing.Short() && !shortOK[info.ID] {
 					t.Skip("heavy experiment in -short mode")
 				}
 				if raceEnabled {

@@ -8,7 +8,10 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
+
+	"tensortee/internal/sim"
 )
 
 // Result describes the outcome of a cache access.
@@ -20,12 +23,12 @@ type Result struct {
 	HasWriteback  bool
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // larger = more recently used
-}
+// Line state lives in parallel arrays (tags / lru / dirty) rather than
+// an array of structs: the way scan of Access is the hottest loop in the
+// whole simulator, and scanning 8 contiguous uint64 tags touches one
+// hardware cache line instead of striding over 24-byte structs. The
+// valid bit folds into the tag word itself — tags hold lineAddr+1 with 0
+// meaning invalid — so the hit scan is a pure 8-word compare.
 
 // Cache is a single level tag store.
 type Cache struct {
@@ -34,8 +37,29 @@ type Cache struct {
 	sets      int
 	ways      int
 	hashed    bool
-	data      []line // sets*ways
+	tags      []uint64 // sets*ways; lineAddr+1, 0 = invalid
+	lru       []uint64 // larger = more recently used
+	dirty     []bool
 	clock     uint64
+
+	// Strength-reduced indexing (hot path): lineShift replaces the
+	// division by lineBytes when it is a power of two, setMask the modulo
+	// by sets. A shift/mask computes the exact same quotient/remainder as
+	// the division it replaces, so hit/miss/victim behavior is unchanged;
+	// -1 means "not a power of two, keep dividing".
+	//
+	// Non-power-of-two set counts (the 9 MB L3 has 18432 = 9<<11 sets)
+	// decompose as odd<<k: the low k bits mask off, and the odd modulo of
+	// the high bits uses Lemire's exact fastmod (divisionless; valid for
+	// 32-bit dividends, with a division fallback beyond). key % (odd<<k)
+	// == ((key>>k) % odd) << k | (key & (1<<k - 1)) is an identity, so
+	// set indices are bit-for-bit the historical ones.
+	lineShift  int
+	setMask    uint64
+	setShift   uint   // k of the odd<<k decomposition
+	setOdd     uint64 // odd factor of sets
+	setLowMask uint64 // 1<<k - 1
+	oddMagic   uint64 // ceil(2^64 / setOdd), Lemire's M
 
 	hits, misses, writebacks uint64
 }
@@ -65,14 +89,40 @@ func build(name string, sizeBytes, ways, lineBytes int, hashed bool) *Cache {
 	if sets == 0 {
 		sets = 1
 	}
-	return &Cache{
+	c := &Cache{
 		name:      name,
 		lineBytes: lineBytes,
 		sets:      sets,
 		ways:      ways,
 		hashed:    hashed,
-		data:      make([]line, sets*ways),
+		tags:      make([]uint64, sets*ways),
+		lru:       make([]uint64, sets*ways),
+		dirty:     make([]bool, sets*ways),
+		lineShift: sim.Pow2Shift(lineBytes),
 	}
+	if sim.Pow2Shift(sets) > 0 {
+		c.setMask = uint64(sets - 1)
+	} else {
+		// Non-power-of-two sets (or a single set, whose mask would
+		// collide with the sentinel): odd<<k decomposition.
+		k := uint(bits.TrailingZeros64(uint64(sets)))
+		c.setShift = k
+		c.setOdd = uint64(sets) >> k
+		c.setLowMask = 1<<k - 1
+		c.oddMagic = ^uint64(0)/c.setOdd + 1
+	}
+	return c
+}
+
+// oddMod computes hi % c.setOdd: divisionless (Lemire fastmod) for
+// 32-bit dividends, exact division beyond.
+func (c *Cache) oddMod(hi uint64) uint64 {
+	if hi>>32 == 0 {
+		low := c.oddMagic * hi // wrapping multiply
+		m, _ := bits.Mul64(low, c.setOdd)
+		return m
+	}
+	return hi % c.setOdd
 }
 
 // LineBytes returns the cache line size.
@@ -89,13 +139,21 @@ func (c *Cache) Ways() int { return c.ways }
 // Hashed indexing uses Fibonacci (multiplicative) hashing: plain XOR folds
 // leave power-of-two strides (1 MB-spaced tensors) colliding pairwise.
 func (c *Cache) index(addr uint64) (set int, tag uint64) {
-	lineAddr := addr / uint64(c.lineBytes)
-	tag = lineAddr
-	if c.hashed {
-		h := lineAddr * 0x9E3779B97F4A7C15
-		set = int((h >> 40) % uint64(c.sets))
+	var lineAddr uint64
+	if c.lineShift >= 0 {
+		lineAddr = addr >> uint(c.lineShift)
 	} else {
-		set = int(lineAddr % uint64(c.sets))
+		lineAddr = addr / uint64(c.lineBytes)
+	}
+	tag = lineAddr
+	key := lineAddr
+	if c.hashed {
+		key = (lineAddr * 0x9E3779B97F4A7C15) >> 40
+	}
+	if c.setMask != 0 {
+		set = int(key & c.setMask)
+	} else {
+		set = int(c.oddMod(key>>c.setShift)<<c.setShift | key&c.setLowMask)
 	}
 	return
 }
@@ -103,17 +161,34 @@ func (c *Cache) index(addr uint64) (set int, tag uint64) {
 // Access performs a read or write of the line containing addr, allocating
 // on miss and reporting any dirty victim that must be written back.
 func (c *Cache) Access(addr uint64, write bool) Result {
-	set, tag := c.index(addr)
+	// index() inlined by hand: the call shows up at this call frequency.
+	var lineAddr uint64
+	if c.lineShift >= 0 {
+		lineAddr = addr >> uint(c.lineShift)
+	} else {
+		lineAddr = addr / uint64(c.lineBytes)
+	}
+	key := lineAddr
+	if c.hashed {
+		key = (lineAddr * 0x9E3779B97F4A7C15) >> 40
+	}
+	var set int
+	if c.setMask != 0 {
+		set = int(key & c.setMask)
+	} else {
+		set = int(c.oddMod(key>>c.setShift)<<c.setShift | key&c.setLowMask)
+	}
+	tagKey := lineAddr + 1 // 0 is the invalid sentinel, so keys start at 1
 	c.clock++
 	base := set * c.ways
+	end := base + c.ways
 
-	// hit?
-	for w := 0; w < c.ways; w++ {
-		l := &c.data[base+w]
-		if l.valid && l.tag == tag {
-			l.lru = c.clock
+	// Hit scan first: a pure word compare over one hardware cache line.
+	for i := base; i < end; i++ {
+		if c.tags[i] == tagKey {
+			c.lru[i] = c.clock
 			if write {
-				l.dirty = true
+				c.dirty[i] = true
 			}
 			c.hits++
 			return Result{Hit: true}
@@ -121,26 +196,30 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	}
 	c.misses++
 
-	// miss: find victim (invalid first, else LRU)
-	victim := base
-	for w := 0; w < c.ways; w++ {
-		l := &c.data[base+w]
-		if !l.valid {
-			victim = base + w
+	// Victim scan: the first invalid way if any, else the valid way with
+	// the strictly smallest LRU stamp (first wins ties — exactly the
+	// historical way-order semantics).
+	victim := -1
+	victimLru := ^uint64(0)
+	for i := base; i < end; i++ {
+		if c.tags[i] == 0 {
+			victim = i
 			break
 		}
-		if l.lru < c.data[victim].lru {
-			victim = base + w
+		if c.lru[i] < victimLru {
+			victim, victimLru = i, c.lru[i]
 		}
 	}
+
 	res := Result{Hit: false}
-	v := &c.data[victim]
-	if v.valid && v.dirty {
+	if c.tags[victim] != 0 && c.dirty[victim] {
 		c.writebacks++
 		res.HasWriteback = true
-		res.WritebackAddr = v.tag * uint64(c.lineBytes)
+		res.WritebackAddr = (c.tags[victim] - 1) * uint64(c.lineBytes)
 	}
-	*v = line{tag: tag, valid: true, dirty: write, lru: c.clock}
+	c.tags[victim] = tagKey
+	c.lru[victim] = c.clock
+	c.dirty[victim] = write
 	return res
 }
 
@@ -148,9 +227,8 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		l := &c.data[base+w]
-		if l.valid && l.tag == tag {
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag+1 {
 			return true
 		}
 	}
@@ -161,16 +239,16 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) Invalidate(addr uint64) Result {
 	set, tag := c.index(addr)
 	base := set * c.ways
-	for w := 0; w < c.ways; w++ {
-		l := &c.data[base+w]
-		if l.valid && l.tag == tag {
+	for i := base; i < base+c.ways; i++ {
+		if c.tags[i] == tag+1 {
 			res := Result{Hit: true}
-			if l.dirty {
+			if c.dirty[i] {
 				c.writebacks++
 				res.HasWriteback = true
 				res.WritebackAddr = tag * uint64(c.lineBytes)
 			}
-			l.valid = false
+			c.tags[i] = 0
+			c.dirty[i] = false
 			return res
 		}
 	}
@@ -182,11 +260,10 @@ func (c *Cache) Invalidate(addr uint64) Result {
 // exit. Clean lines stay resident.
 func (c *Cache) DrainDirty() []uint64 {
 	var out []uint64
-	for i := range c.data {
-		l := &c.data[i]
-		if l.valid && l.dirty {
-			out = append(out, l.tag*uint64(c.lineBytes))
-			l.dirty = false
+	for i := range c.dirty {
+		if c.dirty[i] && c.tags[i] != 0 {
+			out = append(out, (c.tags[i]-1)*uint64(c.lineBytes))
+			c.dirty[i] = false
 			c.writebacks++
 		}
 	}
@@ -215,8 +292,8 @@ func (s Stats) HitRate() float64 {
 
 // Reset clears contents and counters.
 func (c *Cache) Reset() {
-	for i := range c.data {
-		c.data[i] = line{}
+	for i := range c.tags {
+		c.tags[i], c.lru[i], c.dirty[i] = 0, 0, false
 	}
 	c.clock, c.hits, c.misses, c.writebacks = 0, 0, 0, 0
 }

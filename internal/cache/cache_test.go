@@ -250,3 +250,49 @@ func TestHierarchyCollectsWritebacks(t *testing.T) {
 		t.Error("dirty writeback lost in hierarchy")
 	}
 }
+
+// TestIndexMatchesPlainModulo pins the strength-reduced set indexing
+// (shift/mask and the odd<<k Lemire decomposition) against the plain
+// division it replaced, across the repo's real geometries and awkward
+// ones, including dividends past 32 bits (the fallback path).
+func TestIndexMatchesPlainModulo(t *testing.T) {
+	geoms := []struct{ size, ways, line int }{
+		{32 << 10, 8, 64},  // L1: 64 sets
+		{256 << 10, 8, 64}, // L2: 512 sets
+		{9 << 20, 8, 64},   // L3: 18432 sets (9<<11, non-pow2)
+		{12 << 10, 3, 64},  // odd ways, 64 sets
+		{3 << 10, 8, 64},   // 6 sets (3<<1)
+		{64, 8, 64},        // single set
+		{28 << 10, 7, 64},  // 64 sets with 7 ways
+		{18 << 10, 8, 96},  // non-pow2 line size: division path
+	}
+	addrs := []uint64{0, 1, 63, 64, 65, 4096, 1 << 20, 1 << 32, (1 << 44) + 8*64, ^uint64(0) >> 2}
+	for i := uint64(0); i < 10000; i++ {
+		addrs = append(addrs, i*64, i*6400+i, (1<<33)+i*64)
+	}
+	for _, g := range geoms {
+		for _, hashed := range []bool{false, true} {
+			c := build("t", g.size, g.ways, g.line, hashed)
+			for _, addr := range addrs {
+				lineAddr := addr / uint64(g.line)
+				key := lineAddr
+				if hashed {
+					key = (lineAddr * 0x9E3779B97F4A7C15) >> 40
+				}
+				wantSet := int(key % uint64(c.sets))
+				gotSet, gotTag := c.index(addr)
+				if gotSet != wantSet || gotTag != lineAddr {
+					t.Fatalf("geom %+v hashed=%v addr %#x: index=(%d,%#x), want (%d,%#x)",
+						g, hashed, addr, gotSet, gotTag, wantSet, lineAddr)
+				}
+				// Access hand-inlines the same computation; Probe goes
+				// through index(). Allocating via Access and finding the
+				// line via Probe pins the two copies to the same set.
+				c.Access(addr, false)
+				if !c.Probe(addr) {
+					t.Fatalf("geom %+v hashed=%v addr %#x: Access and index() disagree on the set", g, hashed, addr)
+				}
+			}
+		}
+	}
+}

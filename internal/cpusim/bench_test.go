@@ -1,0 +1,40 @@
+package cpusim
+
+import (
+	"testing"
+
+	"tensortee/internal/config"
+	"tensortee/internal/mee"
+	"tensortee/internal/sim"
+	"tensortee/internal/tensor"
+	"tensortee/internal/trace"
+)
+
+// benchAdam replays steady-state Adam iterations — the inner loop of
+// every heavy CPU experiment — so fast-path changes can be measured in
+// isolation (ns and allocs per replayed access).
+func benchAdam(b *testing.B, mode mee.Mode, threads int) {
+	cfg := config.Default(config.BaselineSGXMGX)
+	arena := tensor.NewArena(0, 64)
+	quads := []trace.AdamTensors{trace.NewAdamTensors(arena, "p0", 1<<19)}
+	lines := int(arena.Next()/64) + 64
+	s := New(cfg, Options{Mode: mode, DataLines: lines})
+	mk := func() []trace.Stream {
+		return trace.AdamStreams(quads, trace.AdamConfig{
+			LineBytes:      64,
+			ComputePerLine: sim.Cycles(40, cfg.CPU.FreqHz),
+			Cores:          threads,
+		})
+	}
+	r := s.Run(mk()) // warm caches and Meta Table
+	accesses := int64(r.Accesses)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Run(mk())
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(accesses*int64(b.N)), "ns/access")
+}
+
+func BenchmarkAdamIterationOff(b *testing.B)    { benchAdam(b, mee.ModeOff, 8) }
+func BenchmarkAdamIterationSGX(b *testing.B)    { benchAdam(b, mee.ModeSGX, 8) }
+func BenchmarkAdamIterationTensor(b *testing.B) { benchAdam(b, mee.ModeTensor, 8) }

@@ -13,7 +13,6 @@
 package cpusim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"tensortee/internal/cache"
@@ -61,6 +60,10 @@ type Sim struct {
 	l1Lat, l2Lat, l3Lat sim.Dur
 	issueGap            sim.Dur
 
+	// wbScratch is the reusable dirty-victim buffer of access (at most
+	// one victim per cache level).
+	wbScratch []uint64
+
 	now sim.Time // end of the previous run; runs are back to back
 }
 
@@ -86,15 +89,16 @@ func New(cfg config.Config, opts Options) *Sim {
 	mem := dram.New(dram.DDR4_2400(), cfg.HostDRAM.Channels)
 	layout := mee.NewLayout(0, opts.DataLines, cfg.CPU.LineBytes, cfg.Protection.MerkleArity)
 	s := &Sim{
-		cfg:      cfg,
-		mode:     opts.Mode,
-		mem:      mem,
-		engine:   mee.NewEngine(opts.Mode, &cfg, mem, layout),
-		l3:       cache.New("l3", cfg.CPU.L3SizeBytes, cfg.CPU.L3Ways, cfg.CPU.LineBytes),
-		l1Lat:    sim.Cycles(float64(cfg.CPU.L1LatCycles), cfg.CPU.FreqHz),
-		l2Lat:    sim.Cycles(float64(cfg.CPU.L2LatCycles), cfg.CPU.FreqHz),
-		l3Lat:    sim.Cycles(float64(cfg.CPU.L3LatCycles), cfg.CPU.FreqHz),
-		issueGap: sim.Cycles(1, cfg.CPU.FreqHz),
+		cfg:       cfg,
+		mode:      opts.Mode,
+		mem:       mem,
+		engine:    mee.NewEngine(opts.Mode, &cfg, mem, layout),
+		l3:        cache.New("l3", cfg.CPU.L3SizeBytes, cfg.CPU.L3Ways, cfg.CPU.LineBytes),
+		l1Lat:     sim.Cycles(float64(cfg.CPU.L1LatCycles), cfg.CPU.FreqHz),
+		l2Lat:     sim.Cycles(float64(cfg.CPU.L2LatCycles), cfg.CPU.FreqHz),
+		l3Lat:     sim.Cycles(float64(cfg.CPU.L3LatCycles), cfg.CPU.FreqHz),
+		issueGap:  sim.Cycles(1, cfg.CPU.FreqHz),
+		wbScratch: make([]uint64, 0, 4),
 	}
 	for i := 0; i < cfg.CPU.Cores; i++ {
 		s.l1 = append(s.l1, cache.New(fmt.Sprintf("l1-%d", i), cfg.CPU.L1SizeBytes, cfg.CPU.L1Ways, cfg.CPU.LineBytes))
@@ -124,29 +128,75 @@ func (s *Sim) Analyzer() *tenanalyzer.Analyzer { return s.analyzer }
 // Engine exposes the MEE for stats inspection.
 func (s *Sim) Engine() *mee.Engine { return s.engine }
 
-// completionHeap orders outstanding miss completions.
+// completionHeap is the sorted ring of outstanding miss completion
+// times (ascending; the minimum is element 0). It replaces
+// container/heap, whose Push(x any)/Pop() boxed every sim.Time into a
+// fresh interface allocation on the hottest path of the simulator. The
+// window is bounded by the MLP depth (10), and DRAM completions arrive
+// mostly in order, so insertion scans one or two slots from the tail —
+// cheaper than heap sifts at this size. Only the minimum is ever
+// observed, so replacing the heap cannot change any result.
 type completionHeap []sim.Time
 
-func (h completionHeap) Len() int           { return len(h) }
-func (h completionHeap) Less(i, j int) bool { return h[i] < h[j] }
-func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *completionHeap) Push(x any)        { *h = append(*h, x.(sim.Time)) }
-func (h *completionHeap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+func (h *completionHeap) push(t sim.Time) {
+	q := append(*h, t)
+	i := len(q) - 1
+	for i > 0 && q[i-1] > t {
+		q[i] = q[i-1]
+		i--
+	}
+	q[i] = t
+	*h = q
 }
 
-// coreState is one core's replay cursor.
+func (h *completionHeap) popMin() sim.Time {
+	q := *h
+	top := q[0]
+	copy(q, q[1:])
+	*h = q[:len(q)-1]
+	return top
+}
+
+// coreState is one core's replay cursor. Cores prefer the span-granular
+// RunStream interface when the stream provides it: one NextRun call
+// yields a whole burst of consecutive lines, which the core then expands
+// locally (run/runPos) without any per-access interface dispatch. The
+// per-line expansion is exactly trace.ExpandRun's, so the replayed access
+// sequence — and with it every cache, MEE, and analyzer state transition —
+// is identical to stepping the stream line by line (pinned by the parity
+// tests and the golden harness).
 type coreState struct {
 	id          int
 	stream      trace.Stream
+	runs        trace.RunStream // non-nil when stream coalesces spans
+	run         trace.Run       // current span
+	runPos      int             // lines of run already issued
 	nextReady   sim.Time
 	outstanding completionHeap
 	lastDone    sim.Time
 	done        bool
+}
+
+// nextAccess yields the core's next line-granular access, pulling a new
+// coalesced span when the current one is exhausted.
+func (c *coreState) nextAccess() (trace.Access, bool) {
+	if c.runs != nil {
+		for c.runPos >= c.run.Lines {
+			r, ok := c.runs.NextRun()
+			if !ok {
+				return trace.Access{}, false
+			}
+			c.run, c.runPos = r, 0
+		}
+		a := trace.Access{
+			Addr:    c.run.Addr + uint64(c.runPos)*c.run.Stride,
+			Write:   c.run.Write,
+			Compute: c.run.Compute,
+		}
+		c.runPos++
+		return a, true
+	}
+	return c.stream.Next()
 }
 
 // Run replays one stream per core (len(streams) <= Cores) to completion
@@ -159,9 +209,14 @@ func (s *Sim) Run(streams []trace.Stream) Result {
 	s.engine.ResetStats()
 	memBefore := s.mem.Stats()
 
-	cores := make([]*coreState, len(streams))
+	// A value slice keeps the per-access earliest-core scan on contiguous
+	// memory (the scan runs once per replayed access).
+	cores := make([]coreState, len(streams))
 	for i, st := range streams {
-		cores[i] = &coreState{id: i, stream: st, nextReady: start}
+		cores[i] = coreState{id: i, stream: st, nextReady: start}
+		if rs, ok := st.(trace.RunStream); ok {
+			cores[i].runs = rs
+		}
 	}
 
 	var accesses uint64
@@ -170,7 +225,8 @@ func (s *Sim) Run(streams []trace.Stream) Result {
 		// Pick the core with the earliest ready time (deterministic
 		// tie-break on id) — a global time-ordered interleave.
 		var c *coreState
-		for _, cand := range cores {
+		for i := range cores {
+			cand := &cores[i]
 			if cand.done {
 				continue
 			}
@@ -178,7 +234,7 @@ func (s *Sim) Run(streams []trace.Stream) Result {
 				c = cand
 			}
 		}
-		acc, ok := c.stream.Next()
+		acc, ok := c.nextAccess()
 		if !ok {
 			c.done = true
 			active--
@@ -192,7 +248,7 @@ func (s *Sim) Run(streams []trace.Stream) Result {
 		// full until the oldest outstanding miss retires.
 		mlp := s.cfg.CPU.MemLevelPar
 		for len(c.outstanding) >= mlp {
-			oldest := heap.Pop(&c.outstanding).(sim.Time)
+			oldest := c.outstanding.popMin()
 			if oldest > at {
 				at = oldest
 			}
@@ -200,7 +256,7 @@ func (s *Sim) Run(streams []trace.Stream) Result {
 
 		done, missed := s.access(at, c.id, acc)
 		if missed {
-			heap.Push(&c.outstanding, done)
+			c.outstanding.push(done)
 		}
 		if done > c.lastDone {
 			c.lastDone = done
@@ -236,26 +292,30 @@ func (s *Sim) Run(streams []trace.Stream) Result {
 // access walks the cache hierarchy and, on miss, the MEE path. Returns the
 // completion time of the access and whether it reached DRAM.
 func (s *Sim) access(at sim.Time, core int, acc trace.Access) (done sim.Time, missed bool) {
-	wbs := make([]uint64, 0, 2)
-	record := func(r cache.Result) {
-		if r.HasWriteback {
-			wbs = append(wbs, r.WritebackAddr)
-		}
-	}
+	// Dirty victims collect into a per-Sim scratch buffer: the previous
+	// per-access make([]uint64, 0, 2) was the single largest allocation
+	// source in the whole simulator (one per replayed access).
+	wbs := s.wbScratch[:0]
 
 	var hitLevel int
 	if r := s.l1[core].Access(acc.Addr, acc.Write); r.Hit {
 		hitLevel = 1
 	} else {
-		record(r)
+		if r.HasWriteback {
+			wbs = append(wbs, r.WritebackAddr)
+		}
 		if r2 := s.l2[core].Access(acc.Addr, false); r2.Hit {
 			hitLevel = 2
 		} else {
-			record(r2)
+			if r2.HasWriteback {
+				wbs = append(wbs, r2.WritebackAddr)
+			}
 			if r3 := s.l3.Access(acc.Addr, false); r3.Hit {
 				hitLevel = 3
 			} else {
-				record(r3)
+				if r3.HasWriteback {
+					wbs = append(wbs, r3.WritebackAddr)
+				}
 			}
 		}
 	}
@@ -278,6 +338,7 @@ func (s *Sim) access(at sim.Time, core int, acc trace.Access) (done sim.Time, mi
 	for _, wb := range wbs {
 		s.writeThroughMEE(at, wb)
 	}
+	s.wbScratch = wbs[:0]
 	return done, missed
 }
 
@@ -332,10 +393,43 @@ func (s *Sim) Flush() {
 		dirty = append(dirty, s.l2[i].DrainDirty()...)
 	}
 	dirty = append(dirty, s.l3.DrainDirty()...)
-	for _, addr := range dirty {
-		s.writeThroughMEE(at, addr)
+
+	// Drain in coalesced spans: each cache returns its dirty lines in
+	// ascending address order, so streaming workloads yield long
+	// consecutive runs. Only adjacent lines within the existing order
+	// merge — the write sequence the MEE and DRAM see is unchanged, the
+	// span methods just amortize the per-line metadata math over it.
+	lineBytes := uint64(s.cfg.CPU.LineBytes)
+	for i := 0; i < len(dirty); {
+		n := 1
+		for i+n < len(dirty) && dirty[i+n] == dirty[i]+uint64(n)*lineBytes {
+			n++
+		}
+		s.writeRunThroughMEE(at, dirty[i], n)
+		i += n
 	}
 	if bu := s.mem.BusyUntil(); bu > s.now {
 		s.now = bu
+	}
+}
+
+// writeRunThroughMEE charges a span of n consecutive dirty-line writes
+// issued together at time at. In tensor mode the TenAnalyzer classifies
+// the span prefix by prefix (falling back to single lines at epoch
+// completions, assert violations, and entry seams); each uniform prefix
+// is then charged in one engine call. The analyzer and the engine are
+// independent state machines, so classifying a prefix before charging it
+// is indistinguishable from interleaving the two per line.
+func (s *Sim) writeRunThroughMEE(at sim.Time, addr uint64, n int) {
+	if s.analyzer == nil {
+		s.engine.WriteRun(at, addr, n)
+		return
+	}
+	lineBytes := uint64(s.cfg.CPU.LineBytes)
+	for n > 0 {
+		outcome, k := s.analyzer.WriteRun(addr, n)
+		s.engine.TensorWriteRun(at, addr, k, toMEEOutcome(outcome))
+		addr += uint64(k) * lineBytes
+		n -= k
 	}
 }

@@ -101,6 +101,25 @@ type Memory struct {
 	Channels int
 	chans    []channel
 
+	// Strength-reduced address mapping (hot path): shifts/masks replace
+	// the divisions in mapAddr when the corresponding geometry is a power
+	// of two (it is for every profile in this repo). A shift or mask is
+	// arithmetically identical to the division it replaces, so the
+	// channel/bank/row decomposition — and therefore all timing — is
+	// unchanged. Negative shift / zero mask means "keep dividing".
+	burstShift int
+	chanMask   uint64 // Channels-1 when power of two, else 0
+	chanShift  int
+	rowShift   int    // log2(lines per row)
+	bankMask   uint64 // Banks-1 when power of two, else 0
+
+	// refLo/refHi cache the refresh-free zone [i*TREFI, (i+1)*TREFI-TRFC)
+	// most recently computed: commands landing inside it need neither the
+	// window divisions nor any refresh handling, and thousands of
+	// accesses land in each 7.8 µs zone. Commands outside it recompute
+	// the zone exactly as before.
+	refLo, refHi sim.Time
+
 	reads       uint64
 	writes      uint64
 	refClosures uint64
@@ -112,6 +131,15 @@ func New(t Timing, channels int) *Memory {
 		panic(fmt.Sprintf("dram: channels must be positive, got %d", channels))
 	}
 	m := &Memory{T: t, Channels: channels}
+	m.burstShift = sim.Pow2Shift(t.BurstBytes)
+	m.chanShift = sim.Pow2Shift(channels)
+	if m.chanShift >= 0 {
+		m.chanMask = uint64(channels - 1)
+	}
+	m.rowShift = sim.Pow2Shift(t.RowBytes / t.BurstBytes)
+	if sim.Pow2Shift(t.Banks) >= 0 {
+		m.bankMask = uint64(t.Banks - 1)
+	}
 	m.chans = make([]channel, channels)
 	for i := range m.chans {
 		m.chans[i].banks = make([]bank, t.Banks)
@@ -130,12 +158,35 @@ func New(t Timing, channels int) *Memory {
 // bank-index hashing; without it, the power-of-two-strided w/g/m/v streams
 // of an Adam step alias onto one bank and every access row-conflicts.
 func (m *Memory) mapAddr(addr uint64) (ch, bk int, row int64) {
-	line := addr / uint64(m.T.BurstBytes)
-	ch = int((line ^ (line >> 9)) % uint64(m.Channels))
-	line /= uint64(m.Channels)
-	linesPerRow := uint64(m.T.RowBytes / m.T.BurstBytes)
-	rowBlk := line / linesPerRow
-	bk = int((rowBlk ^ (rowBlk >> 4) ^ (rowBlk >> 9)) % uint64(m.T.Banks))
+	var line uint64
+	if m.burstShift >= 0 {
+		line = addr >> uint(m.burstShift)
+	} else {
+		line = addr / uint64(m.T.BurstBytes)
+	}
+	chKey := line ^ (line >> 9)
+	if m.chanMask != 0 || m.Channels == 1 {
+		ch = int(chKey & m.chanMask)
+	} else {
+		ch = int(chKey % uint64(m.Channels))
+	}
+	if m.chanShift >= 0 {
+		line >>= uint(m.chanShift)
+	} else {
+		line /= uint64(m.Channels)
+	}
+	var rowBlk uint64
+	if m.rowShift >= 0 {
+		rowBlk = line >> uint(m.rowShift)
+	} else {
+		rowBlk = line / uint64(m.T.RowBytes/m.T.BurstBytes)
+	}
+	bkKey := rowBlk ^ (rowBlk >> 4) ^ (rowBlk >> 9)
+	if m.bankMask != 0 || m.T.Banks == 1 {
+		bk = int(bkKey & m.bankMask)
+	} else {
+		bk = int(bkKey % uint64(m.T.Banks))
+	}
 	// The block id is globally unique, so it serves directly as the row
 	// identifier for open-row comparisons.
 	row = int64(rowBlk)
@@ -163,8 +214,9 @@ func (m *Memory) Access(at sim.Time, addr uint64, write bool) sim.Time {
 	start := sim.Max(at, b.readyAt)
 	// All-bank refresh: the device is unavailable for TRFC at the end of
 	// every TREFI interval; a command landing in the window waits it out
-	// (and finds its row closed).
-	if m.T.TREFI > 0 {
+	// (and finds its row closed). The cached refresh-free zone skips the
+	// interval math for the common case.
+	if m.T.TREFI > 0 && (start < m.refLo || start >= m.refHi) {
 		winStart := start/m.T.TREFI*m.T.TREFI + m.T.TREFI - m.T.TRFC
 		if start >= winStart {
 			start = winStart + m.T.TRFC
@@ -173,6 +225,9 @@ func (m *Memory) Access(at sim.Time, addr uint64, write bool) sim.Time {
 				m.refClosures++
 			}
 		}
+		// start now sits inside a refresh-free zone; remember it.
+		m.refLo = start / m.T.TREFI * m.T.TREFI
+		m.refHi = m.refLo + m.T.TREFI - m.T.TRFC
 	}
 	switch {
 	case b.openRow == row:
@@ -285,4 +340,5 @@ func (m *Memory) Reset() {
 		}
 	}
 	m.reads, m.writes, m.refClosures = 0, 0, 0
+	m.refLo, m.refHi = 0, 0
 }

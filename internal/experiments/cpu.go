@@ -139,22 +139,32 @@ func Fig3(_ *Env) (*Report, error) {
 	r := newReport("fig3", "CPU TEE overhead vs thread count (Adam step)")
 	tb := stats.NewTable("Adam step, 2M-element window", "threads", "non-secure (ms)", "normalized", "SGX (ms)", "slowdown")
 
-	var ns1 sim.Dur
-	maxSlow := 0.0
-	for _, threads := range []int{1, 2, 4, 8} {
-		ns := newCPUAdam(mee.ModeOff, fig3Elems)
-		rNS := ns.sim.Run(ns.mk(threads, 0))
-		sgx := newCPUAdam(mee.ModeSGX, fig3Elems)
-		rSGX := sgx.sim.Run(sgx.mk(threads, 0))
-		if threads == 1 {
-			ns1 = rNS.Makespan
+	// Every (threads, mode) point is an independent freshly-built
+	// simulator, so the whole sweep fans out over the worker pool; rows
+	// assemble in thread order afterwards, keeping the rendering
+	// identical to the serial sweep.
+	threadPoints := []int{1, 2, 4, 8}
+	nsTimes := make([]sim.Dur, len(threadPoints))
+	sgxTimes := make([]sim.Dur, len(threadPoints))
+	sweep(2*len(threadPoints), func(j int) {
+		threads := threadPoints[j/2]
+		if j%2 == 0 {
+			ns := newCPUAdam(mee.ModeOff, fig3Elems)
+			nsTimes[j/2] = ns.sim.Run(ns.mk(threads, 0)).Makespan
+		} else {
+			sgx := newCPUAdam(mee.ModeSGX, fig3Elems)
+			sgxTimes[j/2] = sgx.sim.Run(sgx.mk(threads, 0)).Makespan
 		}
-		slow := float64(rSGX.Makespan) / float64(rNS.Makespan)
+	})
+	ns1 := nsTimes[0]
+	maxSlow := 0.0
+	for i, threads := range threadPoints {
+		slow := float64(sgxTimes[i]) / float64(nsTimes[i])
 		if slow > maxSlow {
 			maxSlow = slow
 		}
-		tb.AddRow(threads, rNS.Makespan.Millis(),
-			float64(rNS.Makespan)/float64(ns1), rSGX.Makespan.Millis(), slow)
+		tb.AddRow(threads, nsTimes[i].Millis(),
+			float64(nsTimes[i])/float64(ns1), sgxTimes[i].Millis(), slow)
 	}
 	r.Tables = append(r.Tables, tb)
 	r.Scalars["max_slowdown"] = maxSlow
@@ -209,45 +219,68 @@ func Fig19(_ *Env) (*Report, error) {
 	}
 	const shrink = fig18Bytes
 	iters := []int{1, 2, 5, 10, 20}
+	threadPoints := []int{4, 8}
 
-	for _, threads := range []int{4, 8} {
-		ns := newCPUAdamModel(mee.ModeOff, m, shrink)
-		base := ns.sim.Run(ns.mk(threads, 0)).Makespan
-
-		sgx := newCPUAdamModel(mee.ModeSGX, m, shrink)
-		sgxTime := sgx.sim.Run(sgx.mk(threads, 0)).Makespan
-
-		// SoftVN: VNs declared by software, so every access hits from the
-		// first iteration (simulated as the converged tensor path), plus
-		// the critical-path VN-table lookup penalty its design pays —
-		// worse at higher thread counts where table ports contend
-		// (Section 2.2 limitations; the paper reports 1.04x/1.13x).
-		soft := newCPUAdamModel(mee.ModeTensor, m, shrink)
-		var softTime sim.Dur
-		for i := 0; i < 4; i++ {
-			softTime = soft.sim.Run(soft.mk(threads, 0)).Makespan
+	// Each (thread count, system) chain is a self-contained simulator
+	// sequence — the four chains of a block and the two blocks share
+	// nothing — so all eight run on the worker pool. Iterations within
+	// the TensorTEE chain stay serial (the Meta Table converges across
+	// them); rows assemble in the original order afterwards.
+	type fig19Block struct {
+		base, sgxTime, softTime sim.Dur
+		tte                     []sim.Dur // one sample per entry of iters
+	}
+	blocks := make([]fig19Block, len(threadPoints))
+	sweep(4*len(threadPoints), func(j int) {
+		b, chain := &blocks[j/4], j%4
+		threads := threadPoints[j/4]
+		switch chain {
+		case 0:
+			ns := newCPUAdamModel(mee.ModeOff, m, shrink)
+			b.base = ns.sim.Run(ns.mk(threads, 0)).Makespan
+		case 1:
+			sgx := newCPUAdamModel(mee.ModeSGX, m, shrink)
+			b.sgxTime = sgx.sim.Run(sgx.mk(threads, 0)).Makespan
+		case 2:
+			// SoftVN: VNs declared by software, so every access hits from
+			// the first iteration (simulated as the converged tensor
+			// path), plus the critical-path VN-table lookup penalty its
+			// design pays — worse at higher thread counts where table
+			// ports contend (Section 2.2 limitations; the paper reports
+			// 1.04x/1.13x).
+			soft := newCPUAdamModel(mee.ModeTensor, m, shrink)
+			for i := 0; i < 4; i++ {
+				b.softTime = soft.sim.Run(soft.mk(threads, 0)).Makespan
+			}
+		case 3:
+			tte := newCPUAdamModel(mee.ModeTensor, m, shrink)
+			b.tte = make([]sim.Dur, len(iters))
+			next := 0
+			for it := 1; it <= iters[len(iters)-1]; it++ {
+				res := tte.sim.Run(tte.mk(threads, (it*3)%17))
+				if next < len(iters) && it == iters[next] {
+					b.tte[next] = res.Makespan
+					next++
+				}
+			}
 		}
-		lookupPenalty := 1.0 + 0.01*float64(threads)
-		softNorm := float64(softTime) / float64(base) * lookupPenalty
+	})
 
-		tte := newCPUAdamModel(mee.ModeTensor, m, shrink)
+	for i, threads := range threadPoints {
+		b := blocks[i]
+		lookupPenalty := 1.0 + 0.01*float64(threads)
+		softNorm := float64(b.softTime) / float64(b.base) * lookupPenalty
+
 		tb := stats.NewTable(fmt.Sprintf("%d threads", threads),
 			"config", "normalized latency")
 		tb.AddRow("Non-secure", 1.0)
-		tb.AddRow("SGX", float64(sgxTime)/float64(base))
+		tb.AddRow("SGX", float64(b.sgxTime)/float64(b.base))
 		tb.AddRow("SoftVN", softNorm)
-		next := 0
-		for it := 1; it <= iters[len(iters)-1]; it++ {
-			res := tte.sim.Run(tte.mk(threads, (it*3)%17))
-			if next < len(iters) && it == iters[next] {
-				tb.AddRow(fmt.Sprintf("TensorTEE@%d", it), float64(res.Makespan)/float64(base))
-				next++
-			}
-			if it == iters[len(iters)-1] {
-				r.Scalars[fmt.Sprintf("tte_final_%dt", threads)] = float64(res.Makespan) / float64(base)
-			}
+		for k, it := range iters {
+			tb.AddRow(fmt.Sprintf("TensorTEE@%d", it), float64(b.tte[k])/float64(b.base))
 		}
-		r.Scalars[fmt.Sprintf("sgx_%dt", threads)] = float64(sgxTime) / float64(base)
+		r.Scalars[fmt.Sprintf("tte_final_%dt", threads)] = float64(b.tte[len(iters)-1]) / float64(b.base)
+		r.Scalars[fmt.Sprintf("sgx_%dt", threads)] = float64(b.sgxTime) / float64(b.base)
 		r.Tables = append(r.Tables, tb)
 	}
 	r.Notes = append(r.Notes, "paper: SGX 2.64x/3.65x at 4/8 threads; TensorTEE 2.56x..1.05x (4t) and 3.32x..1.03x (8t) converging with iterations; SoftVN 1.04/1.13")

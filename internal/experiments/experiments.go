@@ -8,13 +8,52 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"tensortee/internal/config"
 	"tensortee/internal/core"
 	"tensortee/internal/stats"
 )
+
+// sweep runs n independent sweep points on a bounded worker pool
+// (min(n, GOMAXPROCS) goroutines) and waits for all of them. Generators
+// use it to fan out thread-count and config points over per-point Sim
+// instances; each job writes its result into its own slot, and the caller
+// assembles rows in the original order afterwards, so the rendered output
+// is identical to the serial sweep.
+func sweep(n int, job func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	next.Store(-1)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // Report is one experiment's rendered result plus the key scalar outcomes
 // that tests assert on.

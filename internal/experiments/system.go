@@ -15,16 +15,22 @@ import (
 // threeSystems resolves the calibrated Non-Secure / SGX+MGX / TensorTEE
 // systems through the environment (shared by fig5/15/16/17/21) — with a
 // caching provider each system calibrates once per process, not once per
-// experiment.
+// experiment. The three calibrations are independent CPU-simulation
+// samples, so they run concurrently: cold-start wall-clock drops from the
+// sum of the three to the slowest one. Env.System is safe for concurrent
+// use (the Runner's cache singleflights per kind; the uncached path
+// builds fresh systems).
 func threeSystems(env *Env) (ns, base, tte *core.System, err error) {
-	if ns, err = env.System(config.NonSecure); err != nil {
-		return
+	kinds := [3]config.SystemKind{config.NonSecure, config.BaselineSGXMGX, config.TensorTEE}
+	var sys [3]*core.System
+	var errs [3]error
+	sweep(3, func(i int) { sys[i], errs[i] = env.System(kinds[i]) })
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, nil, e
+		}
 	}
-	if base, err = env.System(config.BaselineSGXMGX); err != nil {
-		return
-	}
-	tte, err = env.System(config.TensorTEE)
-	return
+	return sys[0], sys[1], sys[2], nil
 }
 
 // Fig4 reports the tensor inventory of every model: tensor count and the

@@ -49,6 +49,12 @@ type Layout struct {
 	macBase  uint64
 	treeBase []uint64 // base address per tree level (level 0 = leaves)
 	treeLen  []int    // nodes per level
+
+	// lineShift strength-reduces the division in lineIdx (LineBytes is a
+	// power of two for every configuration in this repo); -1 keeps the
+	// division. The shift computes the identical quotient, so all
+	// metadata addresses are unchanged.
+	lineShift int
 }
 
 // metaSlotBytes is the storage of one VN or MAC slot (56 bits rounded to 8
@@ -70,6 +76,7 @@ func NewLayout(dataBase uint64, dataLines, lineBytes, arity int) *Layout {
 		Arity:     arity,
 		vnBase:    metaSpace,
 		macBase:   alignUp(metaSpace + uint64(dataLines)*metaSlotBytes),
+		lineShift: sim.Pow2Shift(lineBytes),
 	}
 	// Tree over VN lines.
 	slotsPerLine := lineBytes / metaSlotBytes
@@ -92,6 +99,9 @@ func NewLayout(dataBase uint64, dataLines, lineBytes, arity int) *Layout {
 
 // lineIdx converts a data address to a line index.
 func (l *Layout) lineIdx(addr uint64) int {
+	if l.lineShift >= 0 {
+		return int((addr - l.DataBase) >> uint(l.lineShift))
+	}
 	return int((addr - l.DataBase) / uint64(l.LineBytes))
 }
 
@@ -247,14 +257,24 @@ type ReadResult struct {
 // at. The data fetch itself is included (the engine fronts the memory
 // controller).
 func (e *Engine) Read(at sim.Time, addr uint64) ReadResult {
-	e.stats.DataReads++
-	tData := e.mem.Access(at, addr, false)
 	if e.Mode == ModeOff {
+		e.stats.DataReads++
+		tData := e.mem.Access(at, addr, false)
 		return ReadResult{DataReady: tData, Verified: tData}
 	}
+	return e.readLine(at, addr, e.Layout.VNLineAddr(addr), e.Layout.MACLineAddr(addr))
+}
+
+// readLine is the protected-read dataflow with the metadata line
+// addresses hoisted: span callers compute them once per 8-slot group
+// instead of once per line. The access sequence is identical to the
+// historical Read body, so cache and DRAM state evolve identically.
+func (e *Engine) readLine(at sim.Time, addr, vnLine, macLine uint64) ReadResult {
+	e.stats.DataReads++
+	tData := e.mem.Access(at, addr, false)
 
 	// VN acquisition.
-	tVN, vnMissed := e.metaAccess(at, e.Layout.VNLineAddr(addr), false, &e.stats.VNReads, nil)
+	tVN, vnMissed := e.metaAccess(at, vnLine, false, &e.stats.VNReads, nil)
 	if vnMissed {
 		// Merkle walk: serial levels until a metadata-cache hit; each level
 		// costs a MAC verification.
@@ -278,7 +298,7 @@ func (e *Engine) Read(at sim.Time, addr uint64) ReadResult {
 	dataReady := sim.Max(tData, padDone)
 
 	// Data MAC verification: fetch the MAC line, recompute, compare.
-	tMAC, _ := e.metaAccess(at, e.Layout.MACLineAddr(addr), false, &e.stats.MACReads, nil)
+	tMAC, _ := e.metaAccess(at, macLine, false, &e.stats.MACReads, nil)
 	verDone := sim.Max(tData, tMAC) + e.macLat
 	e.stats.MACOps++
 
@@ -292,13 +312,20 @@ func (e *Engine) Read(at sim.Time, addr uint64) ReadResult {
 // retire. Writes are posted: the returned time matters for occupancy, not
 // for the core's critical path.
 func (e *Engine) Write(at sim.Time, addr uint64) sim.Time {
-	e.stats.DataWrites++
 	if e.Mode == ModeOff {
+		e.stats.DataWrites++
 		return e.mem.Access(at, addr, true)
 	}
+	return e.writeLine(at, addr, e.Layout.VNLineAddr(addr), e.Layout.MACLineAddr(addr))
+}
+
+// writeLine is the protected-write dataflow with hoisted metadata line
+// addresses (see readLine).
+func (e *Engine) writeLine(at sim.Time, addr, vnLine, macLine uint64) sim.Time {
+	e.stats.DataWrites++
 
 	// VN increment: RMW on the VN line through the metadata cache.
-	tVN, vnMissed := e.metaAccess(at, e.Layout.VNLineAddr(addr), true, &e.stats.VNReads, &e.stats.VNWrites)
+	tVN, vnMissed := e.metaAccess(at, vnLine, true, &e.stats.VNReads, &e.stats.VNWrites)
 	t := tVN
 	if vnMissed {
 		// Verify the fetched VN before trusting it (walk), then update the
@@ -325,7 +352,7 @@ func (e *Engine) Write(at sim.Time, addr uint64) sim.Time {
 	tData := e.mem.Access(padDone, addr, true)
 
 	// Recompute and store the data MAC.
-	tMACLine, _ := e.metaAccess(at, e.Layout.MACLineAddr(addr), true, &e.stats.MACReads, &e.stats.MACWrites)
+	tMACLine, _ := e.metaAccess(at, macLine, true, &e.stats.MACReads, &e.stats.MACWrites)
 	tMAC := sim.Max(padDone, tMACLine) + e.macLat
 	e.stats.MACOps++
 
@@ -408,6 +435,156 @@ func (e *Engine) TensorWrite(at sim.Time, addr uint64, outcome TensorOutcome) si
 		e.stats.Mis++
 		return e.Write(at, addr)
 	}
+}
+
+// --- span (run-length) entry points ------------------------------------------
+//
+// The Run methods charge a whole span of n consecutive data lines issued
+// in one burst at time `at` — the shape Flush drains dirty spans in, the
+// bulk-transfer paths use, and the span parity tests replay. The
+// metadata-cache and DRAM bank/bus state machines are inherently
+// order-dependent, so their transitions are replayed in exactly the
+// per-line order; what the span amortizes is everything provably
+// order-free: the per-slot metadata-line math (one VN/MAC line address
+// per 8-slot group instead of per line — tree levels follow the group
+// too) and the per-line counter updates. Calling a Run method is
+// therefore indistinguishable, state- and stats-wise, from n sequential
+// single-line calls; the returned time aggregates the span (latest
+// completion).
+
+// spanGroups calls fn for each metadata slot group of the span: base
+// address, line count, and the group's shared VN/MAC line addresses.
+func (e *Engine) spanGroups(addr uint64, n int, fn func(base uint64, lines int, vnLine, macLine uint64)) {
+	lb := uint64(e.Layout.LineBytes)
+	slotsPerLine := e.Layout.LineBytes / metaSlotBytes
+	for i := 0; i < n; {
+		a := addr + uint64(i)*lb
+		group := slotsPerLine - e.Layout.lineIdx(a)%slotsPerLine
+		if group > n-i {
+			group = n - i
+		}
+		fn(a, group, e.Layout.VNLineAddr(a), e.Layout.MACLineAddr(a))
+		i += group
+	}
+}
+
+// ReadRun charges n consecutive protected line reads issued at time at,
+// returning the span's aggregate timing (latest data release and latest
+// verification).
+func (e *Engine) ReadRun(at sim.Time, addr uint64, n int) ReadResult {
+	var agg ReadResult
+	if e.Mode == ModeOff {
+		e.stats.DataReads += uint64(n)
+		lb := uint64(e.Layout.LineBytes)
+		for i := 0; i < n; i++ {
+			t := e.mem.Access(at, addr+uint64(i)*lb, false)
+			agg.DataReady = sim.Max(agg.DataReady, t)
+		}
+		agg.Verified = agg.DataReady
+		return agg
+	}
+	lb := uint64(e.Layout.LineBytes)
+	e.spanGroups(addr, n, func(base uint64, lines int, vnLine, macLine uint64) {
+		for j := 0; j < lines; j++ {
+			r := e.readLine(at, base+uint64(j)*lb, vnLine, macLine)
+			agg.DataReady = sim.Max(agg.DataReady, r.DataReady)
+			agg.Verified = sim.Max(agg.Verified, r.Verified)
+		}
+	})
+	return agg
+}
+
+// WriteRun charges n consecutive protected line writes issued at time at
+// (a drained dirty span), returning when the last line and its metadata
+// updates retire.
+func (e *Engine) WriteRun(at sim.Time, addr uint64, n int) sim.Time {
+	var last sim.Time
+	lb := uint64(e.Layout.LineBytes)
+	if e.Mode == ModeOff {
+		e.stats.DataWrites += uint64(n)
+		for i := 0; i < n; i++ {
+			last = sim.Max(last, e.mem.Access(at, addr+uint64(i)*lb, true))
+		}
+		return last
+	}
+	e.spanGroups(addr, n, func(base uint64, lines int, vnLine, macLine uint64) {
+		for j := 0; j < lines; j++ {
+			last = sim.Max(last, e.writeLine(at, base+uint64(j)*lb, vnLine, macLine))
+		}
+	})
+	return last
+}
+
+// TensorReadRun charges a span of n consecutive reads sharing one
+// TenAnalyzer outcome (from tenanalyzer.ReadRun). Hit-in spans collapse
+// to the on-chip-VN dataflow with batched crypto counters; boundary and
+// miss spans take the cacheline-granularity path per line.
+func (e *Engine) TensorReadRun(at sim.Time, addr uint64, n int, outcome TensorOutcome) ReadResult {
+	var agg ReadResult
+	lb := uint64(e.Layout.LineBytes)
+	switch outcome {
+	case THitIn:
+		e.stats.DataReads += uint64(n)
+		e.stats.HitIn += uint64(n)
+		e.stats.AESOps += uint64(n)
+		e.stats.MACOps += uint64(n)
+		padDone := at + e.aesLat
+		for i := 0; i < n; i++ {
+			tData := e.mem.Access(at, addr+uint64(i)*lb, false)
+			ready := sim.Max(tData, padDone)
+			agg.DataReady = sim.Max(agg.DataReady, ready)
+			agg.Verified = sim.Max(agg.Verified, ready+e.macLat)
+		}
+		return agg
+	case THitBoundary:
+		e.stats.HitBoundary += uint64(n)
+	default:
+		e.stats.Mis += uint64(n)
+	}
+	e.spanGroups(addr, n, func(base uint64, lines int, vnLine, macLine uint64) {
+		for j := 0; j < lines; j++ {
+			r := e.readLine(at, base+uint64(j)*lb, vnLine, macLine)
+			agg.DataReady = sim.Max(agg.DataReady, r.DataReady)
+			agg.Verified = sim.Max(agg.Verified, r.Verified)
+		}
+	})
+	return agg
+}
+
+// TensorWriteRun charges a span of n consecutive writes sharing one
+// TenAnalyzer outcome (from tenanalyzer.WriteRun).
+func (e *Engine) TensorWriteRun(at sim.Time, addr uint64, n int, outcome TensorOutcome) sim.Time {
+	var last sim.Time
+	lb := uint64(e.Layout.LineBytes)
+	switch outcome {
+	case THitIn, THitBoundary:
+		e.stats.DataWrites += uint64(n)
+		if outcome == THitIn {
+			e.stats.HitIn += uint64(n)
+		} else {
+			e.stats.HitBoundary += uint64(n)
+		}
+		// On-chip VN: pad generation and the background bitmap update are
+		// shared span work; only the data-line DRAM transfers replay per
+		// line (see TensorWrite for the per-line rationale).
+		e.stats.AESOps += uint64(n)
+		e.stats.MACOps += uint64(n)
+		padDone := at + e.aesLat
+		tMAC := padDone + e.macLat
+		for i := 0; i < n; i++ {
+			tData := e.mem.Access(padDone, addr+uint64(i)*lb, true)
+			last = sim.Max(last, sim.Max(tData, tMAC))
+		}
+		return last
+	default:
+		e.stats.Mis += uint64(n)
+	}
+	e.spanGroups(addr, n, func(base uint64, lines int, vnLine, macLine uint64) {
+		for j := 0; j < lines; j++ {
+			last = sim.Max(last, e.writeLine(at, base+uint64(j)*lb, vnLine, macLine))
+		}
+	})
+	return last
 }
 
 // ResetStats zeroes counters (cache contents are preserved).

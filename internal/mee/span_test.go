@@ -1,0 +1,112 @@
+package mee
+
+import (
+	"math/rand"
+	"testing"
+
+	"tensortee/internal/sim"
+)
+
+// TestRunMethodsMatchPerLine pins the span entry points against n
+// sequential single-line calls on a twin engine: identical Stats,
+// identical metadata-cache counters, identical DRAM state, and the run's
+// aggregate time equal to the per-line maximum. The spans deliberately
+// straddle metadata-line (8-slot) group boundaries.
+func TestRunMethodsMatchPerLine(t *testing.T) {
+	type op struct {
+		addr    uint64
+		n       int
+		write   bool
+		outcome TensorOutcome // tensor modes only
+	}
+	rng := rand.New(rand.NewSource(3))
+	var ops []op
+	for i := 0; i < 120; i++ {
+		ops = append(ops, op{
+			addr:    uint64(rng.Intn(1<<12)) * 64, // crosses slot groups freely
+			n:       1 + rng.Intn(20),
+			write:   rng.Intn(2) == 0,
+			outcome: TensorOutcome(rng.Intn(3)),
+		})
+	}
+
+	for _, mode := range []Mode{ModeOff, ModeSGX, ModeTensor} {
+		spanE, spanMem := newTestEngine(mode)
+		lineE, lineMem := newTestEngine(mode)
+		at := sim.Time(0)
+		for _, o := range ops {
+			at += 1000
+			var runT, lineT sim.Time
+			var runR, lineR ReadResult
+			switch {
+			case mode == ModeTensor && o.write:
+				runT = spanE.TensorWriteRun(at, o.addr, o.n, o.outcome)
+				for i := 0; i < o.n; i++ {
+					lineT = sim.Max(lineT, lineE.TensorWrite(at, o.addr+uint64(i)*64, o.outcome))
+				}
+			case mode == ModeTensor:
+				runR = spanE.TensorReadRun(at, o.addr, o.n, o.outcome)
+				for i := 0; i < o.n; i++ {
+					r := lineE.TensorRead(at, o.addr+uint64(i)*64, o.outcome)
+					lineR.DataReady = sim.Max(lineR.DataReady, r.DataReady)
+					lineR.Verified = sim.Max(lineR.Verified, r.Verified)
+				}
+			case o.write:
+				runT = spanE.WriteRun(at, o.addr, o.n)
+				for i := 0; i < o.n; i++ {
+					lineT = sim.Max(lineT, lineE.Write(at, o.addr+uint64(i)*64))
+				}
+			default:
+				runR = spanE.ReadRun(at, o.addr, o.n)
+				for i := 0; i < o.n; i++ {
+					r := lineE.Read(at, o.addr+uint64(i)*64)
+					lineR.DataReady = sim.Max(lineR.DataReady, r.DataReady)
+					lineR.Verified = sim.Max(lineR.Verified, r.Verified)
+				}
+			}
+			if runT != lineT || runR != lineR {
+				t.Fatalf("mode %v op %+v: span time %v/%+v, per-line %v/%+v", mode, o, runT, runR, lineT, lineR)
+			}
+		}
+		if spanE.Stats() != lineE.Stats() {
+			t.Fatalf("mode %v: stats diverge\nspan: %+v\nline: %+v", mode, spanE.Stats(), lineE.Stats())
+		}
+		if spanE.MetaCacheStats() != lineE.MetaCacheStats() {
+			t.Fatalf("mode %v: metadata cache diverges", mode)
+		}
+		if spanMem.Stats() != lineMem.Stats() {
+			t.Fatalf("mode %v: DRAM state diverges\nspan: %+v\nline: %+v", mode, spanMem.Stats(), lineMem.Stats())
+		}
+	}
+}
+
+// TestSpanGroupsCoversSlotGeometry pins the 8-slot group walk: every
+// line is visited once, groups never cross a metadata line, and group
+// VN/MAC addresses match the per-line layout answers.
+func TestSpanGroupsCoversSlotGeometry(t *testing.T) {
+	e, _ := newTestEngine(ModeSGX)
+	for _, tc := range []struct{ start, n int }{
+		{0, 16}, // aligned
+		{5, 17}, // straddles three groups
+		{7, 1},  // single line at group end
+		{3, 4},  // inside one group
+	} {
+		var visited int
+		e.spanGroups(uint64(tc.start)*64, tc.n, func(base uint64, lines int, vnLine, macLine uint64) {
+			for j := 0; j < lines; j++ {
+				a := base + uint64(j)*64
+				if e.Layout.VNLineAddr(a) != vnLine || e.Layout.MACLineAddr(a) != macLine {
+					t.Fatalf("line %#x: group metadata addresses diverge from layout", a)
+				}
+			}
+			first, last := e.Layout.lineIdx(base), e.Layout.lineIdx(base+uint64(lines-1)*64)
+			if first/8 != last/8 {
+				t.Fatalf("group [%d,%d] crosses a metadata line", first, last)
+			}
+			visited += lines
+		})
+		if visited != tc.n {
+			t.Fatalf("start %d n %d: visited %d lines", tc.start, tc.n, visited)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Time is a point in simulated time, in picoseconds.
@@ -55,6 +56,16 @@ func BytesAt(n int64, bandwidthBs float64) Dur {
 		return 0
 	}
 	return FromSeconds(float64(n) / bandwidthBs)
+}
+
+// Pow2Shift returns log2(n) when n is a positive power of two, else -1.
+// The strength-reduced address math in cache/dram/mee shares it: a shift
+// by Pow2Shift(n) computes the identical quotient to dividing by n.
+func Pow2Shift(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(n))
 }
 
 // Max returns the later of a and b.

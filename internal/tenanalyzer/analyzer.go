@@ -161,6 +161,23 @@ type Analyzer struct {
 	// boundary address -> entry id for O(1) hit-boundary checks.
 	boundaries map[uint64]int
 
+	// memoRead/memoWrite/memoMisc memoize the entry ids of recent
+	// successful lookups per dataflow (move-to-front rings, -1 = empty).
+	// Streaming accesses hit the same entry for whole bursts and rotate
+	// across a handful of tensors (w/g/m/v of the current parameter
+	// group), so probing four recent entries before the binary search
+	// absorbs both the bursts and the phase switches; the read and write
+	// streams get separate rings because LLC writebacks trail the read
+	// frontier in different tensors and would otherwise thrash a shared
+	// slot every line.
+	// Exactness: valid entries never overlap (creation, hints, extensions
+	// and merges all reject covered lines), so exact containment has a
+	// unique owner and a memo can only find the same entry the search
+	// would. A stale id is harmless: either the slot is invalid (skipped)
+	// or it holds some other valid entry whose containment check simply
+	// fails (or succeeds, in which case it IS the owner).
+	memoRead, memoWrite, memoMisc lookupMemo
+
 	// Recently created/completed entries: merge candidates (small ring).
 	recent []int
 
@@ -191,6 +208,9 @@ func New(cfg Config, store VNStore) *Analyzer {
 		filter:     newFilter(cfg.FilterEntries, cfg.FilterDepth, cfg.MaxStride),
 		entries:    make([]Entry, cfg.Entries),
 		boundaries: make(map[uint64]int),
+		memoRead:   emptyMemo,
+		memoWrite:  emptyMemo,
+		memoMisc:   emptyMemo,
 	}
 	for i := cfg.Entries - 1; i >= 0; i-- {
 		a.free = append(a.free, i)
@@ -238,12 +258,58 @@ func (a *Analyzer) rebuildIndex() {
 
 // lookup finds the entry containing addr (exact line containment) and its
 // canonical line index.
+// lookupMemo is a tiny move-to-front ring of entry ids (-1 = empty).
+type lookupMemo [4]int
+
+var emptyMemo = lookupMemo{-1, -1, -1, -1}
+
+// note records a hit, moving id to the front.
+func (m *lookupMemo) note(id int) {
+	if m[0] == id {
+		return
+	}
+	if m[1] == id {
+		m[0], m[1] = id, m[0]
+		return
+	}
+	if m[2] == id {
+		m[0], m[1], m[2] = id, m[0], m[1]
+		return
+	}
+	m[0], m[1], m[2], m[3] = id, m[0], m[1], m[2]
+}
+
+// lookup resolves addr through the misc memo — call sites with a
+// dataflow-specific access pattern use lookupHint directly.
 func (a *Analyzer) lookup(addr uint64) (id, lineIdx int, ok bool) {
+	return a.lookupHint(addr, &a.memoMisc)
+}
+
+func (a *Analyzer) lookupHint(addr uint64, memo *lookupMemo) (id, lineIdx int, ok bool) {
+	// Fast path: entries this dataflow matched recently.
+	for _, h := range memo {
+		if h < 0 {
+			break // rings fill front-first: the rest is empty too
+		}
+		if e := &a.entries[h]; e.valid {
+			if idx, in := e.Contains(addr); in {
+				memo.note(h)
+				return h, idx, true
+			}
+		}
+	}
 	if a.indexDirty {
 		a.rebuildIndex()
 	}
 	n := len(a.sorted)
 	if n == 0 {
+		return 0, 0, false
+	}
+	// O(1) miss rejects: prefixMaxEnd[n-1] is the maximum bounding end
+	// over all valid entries, sorted[0] the minimum base. An address at
+	// the streaming frontier (the common detection-phase miss) is beyond
+	// every bounding box and never needs the binary search.
+	if addr >= a.prefixMaxEnd[n-1] || addr < a.entries[a.sorted[0]].Base {
 		return 0, 0, false
 	}
 	// First entry with Base > addr; candidates are to the left.
@@ -256,6 +322,7 @@ func (a *Analyzer) lookup(addr uint64) (id, lineIdx int, ok bool) {
 		}
 		e := &a.entries[a.sorted[i]]
 		if idx, in := e.Contains(addr); in {
+			memo.note(a.sorted[i])
 			return a.sorted[i], idx, true
 		}
 	}
@@ -328,7 +395,7 @@ func (a *Analyzer) Read(addr uint64) (Outcome, uint64) {
 	addr = a.lineAddr(addr)
 	a.clock++
 
-	if id, lineIdx, ok := a.lookup(addr); ok {
+	if id, lineIdx, ok := a.lookupHint(addr, &a.memoRead); ok {
 		e := &a.entries[id]
 		e.lastUse = a.clock
 		a.stats.HitIn++
@@ -375,9 +442,178 @@ func (a *Analyzer) Read(addr uint64) (Outcome, uint64) {
 	return Miss, vn
 }
 
+// --- span classification (the run-length fast path) -------------------------
+
+// contiguousWithin returns how many of the n consecutive lines starting
+// at the entry's canonical index lineIdx stay inside the entry at
+// line-granular stride: the span prefix for which lookup would keep
+// answering (id, lineIdx+i). Zero-cost for strided entries (only the
+// first line is provably covered).
+func (a *Analyzer) contiguousWithin(e *Entry, lineIdx int, n int) int {
+	d0 := e.Dims[0]
+	if d0.Stride != uint64(a.cfg.LineBytes) {
+		return 1 // strided innermost dim: consecutive addresses leave the entry
+	}
+	// Remaining lines of the innermost run the index sits in. Outer
+	// dimensions have stride > inner reach (validDims), so the next
+	// consecutive address after an inner run's end is not covered.
+	left := d0.Count - lineIdx%d0.Count
+	if len(e.Dims) == 1 {
+		left = e.Lines() - lineIdx
+	}
+	if left > n {
+		left = n
+	}
+	return left
+}
+
+// ReadRun classifies a span of n consecutive lines starting at addr (the
+// read dataflow of Figure 10, span-granular). It returns the outcome
+// shared by the first consumed lines (1 <= consumed <= n) and applies
+// exactly the state mutations of consumed sequential Read calls:
+//
+//   - HitIn spans inside one Meta Table entry collapse to a single
+//     lookup: the clock, the hit counters and the entry's LRU stamp
+//     advance by the whole span at once.
+//   - Frontier misses (addr beyond every entry's bounding box) collapse
+//     likewise: n filter observations at one classification.
+//   - Everything else — boundary extensions, in-range misses — consumes
+//     one line through the per-line dataflow, the fallback the callers
+//     then re-enter for the rest of the span.
+//
+// Per-line VNs are not returned: span callers are timing models, and the
+// per-line Read remains the source of decryption VNs.
+func (a *Analyzer) ReadRun(addr uint64, n int) (Outcome, int) {
+	addr = a.lineAddr(addr)
+	if n > 1 {
+		if id, lineIdx, ok := a.lookupHint(addr, &a.memoRead); ok {
+			e := &a.entries[id]
+			k := a.contiguousWithin(e, lineIdx, n)
+			a.clock += uint64(k)
+			e.lastUse = a.clock
+			a.stats.HitIn += uint64(k)
+			return HitIn, k
+		}
+		if k := a.frontierMissRun(addr, n); k == n {
+			// The whole span misses at classification time: feed the
+			// filter line by line (its observations are the point of a
+			// miss), but stop right after a promotion — the new entry
+			// registers a boundary at the very next line, which the
+			// per-line dataflow would see as a hit-boundary, so the
+			// remainder of the span must be reclassified.
+			consumed := 0
+			for consumed < n {
+				la := addr + uint64(consumed)*uint64(a.cfg.LineBytes)
+				a.clock++
+				a.stats.Miss++
+				vn := a.store.Get(la)
+				s := a.filter.observe(la, vn, a.clock)
+				consumed++
+				if s != nil {
+					a.promote(s)
+					break
+				}
+			}
+			return Miss, consumed
+		}
+	}
+	o, _ := a.Read(addr)
+	return o, 1
+}
+
+// frontierMissRun reports n when every line of the span provably misses
+// — the span starts at or beyond every valid entry's bounding end and no
+// boundary extension is registered inside it — and 0 otherwise.
+// Ascending addresses keep the property for the whole span.
+func (a *Analyzer) frontierMissRun(addr uint64, n int) int {
+	if a.indexDirty {
+		a.rebuildIndex()
+	}
+	if ln := len(a.sorted); ln > 0 && addr < a.prefixMaxEnd[ln-1] {
+		return 0
+	}
+	if !a.cfg.DisableBoundaryExt {
+		for i := 0; i < n; i++ {
+			if _, ok := a.boundaries[addr+uint64(i)*uint64(a.cfg.LineBytes)]; ok {
+				return 0
+			}
+		}
+	}
+	return n
+}
+
+// WriteRun classifies a span of n consecutive line writes (the update
+// dataflow of Figure 12, span-granular), returning the outcome shared by
+// the first consumed lines and applying exactly the state mutations of
+// consumed sequential Write calls. Spans collapse when they stay inside
+// one entry's innermost run with every bitmap bit still unflipped and do
+// not complete the epoch, or when every line provably misses; epoch
+// completions, Assert1 violations, and in-range misses fall back to the
+// per-line dataflow one line at a time.
+func (a *Analyzer) WriteRun(addr uint64, n int) (Outcome, int) {
+	addr = a.lineAddr(addr)
+	if n <= 1 {
+		o, _ := a.Write(addr)
+		return o, 1
+	}
+	id, lineIdx, ok := a.lookupHint(addr, &a.memoWrite)
+	if !ok {
+		if k := a.frontierMissRun(addr, n); k == n {
+			a.clock += uint64(n)
+			a.stats.Miss += uint64(n)
+			for i := 0; i < n; i++ {
+				la := addr + uint64(i)*uint64(a.cfg.LineBytes)
+				a.store.Set(la, a.store.Get(la)+1)
+			}
+			return Miss, n
+		}
+		o, _ := a.Write(addr)
+		return o, 1
+	}
+	e := &a.entries[id]
+	k := a.contiguousWithin(e, lineIdx, n)
+	// Stop before an epoch completion or an already-flipped bit (Assert1):
+	// those lines take the per-line dataflow.
+	lines := e.Lines()
+	uniform := 0
+	for uniform < k {
+		if e.bitmap[lineIdx+uniform] != e.BS || e.flipped+uniform+1 == lines {
+			break
+		}
+		uniform++
+	}
+	if uniform == 0 {
+		o, _ := a.Write(addr)
+		return o, 1
+	}
+	a.clock += uint64(uniform)
+	e.lastUse = a.clock
+	a.stats.HitIn += uint64(uniform)
+	if !e.UF {
+		e.UF = true
+	}
+	newVN := e.VN + 1
+	for i := 0; i < uniform; i++ {
+		e.bitmap[lineIdx+i] = !e.BS
+		a.store.Set(addr+uint64(i)*uint64(a.cfg.LineBytes), newVN)
+	}
+	e.flipped += uniform
+	return HitIn, uniform
+}
+
 // runUniform confirms that every line the next extension would add shares
 // the entry's VN and is not owned by another entry.
 func (a *Analyzer) runUniform(e *Entry) bool {
+	if len(e.Dims) == 1 {
+		// 1D streaming entries extend one line at a time — the dominant
+		// detection-phase case; avoid RunAddrs' per-extension allocation.
+		addr := e.Base + uint64(e.Dims[0].Count)*e.Dims[0].Stride
+		if a.store.Get(addr) != e.VN {
+			return false
+		}
+		_, _, owned := a.lookup(addr)
+		return !owned
+	}
 	for _, addr := range e.RunAddrs() {
 		if a.store.Get(addr) != e.VN {
 			return false
@@ -403,7 +639,7 @@ func (a *Analyzer) Write(addr uint64) (Outcome, uint64) {
 	addr = a.lineAddr(addr)
 	a.clock++
 
-	id, lineIdx, ok := a.lookup(addr)
+	id, lineIdx, ok := a.lookupHint(addr, &a.memoWrite)
 	if !ok {
 		// Miss: only the off-chip VN update (Figure 12 right).
 		a.stats.Miss++

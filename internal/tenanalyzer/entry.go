@@ -17,7 +17,10 @@
 // VNStore oracle.
 package tenanalyzer
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Dim is one dimension of a detected tensor: Count repetitions at Stride
 // bytes. Dims are ordered innermost first; Dims[0].Stride is the line
@@ -81,11 +84,21 @@ func (e *Entry) Contains(addr uint64) (idx int, ok bool) {
 	if addr < e.Base {
 		return 0, false
 	}
+	// Strides are power-of-two for line-granular entries (64 B lines,
+	// power-of-two row pitches), so the hot path replaces the division
+	// with a shift — the quotient is identical, Contains is called for
+	// every Meta Table lookup, and integer division is the single most
+	// expensive instruction in it.
 	off := addr - e.Base
 	idx = 0
 	for i := len(e.Dims) - 1; i >= 1; i-- {
 		d := e.Dims[i]
-		q := off / d.Stride
+		var q uint64
+		if d.Stride&(d.Stride-1) == 0 {
+			q = off >> uint(bits.TrailingZeros64(d.Stride))
+		} else {
+			q = off / d.Stride
+		}
 		if q >= uint64(d.Count) {
 			return 0, false
 		}
@@ -93,6 +106,16 @@ func (e *Entry) Contains(addr uint64) (idx int, ok bool) {
 		idx = idx*d.Count + int(q)
 	}
 	d0 := e.Dims[0]
+	if d0.Stride&(d0.Stride-1) == 0 {
+		if off&(d0.Stride-1) != 0 {
+			return 0, false
+		}
+		q := off >> uint(bits.TrailingZeros64(d0.Stride))
+		if q >= uint64(d0.Count) {
+			return 0, false
+		}
+		return idx*d0.Count + int(q), true
+	}
 	if off%d0.Stride != 0 {
 		return 0, false
 	}

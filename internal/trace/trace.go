@@ -26,7 +26,76 @@ type Stream interface {
 	Next() (a Access, ok bool)
 }
 
-// SliceStream replays a fixed slice (tests).
+// Run is a coalesced span of Lines accesses to consecutive cachelines
+// (Addr, Addr+Stride, ...), all reads or all writes, each preceded by the
+// same Compute gap. Runs are the span currency of the fast path: one Run
+// replaces Lines individual Access values, and expanding a Run line by
+// line (see ExpandRun) reproduces the per-line stream exactly — the
+// parity tests and the golden harness pin this equivalence.
+//
+// Generators guarantee a Run never crosses a tensor boundary: every line
+// of a Run belongs to the same tensor, which is what lets downstream
+// span classifiers (tenanalyzer.ReadRun / mee WriteRun) treat it as a
+// candidate uniform span.
+type Run struct {
+	Addr    uint64 // first line address
+	Lines   int    // number of lines in the span
+	Stride  uint64 // line spacing in bytes (the generator's line size)
+	Write   bool
+	Compute sim.Dur // compute gap charged before each line
+}
+
+// End returns one past the last byte-address the run's lines start at.
+func (r Run) End() uint64 { return r.Addr + uint64(r.Lines)*r.Stride }
+
+// RunStream is a Stream that can also yield coalesced spans. Next and
+// NextRun share one cursor: a NextRun after a partial per-line read
+// returns the remainder of the current span, so mixed consumption never
+// skips or repeats a line.
+type RunStream interface {
+	Stream
+	// NextRun returns the next coalesced span; ok is false when done.
+	NextRun() (r Run, ok bool)
+}
+
+// ExpandRun appends the run's per-line accesses to dst and returns it —
+// the reference expansion the oracle path and the parity tests use.
+func ExpandRun(dst []Access, r Run) []Access {
+	for i := 0; i < r.Lines; i++ {
+		dst = append(dst, Access{
+			Addr:    r.Addr + uint64(i)*r.Stride,
+			Write:   r.Write,
+			Compute: r.Compute,
+		})
+	}
+	return dst
+}
+
+// lineOnly hides a stream's RunStream implementation, forcing consumers
+// onto the per-line path — the line-granular oracle of the parity tests.
+type lineOnly struct{ s Stream }
+
+// LineOnly wraps s so that type assertions to RunStream fail: simulators
+// then step line by line. Wrapping a plain Stream is a no-op
+// indirection.
+func LineOnly(s Stream) Stream { return &lineOnly{s: s} }
+
+// Next implements Stream.
+func (l *lineOnly) Next() (Access, bool) { return l.s.Next() }
+
+// LineOnlyStreams wraps every stream in the slice with LineOnly.
+func LineOnlyStreams(streams []Stream) []Stream {
+	out := make([]Stream, len(streams))
+	for i, s := range streams {
+		out[i] = LineOnly(s)
+	}
+	return out
+}
+
+// SliceStream replays a fixed slice (tests). It is deliberately
+// line-granular only (no NextRun): wrapping generated runs in a
+// SliceStream is the simplest way to feed a simulator the oracle
+// expansion of a coalesced stream.
 type SliceStream struct {
 	Accesses []Access
 	pos      int
@@ -40,6 +109,69 @@ func (s *SliceStream) Next() (Access, bool) {
 	a := s.Accesses[s.pos]
 	s.pos++
 	return a, true
+}
+
+// RunSlice replays a fixed sequence of coalesced runs, serving both the
+// span-granular and the line-granular interfaces from one cursor.
+type RunSlice struct {
+	Runs []Run
+	pos  int // current run
+	sub  int // lines of Runs[pos] already emitted by Next
+}
+
+// NextRun implements RunStream: it returns the remainder of the current
+// run (the whole run when Next has not nibbled at it).
+func (s *RunSlice) NextRun() (Run, bool) {
+	for s.pos < len(s.Runs) {
+		r := s.Runs[s.pos]
+		sub := s.sub
+		s.pos++
+		s.sub = 0
+		if sub >= r.Lines {
+			continue // fully consumed by Next
+		}
+		r.Addr += uint64(sub) * r.Stride
+		r.Lines -= sub
+		return r, true
+	}
+	return Run{}, false
+}
+
+// Next implements Stream by expanding runs line by line.
+func (s *RunSlice) Next() (Access, bool) {
+	for s.pos < len(s.Runs) {
+		r := s.Runs[s.pos]
+		if s.sub < r.Lines {
+			a := Access{Addr: r.Addr + uint64(s.sub)*r.Stride, Write: r.Write, Compute: r.Compute}
+			s.sub++
+			return a, true
+		}
+		s.pos++
+		s.sub = 0
+	}
+	return Access{}, false
+}
+
+// CoalesceAccesses folds a per-line access slice into maximal runs:
+// consecutive accesses with ascending stride-spaced addresses and equal
+// Write/Compute merge. Expanding the result reproduces the input exactly.
+func CoalesceAccesses(accs []Access, stride uint64) []Run {
+	if stride == 0 {
+		stride = 64
+	}
+	var runs []Run
+	for _, a := range accs {
+		if n := len(runs); n > 0 {
+			last := &runs[n-1]
+			if a.Addr == last.Addr+uint64(last.Lines)*stride &&
+				a.Write == last.Write && a.Compute == last.Compute {
+				last.Lines++
+				continue
+			}
+		}
+		runs = append(runs, Run{Addr: a.Addr, Lines: 1, Stride: stride, Write: a.Write, Compute: a.Compute})
+	}
+	return runs
 }
 
 // AdamTensors is the per-parameter-group tensor quad of the Adam step:
@@ -251,6 +383,46 @@ func (s *adamStream) Next() (Access, bool) {
 	return a, true
 }
 
+// NextRun implements RunStream: one run per (phase, burst window) — up to
+// BurstLines consecutive lines of a single tensor, so a run never crosses
+// a tensor boundary. It advances the same cursor as Next, emitting the
+// remainder of the current phase when Next already consumed part of it.
+func (s *adamStream) NextRun() (Run, bool) {
+	if s.quad >= len(s.quads) {
+		return Run{}, false
+	}
+	q := s.quads[s.quad]
+	bl := s.burstLen()
+	off := uint64((s.line + s.idx) * s.lineBytes)
+	r := Run{Lines: bl - s.idx, Stride: uint64(s.lineBytes)}
+	switch s.phase {
+	case 0:
+		r.Addr, r.Compute = q.W.Addr+off, s.computePer
+	case 1:
+		r.Addr = q.G.Addr + off
+	case 2:
+		r.Addr = q.M.Addr + off
+	case 3:
+		r.Addr = q.V.Addr + off
+	case 4:
+		r.Addr, r.Write = q.W.Addr+off, true
+	case 5:
+		r.Addr, r.Write = q.M.Addr+off, true
+	case 6:
+		r.Addr, r.Write = q.V.Addr+off, true
+	}
+	s.idx = 0
+	s.phase++
+	if s.phase == 7 {
+		s.phase = 0
+		s.line += bl
+		if s.line >= s.segs[s.seg].End {
+			s.advanceSeg()
+		}
+	}
+	return r, true
+}
+
 // GEMMConfig describes a tiled 2D matrix-multiply read pattern over one
 // operand matrix (Section 6.2: 256x256 matrix, 64x64 tiles).
 type GEMMConfig struct {
@@ -268,7 +440,11 @@ type GEMMConfig struct {
 }
 
 // GEMMStream yields the tile-ordered traversal of the matrix: tiles
-// left-to-right, top-to-bottom; within a tile, row-major lines.
+// left-to-right, top-to-bottom; within a tile, row-major lines. The
+// stream is run-coalesced: each tile row is one contiguous span (a tile
+// row never crosses the matrix row it lives in), so simulators on the
+// span path replay it without per-line stream calls. Expanding the runs
+// reproduces the historical per-line sequence exactly.
 func GEMMStream(cfg GEMMConfig) Stream {
 	if cfg.LineBytes <= 0 {
 		cfg.LineBytes = 64
@@ -276,24 +452,24 @@ func GEMMStream(cfg GEMMConfig) Stream {
 	if cfg.Repeats <= 0 {
 		cfg.Repeats = 1
 	}
-	var accs []Access
+	var runs []Run
 	rowBytes := uint64(cfg.Cols * 4)
+	linesPerTileRow := (cfg.TileCols*4 + cfg.LineBytes - 1) / cfg.LineBytes
 	for rep := 0; rep < cfg.Repeats; rep++ {
 		for tr := 0; tr < cfg.Rows; tr += cfg.TileRows {
 			for tc := 0; tc < cfg.Cols; tc += cfg.TileCols {
 				for r := 0; r < cfg.TileRows; r++ {
-					rowStart := cfg.Base + uint64(tr+r)*rowBytes + uint64(tc*4)
-					for b := 0; b < cfg.TileCols*4; b += cfg.LineBytes {
-						accs = append(accs, Access{
-							Addr:    rowStart + uint64(b),
-							Compute: cfg.ComputePerLine,
-						})
-					}
+					runs = append(runs, Run{
+						Addr:    cfg.Base + uint64(tr+r)*rowBytes + uint64(tc*4),
+						Lines:   linesPerTileRow,
+						Stride:  uint64(cfg.LineBytes),
+						Compute: cfg.ComputePerLine,
+					})
 				}
 			}
 		}
 	}
-	return &SliceStream{Accesses: accs}
+	return &RunSlice{Runs: runs}
 }
 
 // CountStream counts the accesses a stream yields (draining it).

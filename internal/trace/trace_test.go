@@ -222,3 +222,179 @@ func TestGEMMStreamRepeats(t *testing.T) {
 		t.Errorf("repeats = %d, want %d", three, 3*one)
 	}
 }
+
+// drainRuns collects all spans of a RunStream.
+func drainRuns(s RunStream) []Run {
+	var out []Run
+	for {
+		r, ok := s.NextRun()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}
+
+// expandAll expands runs into their reference per-line accesses.
+func expandAll(runs []Run) []Access {
+	var out []Access
+	for _, r := range runs {
+		out = ExpandRun(out, r)
+	}
+	return out
+}
+
+// sameAccesses compares two access slices exactly.
+func sameAccesses(t *testing.T, got, want []Access, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d accesses, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: access %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestAdamRunsMatchLines pins the tentpole equivalence: expanding the
+// span-granular Adam stream reproduces the per-line stream exactly, for
+// several chunkings including uneven tails and rotated seams.
+func TestAdamRunsMatchLines(t *testing.T) {
+	cases := []struct {
+		name  string
+		elems int
+		cfg   AdamConfig
+	}{
+		{"one-core", 256, AdamConfig{Cores: 1, BurstLines: 4}},
+		{"multi-core", 256, AdamConfig{Cores: 3, BurstLines: 4, ComputePerLine: 40}},
+		{"shifted", 512, AdamConfig{Cores: 2, ChunkShift: 5, BurstLines: 8}},
+		{"wrap-seam", 512, AdamConfig{Cores: 2, ChunkShift: 30, BurstLines: 8}},
+		{"ragged-tail", 7 * 16, AdamConfig{Cores: 2, BurstLines: 8}},
+		{"burst-1", 128, AdamConfig{Cores: 1, BurstLines: 1, ComputePerLine: 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			arena := tensor.NewArena(0, 64)
+			quads := []AdamTensors{NewAdamTensors(arena, "a", tc.elems), NewAdamTensors(arena, "b", tc.elems/2)}
+			lines := AdamStreams(quads, tc.cfg)
+			spans := AdamStreams(quads, tc.cfg)
+			for c := range lines {
+				want := drain(lines[c])
+				runs := drainRuns(spans[c].(RunStream))
+				for _, r := range runs {
+					if r.Lines <= 0 || r.Stride == 0 {
+						t.Fatalf("degenerate run %+v", r)
+					}
+				}
+				sameAccesses(t, expandAll(runs), want, "core")
+			}
+		})
+	}
+}
+
+// TestAdamMixedConsumption pins that Next and NextRun share one cursor:
+// nibbling lines off a stream and then switching to spans (and back)
+// still covers exactly the per-line sequence.
+func TestAdamMixedConsumption(t *testing.T) {
+	arena := tensor.NewArena(0, 64)
+	quads := []AdamTensors{NewAdamTensors(arena, "p", 256)}
+	cfg := AdamConfig{Cores: 1, BurstLines: 4, ComputePerLine: 9}
+	want := drain(AdamStreams(quads, cfg)[0])
+
+	s := AdamStreams(quads, cfg)[0].(RunStream)
+	var got []Access
+	for i := 0; ; i++ {
+		if i%3 == 0 { // nibble a line, then take the rest of the span
+			a, ok := s.Next()
+			if !ok {
+				break
+			}
+			got = append(got, a)
+			continue
+		}
+		r, ok := s.NextRun()
+		if !ok {
+			break
+		}
+		got = ExpandRun(got, r)
+	}
+	sameAccesses(t, got, want, "mixed")
+}
+
+// TestGEMMRunsMatchLines pins the GEMM stream's span/line equivalence,
+// including a tile width that is not a whole number of lines.
+func TestGEMMRunsMatchLines(t *testing.T) {
+	for _, cfg := range []GEMMConfig{
+		{Base: 0x1000, Rows: 8, Cols: 32, TileRows: 4, TileCols: 16},
+		{Base: 0, Rows: 256, Cols: 256, TileRows: 64, TileCols: 64, Repeats: 2, ComputePerLine: 3},
+		{Base: 0x40, Rows: 4, Cols: 8, TileRows: 2, TileCols: 8}, // 32B tile row < 1 line
+	} {
+		want := drain(GEMMStream(cfg))
+		runs := drainRuns(GEMMStream(cfg).(RunStream))
+		sameAccesses(t, expandAll(runs), want, "gemm")
+	}
+}
+
+// TestRunSliceMixedCursor pins RunSlice's shared cursor semantics.
+func TestRunSliceMixedCursor(t *testing.T) {
+	rs := &RunSlice{Runs: []Run{
+		{Addr: 0, Lines: 3, Stride: 64},
+		{Addr: 0x1000, Lines: 2, Stride: 64, Write: true, Compute: 5},
+	}}
+	a, _ := rs.Next() // nibble line 0
+	if a.Addr != 0 {
+		t.Fatalf("nibble = %+v", a)
+	}
+	r, ok := rs.NextRun() // remainder of run 0
+	if !ok || r.Addr != 64 || r.Lines != 2 {
+		t.Fatalf("remainder run = %+v ok=%v", r, ok)
+	}
+	r, ok = rs.NextRun()
+	if !ok || r.Addr != 0x1000 || r.Lines != 2 || !r.Write || r.Compute != 5 {
+		t.Fatalf("second run = %+v", r)
+	}
+	if _, ok := rs.NextRun(); ok {
+		t.Error("run stream did not terminate")
+	}
+	if _, ok := rs.Next(); ok {
+		t.Error("line stream did not terminate")
+	}
+}
+
+// TestCoalesceAccessesRoundTrip pins coalescing: maximal merging and
+// exact round-trip expansion, with splits at write/compute changes and
+// address discontinuities (region ends, tensor boundaries).
+func TestCoalesceAccessesRoundTrip(t *testing.T) {
+	accs := []Access{
+		{Addr: 0}, {Addr: 64}, {Addr: 128}, // one run
+		{Addr: 256},                                        // gap -> new run
+		{Addr: 320, Write: true}, {Addr: 384, Write: true}, // write run
+		{Addr: 448, Compute: 10}, // compute change -> new run
+		{Addr: 0},                // backwards -> new run
+	}
+	runs := CoalesceAccesses(accs, 64)
+	if len(runs) != 5 {
+		t.Fatalf("runs = %d (%+v), want 5", len(runs), runs)
+	}
+	if runs[0].Lines != 3 || runs[2].Lines != 2 || !runs[2].Write {
+		t.Fatalf("unexpected coalescing: %+v", runs)
+	}
+	sameAccesses(t, expandAll(runs), accs, "roundtrip")
+}
+
+// TestLineOnlyHidesRuns pins the oracle wrapper: the wrapped stream no
+// longer satisfies RunStream but yields the same accesses.
+func TestLineOnlyHidesRuns(t *testing.T) {
+	mk := func() Stream {
+		return GEMMStream(GEMMConfig{Base: 0, Rows: 8, Cols: 32, TileRows: 4, TileCols: 16})
+	}
+	if _, ok := mk().(RunStream); !ok {
+		t.Fatal("GEMM stream should be a RunStream")
+	}
+	wrapped := LineOnly(mk())
+	if _, ok := wrapped.(RunStream); ok {
+		t.Fatal("LineOnly must hide RunStream")
+	}
+	sameAccesses(t, drain(wrapped), drain(mk()), "lineonly")
+}
