@@ -8,11 +8,18 @@
 //	benchjson -bench 'Fig16|Fig19'     # subset
 //	benchjson -count 5 -out BENCH.json
 //	benchjson -benchtime 1x ./...      # one iteration per benchmark, all packages
+//	benchjson -compare old.json new.json -threshold 0.25
 //
 // The output file (default BENCH_<yyyy-mm-dd>.json) carries one entry
 // per benchmark line with every metric Go printed — ns/op, B/op,
 // allocs/op, and the custom experiment metrics (ns/access, avg_speedup,
 // ...) the benches report.
+//
+// Compare mode reads two snapshots and prints a per-benchmark delta
+// table over wall time (ns/op), allocations, and every custom scalar
+// metric. With -threshold f, a wall-time or allocation REGRESSION beyond
+// the fraction f on any benchmark makes benchjson exit 3 — the tripwire
+// the CI bench-smoke job uses against the committed snapshot.
 package main
 
 import (
@@ -21,11 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"os/exec"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -79,6 +89,96 @@ func parseBench(r io.Reader) []BenchResult {
 	return out
 }
 
+// averageByName folds repeated runs of one benchmark (go test -count)
+// into per-metric means, keyed by the benchmark name.
+func averageByName(results []BenchResult) map[string]map[string]float64 {
+	sums := map[string]map[string]float64{}
+	counts := map[string]map[string]int{}
+	for _, r := range results {
+		if sums[r.Name] == nil {
+			sums[r.Name] = map[string]float64{}
+			counts[r.Name] = map[string]int{}
+		}
+		for k, v := range r.Metrics {
+			sums[r.Name][k] += v
+			counts[r.Name][k]++
+		}
+	}
+	for name, m := range sums {
+		for k := range m {
+			m[k] /= float64(counts[name][k])
+		}
+	}
+	return sums
+}
+
+// loadReport reads one benchjson snapshot.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// regressionMetrics are the "lower is better" metrics the threshold
+// applies to; custom experiment scalars are informational (their
+// direction is metric-specific).
+var regressionMetrics = []string{"ns/op", "allocs/op"}
+
+// compare prints the per-benchmark delta table and reports whether any
+// wall-time or allocation regression exceeds threshold (<0 disables),
+// plus how many benchmarks the two snapshots share — zero means the
+// comparison was vacuous and the caller should fail loudly.
+func compare(oldRep, newRep *Report, threshold float64, stdout io.Writer) (regressed []string, compared int) {
+	oldAvg := averageByName(oldRep.Results)
+	newAvg := averageByName(newRep.Results)
+	var names []string
+	for name := range newAvg {
+		if _, ok := oldAvg[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	tw := tabwriter.NewWriter(stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\tmetric\told\tnew\tdelta\n")
+	for _, name := range names {
+		var metrics []string
+		for k := range newAvg[name] {
+			if _, ok := oldAvg[name][k]; ok {
+				metrics = append(metrics, k)
+			}
+		}
+		sort.Strings(metrics)
+		for _, k := range metrics {
+			ov, nv := oldAvg[name][k], newAvg[name][k]
+			// A zero baseline still compares: growth from 0 is an
+			// unbounded regression, not an unmeasurable one.
+			delta := math.NaN()
+			switch {
+			case ov != 0:
+				delta = (nv - ov) / math.Abs(ov)
+			case nv != 0:
+				delta = math.Inf(1)
+			}
+			fmt.Fprintf(tw, "%s\t%s\t%.4g\t%.4g\t%+.1f%%\n", name, k, ov, nv, delta*100)
+			if threshold >= 0 && !math.IsNaN(delta) && delta > threshold {
+				for _, rk := range regressionMetrics {
+					if k == rk {
+						regressed = append(regressed, fmt.Sprintf("%s %s %+.1f%%", name, k, delta*100))
+					}
+				}
+			}
+		}
+	}
+	tw.Flush()
+	return regressed, len(names)
+}
+
 func run(args []string, stdout, stderr io.Writer, now time.Time) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -86,8 +186,42 @@ func run(args []string, stdout, stderr io.Writer, now time.Time) int {
 	count := fs.Int("count", 3, "go test -count")
 	benchtime := fs.String("benchtime", "", "go test -benchtime (empty = default)")
 	outPath := fs.String("out", "", "output file (default BENCH_<date>.json)")
+	doCompare := fs.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
+	threshold := fs.Float64("threshold", -1, "with -compare: exit non-zero when ns/op or allocs/op regress beyond this fraction (e.g. 0.25)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *doCompare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchjson: -compare needs exactly two snapshot files")
+			return 2
+		}
+		oldRep, err := loadReport(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		newRep, err := loadReport(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		regressed, compared := compare(oldRep, newRep, *threshold, stdout)
+		if compared == 0 {
+			// A vacuous comparison must fail loudly: a renamed benchmark
+			// or a drifted -bench filter would otherwise turn the CI
+			// tripwire into a silent no-op.
+			fmt.Fprintln(stderr, "benchjson: the snapshots share no benchmark names")
+			return 1
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(stderr, "benchjson: regressions beyond %.0f%%:\n", *threshold*100)
+			for _, r := range regressed {
+				fmt.Fprintf(stderr, "  %s\n", r)
+			}
+			return 3
+		}
+		return 0
 	}
 	pkg := "."
 	if fs.NArg() > 0 {

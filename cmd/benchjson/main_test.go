@@ -83,6 +83,125 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+// writeSnapshot dumps a minimal report for the compare tests.
+func writeSnapshot(t *testing.T, path string, results []BenchResult) {
+	t.Helper()
+	data, err := json.Marshal(Report{Date: "2026-07-28", Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareDeltaTableAndThreshold drives the -compare mode end to end:
+// the delta table must cover wall time, allocations, and custom scalar
+// metrics; a regression past -threshold exits 3; an improvement or an
+// in-bounds wobble exits 0; custom scalars never trip the threshold.
+func TestCompareDeltaTableAndThreshold(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := dir + "/old.json"
+	newPath := dir + "/new.json"
+	writeSnapshot(t, oldPath, []BenchResult{
+		{Name: "BenchmarkFig16-8", Iterations: 1, Metrics: map[string]float64{
+			"ns/op": 1000, "allocs/op": 100, "avg_speedup": 4.0}},
+		{Name: "BenchmarkFig16-8", Iterations: 1, Metrics: map[string]float64{
+			"ns/op": 1200, "allocs/op": 100, "avg_speedup": 4.0}}, // -count repeat: averaged
+		{Name: "BenchmarkOnlyOld-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 5}},
+	})
+
+	// Improvement in wall, regression only in a custom scalar: exit 0.
+	writeSnapshot(t, newPath, []BenchResult{
+		{Name: "BenchmarkFig16-8", Iterations: 1, Metrics: map[string]float64{
+			"ns/op": 700, "allocs/op": 100, "avg_speedup": 9.9}},
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", "-threshold", "0.25", oldPath, newPath}, &stdout, &stderr, time.Now()); code != 0 {
+		t.Fatalf("improvement exit = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, frag := range []string{"BenchmarkFig16-8", "ns/op", "allocs/op", "avg_speedup", "-36.4%"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("delta table missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "BenchmarkOnlyOld") {
+		t.Error("benchmarks absent from the new snapshot should not be compared")
+	}
+
+	// Wall-time regression past the threshold: exit 3.
+	writeSnapshot(t, newPath, []BenchResult{
+		{Name: "BenchmarkFig16-8", Iterations: 1, Metrics: map[string]float64{
+			"ns/op": 2000, "allocs/op": 100}},
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-compare", "-threshold", "0.25", oldPath, newPath}, &stdout, &stderr, time.Now()); code != 3 {
+		t.Fatalf("regression exit = %d, want 3", code)
+	}
+	if !strings.Contains(stderr.String(), "ns/op") {
+		t.Errorf("regression report missing metric: %s", stderr.String())
+	}
+
+	// Same regression without a threshold: informational, exit 0.
+	stdout.Reset()
+	if code := run([]string{"-compare", oldPath, newPath}, &stdout, &stderr, time.Now()); code != 0 {
+		t.Fatalf("thresholdless compare exit = %d, want 0", code)
+	}
+}
+
+// TestCompareZeroBaselineRegression pins that growth from a zero
+// baseline counts as an unbounded regression rather than slipping
+// through as NaN.
+func TestCompareZeroBaselineRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := dir + "/old.json"
+	newPath := dir + "/new.json"
+	writeSnapshot(t, oldPath, []BenchResult{
+		{Name: "BenchmarkX-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 0}},
+	})
+	writeSnapshot(t, newPath, []BenchResult{
+		{Name: "BenchmarkX-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 5000}},
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", "-threshold", "0.25", oldPath, newPath}, &stdout, &stderr, time.Now()); code != 3 {
+		t.Fatalf("zero-baseline regression exit = %d, want 3 (stderr: %s)", code, stderr.String())
+	}
+}
+
+// TestCompareNoCommonBenchmarks pins that a vacuous comparison fails
+// loudly instead of passing as a silent no-op.
+func TestCompareNoCommonBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := dir + "/old.json"
+	newPath := dir + "/new.json"
+	writeSnapshot(t, oldPath, []BenchResult{
+		{Name: "BenchmarkRenamed-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 100}},
+	})
+	writeSnapshot(t, newPath, []BenchResult{
+		{Name: "BenchmarkOther-8", Iterations: 1, Metrics: map[string]float64{"ns/op": 100}},
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", oldPath, newPath}, &stdout, &stderr, time.Now()); code != 1 {
+		t.Fatalf("disjoint snapshots exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "no benchmark names") {
+		t.Errorf("missing diagnostic: %s", stderr.String())
+	}
+}
+
+// TestCompareArgValidation pins the usage errors.
+func TestCompareArgValidation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-compare", "one.json"}, &stdout, &stderr, time.Now()); code != 2 {
+		t.Fatalf("one-arg exit = %d, want 2", code)
+	}
+	if code := run([]string{"-compare", "missing-a.json", "missing-b.json"}, &stdout, &stderr, time.Now()); code != 1 {
+		t.Fatalf("missing-file exit = %d, want 1", code)
+	}
+}
+
 // BenchmarkParseSelf keeps the end-to-end test self-contained: run()
 // needs some benchmark to execute, and parsing the sample output is as
 // good a microbench as any.

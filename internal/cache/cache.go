@@ -23,12 +23,21 @@ type Result struct {
 	HasWriteback  bool
 }
 
-// Line state lives in parallel arrays (tags / lru / dirty) rather than
-// an array of structs: the way scan of Access is the hottest loop in the
-// whole simulator, and scanning 8 contiguous uint64 tags touches one
-// hardware cache line instead of striding over 24-byte structs. The
-// valid bit folds into the tag word itself — tags hold lineAddr+1 with 0
-// meaning invalid — so the hit scan is a pure 8-word compare.
+// Line state lives in one interleaved slab — per set, the ways' tag
+// words followed by the ways' LRU words — so the scan of Access, the
+// hottest loop in the whole simulator, touches two adjacent hardware
+// cache lines per set instead of two distant ones in parallel arrays
+// (for the big L3 the second line was a second cold miss; adjacent lines
+// ride the same prefetch). The valid bit folds into the tag word itself
+// — tags hold lineAddr+1 with 0 meaning invalid — so the hit scan is a
+// pure 8-word compare; the dirty bit folds into the top bit of the LRU
+// word (clock stamps use the low 63 bits, far beyond any run length). A
+// packed rank-permutation encoding (one word per set) was tried and
+// reverted: the per-access rank shuffle was pure added ALU work.
+
+// dirtyBit marks a dirty line in the top bit of its LRU word; the low 63
+// bits are the recency stamp.
+const dirtyBit = uint64(1) << 63
 
 // Cache is a single level tag store.
 type Cache struct {
@@ -37,10 +46,19 @@ type Cache struct {
 	sets      int
 	ways      int
 	hashed    bool
-	tags      []uint64 // sets*ways; lineAddr+1, 0 = invalid
-	lru       []uint64 // larger = more recently used
-	dirty     []bool
+	slab      []uint64 // per set: ways tag words, then ways LRU words
 	clock     uint64
+
+	// gens is a per-set generation counter, bumped whenever a tag in the
+	// set changes (fill, invalidate, reset). It is the cheap set-state
+	// fingerprint behind Handle revalidation and the span memos: while a
+	// set's generation is unchanged, residency answers about its lines
+	// stay valid (LRU-only updates never move tags). Maintenance costs a
+	// store per fill, so it switches on with the first AccessTrack call
+	// (handles cannot predate it); the data caches, which never ask for
+	// handles, skip it entirely.
+	gens      []uint64
+	trackGens bool
 
 	// Strength-reduced indexing (hot path): lineShift replaces the
 	// division by lineBytes when it is a power of two, setMask the modulo
@@ -95,9 +113,8 @@ func build(name string, sizeBytes, ways, lineBytes int, hashed bool) *Cache {
 		sets:      sets,
 		ways:      ways,
 		hashed:    hashed,
-		tags:      make([]uint64, sets*ways),
-		lru:       make([]uint64, sets*ways),
-		dirty:     make([]bool, sets*ways),
+		slab:      make([]uint64, 2*sets*ways),
+		gens:      make([]uint64, sets),
 		lineShift: sim.Pow2Shift(lineBytes),
 	}
 	if sim.Pow2Shift(sets) > 0 {
@@ -123,6 +140,12 @@ func (c *Cache) oddMod(hi uint64) uint64 {
 		return m
 	}
 	return hi % c.setOdd
+}
+
+// setViews returns the tag and LRU word views of one set.
+func (c *Cache) setViews(set int) (tags, lru []uint64) {
+	base := 2 * set * c.ways
+	return c.slab[base : base+c.ways], c.slab[base+c.ways : base+2*c.ways]
 }
 
 // LineBytes returns the cache line size.
@@ -160,6 +183,10 @@ func (c *Cache) index(addr uint64) (set int, tag uint64) {
 
 // Access performs a read or write of the line containing addr, allocating
 // on miss and reporting any dirty victim that must be written back.
+//
+// The body mirrors AccessTrack minus the handle bookkeeping rather than
+// delegating to it: this is the hottest function in the simulator and
+// the extra call layer is measurable.
 func (c *Cache) Access(addr uint64, write bool) Result {
 	// index() inlined by hand: the call shows up at this call frequency.
 	var lineAddr uint64
@@ -180,75 +207,227 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	}
 	tagKey := lineAddr + 1 // 0 is the invalid sentinel, so keys start at 1
 	c.clock++
-	base := set * c.ways
-	end := base + c.ways
+	base := 2 * set * c.ways
 
-	// Hit scan first: a pure word compare over one hardware cache line.
-	for i := base; i < end; i++ {
-		if c.tags[i] == tagKey {
-			c.lru[i] = c.clock
+	// Fused scan: one pass both finds a hit and tracks the victim the
+	// miss path would pick (first invalid way, else the valid way with the
+	// strictly smallest LRU stamp, first winning ties). The pass visits
+	// ways in the same order as the historical two-pass scan, so the
+	// selected victim — and with it every future hit/miss — is identical;
+	// fusing only removes the second walk over the set on misses, the
+	// hottest loop in the whole simulator. The set subslices let the
+	// compiler drop the per-way bounds checks; invalid ways are tracked
+	// separately so valid ways cost one compare and one LRU load each.
+	tags := c.slab[base : base+c.ways]
+	lru := c.slab[base+c.ways : base+2*c.ways]
+	firstInv := -1
+	victim := 0
+	victimLru := ^uint64(0)
+	for i := 0; i < len(tags); i++ {
+		t := tags[i]
+		if t == tagKey {
+			stamp := c.clock | lru[i]&dirtyBit
 			if write {
-				c.dirty[i] = true
+				stamp |= dirtyBit
 			}
+			lru[i] = stamp
 			c.hits++
 			return Result{Hit: true}
+		}
+		if t == 0 {
+			if firstInv < 0 {
+				firstInv = i
+			}
+		} else if s := lru[i] &^ dirtyBit; s < victimLru {
+			victim, victimLru = i, s
 		}
 	}
 	c.misses++
 
-	// Victim scan: the first invalid way if any, else the valid way with
-	// the strictly smallest LRU stamp (first wins ties — exactly the
-	// historical way-order semantics).
-	victim := -1
-	victimLru := ^uint64(0)
-	for i := base; i < end; i++ {
-		if c.tags[i] == 0 {
-			victim = i
-			break
-		}
-		if c.lru[i] < victimLru {
-			victim, victimLru = i, c.lru[i]
-		}
-	}
-
 	res := Result{Hit: false}
-	if c.tags[victim] != 0 && c.dirty[victim] {
+	if firstInv >= 0 {
+		victim = firstInv
+	} else if lru[victim]&dirtyBit != 0 {
 		c.writebacks++
 		res.HasWriteback = true
-		res.WritebackAddr = (c.tags[victim] - 1) * uint64(c.lineBytes)
+		res.WritebackAddr = (tags[victim] - 1) * uint64(c.lineBytes)
 	}
-	c.tags[victim] = tagKey
-	c.lru[victim] = c.clock
-	c.dirty[victim] = write
+	tags[victim] = tagKey
+	stamp := c.clock
+	if write {
+		stamp |= dirtyBit
+	}
+	lru[victim] = stamp
+	if c.trackGens {
+		c.gens[set]++
+	}
 	return res
 }
 
 // Probe reports whether addr's line is resident without touching LRU state.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.index(addr)
-	base := set * c.ways
-	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == tag+1 {
+	tags, _ := c.setViews(set)
+	for i := range tags {
+		if tags[i] == tag+1 {
 			return true
 		}
 	}
 	return false
 }
 
+// Handle is a revalidatable pointer to a resident line: the way it was
+// found in plus the set generation observed at that time. While the
+// generation is unchanged (no tag in the set moved), the line is still in
+// that way and AccessVia can take the O(1) hit path without a scan.
+type Handle struct {
+	set, way int32
+	gen      uint64
+}
+
+// AccessTrack is Access plus a Handle to the line's way (the hit way, or
+// the way just filled on a miss). The returned handle carries the
+// post-access set generation, so it revalidates until the set's tags next
+// change. The first AccessTrack call switches generation maintenance on.
+func (c *Cache) AccessTrack(addr uint64, write bool) (Result, Handle) {
+	if !c.trackGens {
+		c.trackGens = true
+	}
+	set, tag := c.index(addr)
+	tags, lru := c.setViews(set)
+	for i := range tags {
+		if tags[i] == tag+1 {
+			// Replay as the exact Access hit (clock, recency, dirty,
+			// counter), then hand out the way.
+			c.clock++
+			stamp := c.clock | lru[i]&dirtyBit
+			if write {
+				stamp |= dirtyBit
+			}
+			lru[i] = stamp
+			c.hits++
+			return Result{Hit: true}, Handle{set: int32(set), way: int32(i), gen: c.gens[set]}
+		}
+	}
+	// Miss: the full Access path fills (and bumps the generation); the
+	// filled line is resident afterwards, so its way is findable. Rather
+	// than duplicating the victim logic, run Access and rescan the set —
+	// misses fetch from DRAM anyway, so the extra scan is noise.
+	r := c.Access(addr, write)
+	for i := range tags {
+		if tags[i] == tag+1 {
+			return r, Handle{set: int32(set), way: int32(i), gen: c.gens[set]}
+		}
+	}
+	panic("cache: filled line not found in its set")
+}
+
+// AccessVia performs one access through a handle: when the handle's set
+// generation is current and its way still holds addr's line, the access is
+// the exact Access hit path (clock, recency, dirty bit, hit counter)
+// without any scan, and AccessVia reports true. A stale handle leaves all
+// state untouched and reports false — the caller falls back to Access.
+func (c *Cache) AccessVia(h Handle, addr uint64, write bool) bool {
+	if h.gen != c.gens[h.set] {
+		return false
+	}
+	var lineAddr uint64
+	if c.lineShift >= 0 {
+		lineAddr = addr >> uint(c.lineShift)
+	} else {
+		lineAddr = addr / uint64(c.lineBytes)
+	}
+	i := 2*int(h.set)*c.ways + int(h.way)
+	if c.slab[i] != lineAddr+1 {
+		return false
+	}
+	c.clock++
+	stamp := c.clock | c.slab[i+c.ways]&dirtyBit
+	if write {
+		stamp |= dirtyBit
+	}
+	c.slab[i+c.ways] = stamp
+	c.hits++
+	return true
+}
+
+// AccessHitN performs n consecutive accesses to addr's line given it is
+// resident, reporting false (and touching nothing) when it is not. The
+// batched effect is exactly n sequential Access hits: the clock advances
+// by n, the line ends most recent, the dirty bit ORs in write, and n hits
+// are counted (repeat hits to the newest line change nothing else).
+func (c *Cache) AccessHitN(addr uint64, n int, write bool) bool {
+	if n <= 0 {
+		return true
+	}
+	set, tag := c.index(addr)
+	tags, lru := c.setViews(set)
+	for i := range tags {
+		if tags[i] == tag+1 {
+			c.clock += uint64(n)
+			stamp := c.clock | lru[i]&dirtyBit
+			if write {
+				stamp |= dirtyBit
+			}
+			lru[i] = stamp
+			c.hits += uint64(n)
+			return true
+		}
+	}
+	return false
+}
+
+// HitPrefix consumes the longest all-resident prefix of a span of lines
+// (addr, addr+stride, ...): each consumed line is exactly one Access hit
+// (clock, recency, dirty, hit counter), and the scan stops — leaving all
+// state untouched for the remainder — at the first non-resident line. It
+// returns the number of lines consumed. One pass per set, no victim
+// work: this is the span-probe the core loop uses to retire L1-resident
+// bursts without per-line Access calls.
+func (c *Cache) HitPrefix(addr uint64, lines int, stride uint64, write bool) int {
+	consumed := 0
+	for ; consumed < lines; consumed++ {
+		set, tag := c.index(addr)
+		tags, lru := c.setViews(set)
+		hit := false
+		for i := range tags {
+			if tags[i] == tag+1 {
+				c.clock++
+				stamp := c.clock | lru[i]&dirtyBit
+				if write {
+					stamp |= dirtyBit
+				}
+				lru[i] = stamp
+				c.hits++
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			break
+		}
+		addr += stride
+	}
+	return consumed
+}
+
 // Invalidate drops addr's line if resident, returning a dirty victim if any.
 func (c *Cache) Invalidate(addr uint64) Result {
 	set, tag := c.index(addr)
-	base := set * c.ways
-	for i := base; i < base+c.ways; i++ {
-		if c.tags[i] == tag+1 {
+	tags, lru := c.setViews(set)
+	for i := range tags {
+		if tags[i] == tag+1 {
 			res := Result{Hit: true}
-			if c.dirty[i] {
+			if lru[i]&dirtyBit != 0 {
 				c.writebacks++
 				res.HasWriteback = true
 				res.WritebackAddr = tag * uint64(c.lineBytes)
 			}
-			c.tags[i] = 0
-			c.dirty[i] = false
+			tags[i] = 0
+			lru[i] &^= dirtyBit
+			if c.trackGens {
+				c.gens[set]++
+			}
 			return res
 		}
 	}
@@ -257,14 +436,19 @@ func (c *Cache) Invalidate(addr uint64) Result {
 
 // DrainDirty removes and returns the addresses of all dirty lines (in
 // ascending address order) — the write-back flush an enclave performs on
-// exit. Clean lines stay resident.
+// exit. Clean lines stay resident. Tags stay put (clean lines remain
+// resident), so handles and set generations stay valid: only the dirty
+// bits change.
 func (c *Cache) DrainDirty() []uint64 {
 	var out []uint64
-	for i := range c.dirty {
-		if c.dirty[i] && c.tags[i] != 0 {
-			out = append(out, (c.tags[i]-1)*uint64(c.lineBytes))
-			c.dirty[i] = false
-			c.writebacks++
+	for set := 0; set < c.sets; set++ {
+		tags, lru := c.setViews(set)
+		for i := range tags {
+			if tags[i] != 0 && lru[i]&dirtyBit != 0 {
+				out = append(out, (tags[i]-1)*uint64(c.lineBytes))
+				lru[i] &^= dirtyBit
+				c.writebacks++
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -290,10 +474,17 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(t)
 }
 
-// Reset clears contents and counters.
+// Reset clears contents and counters. Set generations keep advancing
+// (rather than resetting) so handles issued before the reset can never
+// revalidate against the emptied sets.
 func (c *Cache) Reset() {
-	for i := range c.tags {
-		c.tags[i], c.lru[i], c.dirty[i] = 0, 0, false
+	for i := range c.slab {
+		c.slab[i] = 0
+	}
+	if c.trackGens {
+		for i := range c.gens {
+			c.gens[i]++
+		}
 	}
 	c.clock, c.hits, c.misses, c.writebacks = 0, 0, 0, 0
 }

@@ -60,10 +60,6 @@ type Sim struct {
 	l1Lat, l2Lat, l3Lat sim.Dur
 	issueGap            sim.Dur
 
-	// wbScratch is the reusable dirty-victim buffer of access (at most
-	// one victim per cache level).
-	wbScratch []uint64
-
 	now sim.Time // end of the previous run; runs are back to back
 }
 
@@ -89,16 +85,15 @@ func New(cfg config.Config, opts Options) *Sim {
 	mem := dram.New(dram.DDR4_2400(), cfg.HostDRAM.Channels)
 	layout := mee.NewLayout(0, opts.DataLines, cfg.CPU.LineBytes, cfg.Protection.MerkleArity)
 	s := &Sim{
-		cfg:       cfg,
-		mode:      opts.Mode,
-		mem:       mem,
-		engine:    mee.NewEngine(opts.Mode, &cfg, mem, layout),
-		l3:        cache.New("l3", cfg.CPU.L3SizeBytes, cfg.CPU.L3Ways, cfg.CPU.LineBytes),
-		l1Lat:     sim.Cycles(float64(cfg.CPU.L1LatCycles), cfg.CPU.FreqHz),
-		l2Lat:     sim.Cycles(float64(cfg.CPU.L2LatCycles), cfg.CPU.FreqHz),
-		l3Lat:     sim.Cycles(float64(cfg.CPU.L3LatCycles), cfg.CPU.FreqHz),
-		issueGap:  sim.Cycles(1, cfg.CPU.FreqHz),
-		wbScratch: make([]uint64, 0, 4),
+		cfg:      cfg,
+		mode:     opts.Mode,
+		mem:      mem,
+		engine:   mee.NewEngine(opts.Mode, &cfg, mem, layout),
+		l3:       cache.New("l3", cfg.CPU.L3SizeBytes, cfg.CPU.L3Ways, cfg.CPU.LineBytes),
+		l1Lat:    sim.Cycles(float64(cfg.CPU.L1LatCycles), cfg.CPU.FreqHz),
+		l2Lat:    sim.Cycles(float64(cfg.CPU.L2LatCycles), cfg.CPU.FreqHz),
+		l3Lat:    sim.Cycles(float64(cfg.CPU.L3LatCycles), cfg.CPU.FreqHz),
+		issueGap: sim.Cycles(1, cfg.CPU.FreqHz),
 	}
 	for i := 0; i < cfg.CPU.Cores; i++ {
 		s.l1 = append(s.l1, cache.New(fmt.Sprintf("l1-%d", i), cfg.CPU.L1SizeBytes, cfg.CPU.L1Ways, cfg.CPU.LineBytes))
@@ -128,32 +123,44 @@ func (s *Sim) Analyzer() *tenanalyzer.Analyzer { return s.analyzer }
 // Engine exposes the MEE for stats inspection.
 func (s *Sim) Engine() *mee.Engine { return s.engine }
 
-// completionHeap is the sorted ring of outstanding miss completion
-// times (ascending; the minimum is element 0). It replaces
-// container/heap, whose Push(x any)/Pop() boxed every sim.Time into a
-// fresh interface allocation on the hottest path of the simulator. The
-// window is bounded by the MLP depth (10), and DRAM completions arrive
-// mostly in order, so insertion scans one or two slots from the tail —
-// cheaper than heap sifts at this size. Only the minimum is ever
-// observed, so replacing the heap cannot change any result.
-type completionHeap []sim.Time
+// completionHeap is the sorted circular ring of outstanding miss
+// completion times (ascending from head). It replaces container/heap,
+// whose Push(x any)/Pop() boxed every sim.Time into a fresh interface
+// allocation on the hottest path of the simulator. The window is bounded
+// by the MLP depth (10), DRAM completions arrive mostly in order — so
+// insertion scans one or two slots from the tail — and popping the
+// minimum just advances the head instead of sliding the whole window
+// down (the previous slice version paid a 9-word memmove per miss).
+// Only the minimum is ever observed, so the representation cannot change
+// any result.
+type completionHeap struct {
+	buf  []sim.Time // power-of-two capacity
+	mask int
+	head int // index of the minimum
+	n    int
+}
 
 func (h *completionHeap) push(t sim.Time) {
-	q := append(*h, t)
-	i := len(q) - 1
-	for i > 0 && q[i-1] > t {
-		q[i] = q[i-1]
+	if h.n == len(h.buf) {
+		grown := make([]sim.Time, max(16, 2*len(h.buf)))
+		for i := 0; i < h.n; i++ {
+			grown[i] = h.buf[(h.head+i)&h.mask]
+		}
+		h.buf, h.mask, h.head = grown, len(grown)-1, 0
+	}
+	i := h.n
+	for i > 0 && h.buf[(h.head+i-1)&h.mask] > t {
+		h.buf[(h.head+i)&h.mask] = h.buf[(h.head+i-1)&h.mask]
 		i--
 	}
-	q[i] = t
-	*h = q
+	h.buf[(h.head+i)&h.mask] = t
+	h.n++
 }
 
 func (h *completionHeap) popMin() sim.Time {
-	q := *h
-	top := q[0]
-	copy(q, q[1:])
-	*h = q[:len(q)-1]
+	top := h.buf[h.head]
+	h.head = (h.head + 1) & h.mask
+	h.n--
 	return top
 }
 
@@ -171,6 +178,7 @@ type coreState struct {
 	runs        trace.RunStream // non-nil when stream coalesces spans
 	run         trace.Run       // current span
 	runPos      int             // lines of run already issued
+	noSpan      bool            // current run's frontier missed L1: stay per-line until the next run
 	nextReady   sim.Time
 	outstanding completionHeap
 	lastDone    sim.Time
@@ -186,7 +194,7 @@ func (c *coreState) nextAccess() (trace.Access, bool) {
 			if !ok {
 				return trace.Access{}, false
 			}
-			c.run, c.runPos = r, 0
+			c.run, c.runPos, c.noSpan = r, 0, false
 		}
 		a := trace.Access{
 			Addr:    c.run.Addr + uint64(c.runPos)*c.run.Stride,
@@ -221,22 +229,83 @@ func (s *Sim) Run(streams []trace.Stream) Result {
 
 	var accesses uint64
 	active := len(cores)
+	mlp := s.cfg.CPU.MemLevelPar
 	for active > 0 {
 		// Pick the core with the earliest ready time (deterministic
-		// tie-break on id) — a global time-ordered interleave.
-		var c *coreState
-		for i := range cores {
-			cand := &cores[i]
-			if cand.done {
-				continue
-			}
-			if c == nil || cand.nextReady < c.nextReady {
-				c = cand
+		// tie-break on id) — a global time-ordered interleave. Finished
+		// cores park their ready time at the sentinel maximum, so the
+		// election is a pure min-scan with no flag checks; active > 0
+		// guarantees a live core wins.
+		c := &cores[0]
+		for i := 1; i < len(cores); i++ {
+			if cores[i].nextReady < c.nextReady {
+				c = &cores[i]
 			}
 		}
-		acc, ok := c.nextAccess()
+
+		// Span fast path (single active core): retire the L1-resident
+		// prefix of the current run in one batch. Each batched access is
+		// provably the exact per-line step: with one active core the
+		// earliest-ready election is trivially won, the miss window is
+		// below the MLP bound (so no completion pops can delay issue),
+		// and every consumed line is an L1 hit (no fills, victims, or
+		// MEE traffic) — issue times form an arithmetic series and
+		// timing and stats collapse to closed form. With several active
+		// cores the election interleaves per access (measured batch
+		// length collapses to one line), so the per-line path runs
+		// without any probing overhead.
+		if active == 1 && c.runs != nil && !c.noSpan &&
+			c.outstanding.n < mlp {
+			for c.runPos >= c.run.Lines {
+				r, ok := c.runs.NextRun()
+				if !ok {
+					c.done = true
+					c.nextReady = ^sim.Time(0) // park: never wins the election
+					break
+				}
+				c.run, c.runPos, c.noSpan = r, 0, false
+			}
+			if c.done {
+				active--
+				continue
+			}
+			m := c.run.Lines - c.runPos
+			addr := c.run.Addr + uint64(c.runPos)*c.run.Stride
+			if hp := s.l1[c.id].HitPrefix(addr, m, c.run.Stride, c.run.Write); hp > 0 {
+				step := c.run.Compute + s.issueGap
+				atLast := c.nextReady + c.run.Compute + sim.Dur(hp-1)*step
+				if done := atLast + s.l1Lat; done > c.lastDone {
+					c.lastDone = done
+				}
+				c.nextReady = atLast + s.issueGap
+				c.runPos += hp
+				accesses += uint64(hp)
+				continue
+			}
+			// The run's frontier is not L1-resident: one probe per run is
+			// the whole overhead — stay per-line until the next run.
+			c.noSpan = true
+		}
+
+		// Mid-run expansion inlined: nextAccess's loop keeps it from
+		// inlining, and most accesses are the interior of a coalesced
+		// span.
+		var acc trace.Access
+		var ok bool
+		if c.runs != nil && c.runPos < c.run.Lines {
+			acc = trace.Access{
+				Addr:    c.run.Addr + uint64(c.runPos)*c.run.Stride,
+				Write:   c.run.Write,
+				Compute: c.run.Compute,
+			}
+			c.runPos++
+			ok = true
+		} else {
+			acc, ok = c.nextAccess()
+		}
 		if !ok {
 			c.done = true
+			c.nextReady = ^sim.Time(0) // park: never wins the election
 			active--
 			continue
 		}
@@ -246,8 +315,7 @@ func (s *Sim) Run(streams []trace.Stream) Result {
 
 		// Memory-level parallelism: block issue when the miss window is
 		// full until the oldest outstanding miss retires.
-		mlp := s.cfg.CPU.MemLevelPar
-		for len(c.outstanding) >= mlp {
+		for c.outstanding.n >= mlp {
 			oldest := c.outstanding.popMin()
 			if oldest > at {
 				at = oldest
@@ -292,29 +360,34 @@ func (s *Sim) Run(streams []trace.Stream) Result {
 // access walks the cache hierarchy and, on miss, the MEE path. Returns the
 // completion time of the access and whether it reached DRAM.
 func (s *Sim) access(at sim.Time, core int, acc trace.Access) (done sim.Time, missed bool) {
-	// Dirty victims collect into a per-Sim scratch buffer: the previous
-	// per-access make([]uint64, 0, 2) was the single largest allocation
-	// source in the whole simulator (one per replayed access).
-	wbs := s.wbScratch[:0]
+	// Dirty victims collect into a fixed stack array (at most one per
+	// cache level): the previous per-access make([]uint64, 0, 2) was the
+	// single largest allocation source in the whole simulator, and even
+	// the shared scratch slice paid header churn per access.
+	var wbs [3]uint64
+	nwb := 0
 
 	var hitLevel int
 	if r := s.l1[core].Access(acc.Addr, acc.Write); r.Hit {
 		hitLevel = 1
 	} else {
 		if r.HasWriteback {
-			wbs = append(wbs, r.WritebackAddr)
+			wbs[nwb] = r.WritebackAddr
+			nwb++
 		}
 		if r2 := s.l2[core].Access(acc.Addr, false); r2.Hit {
 			hitLevel = 2
 		} else {
 			if r2.HasWriteback {
-				wbs = append(wbs, r2.WritebackAddr)
+				wbs[nwb] = r2.WritebackAddr
+				nwb++
 			}
 			if r3 := s.l3.Access(acc.Addr, false); r3.Hit {
 				hitLevel = 3
 			} else {
 				if r3.HasWriteback {
-					wbs = append(wbs, r3.WritebackAddr)
+					wbs[nwb] = r3.WritebackAddr
+					nwb++
 				}
 			}
 		}
@@ -335,10 +408,9 @@ func (s *Sim) access(at sim.Time, core int, acc trace.Access) (done sim.Time, mi
 	}
 
 	// Dirty victims retire in the background (posted writes).
-	for _, wb := range wbs {
-		s.writeThroughMEE(at, wb)
+	for i := 0; i < nwb; i++ {
+		s.writeThroughMEE(at, wbs[i])
 	}
-	s.wbScratch = wbs[:0]
 	return done, missed
 }
 

@@ -192,8 +192,7 @@ func Fig18(_ *Env) (*Report, error) {
 		// Dynamic work scheduling shifts chunk seams a little each
 		// iteration (the re-detection the paper's Figure 18 converges
 		// through).
-		res := setup.sim.Run(setup.mk(setup.cfg.CPU.Cores, (it*3)%17))
-		_ = res
+		setup.sim.Run(setup.mk(setup.cfg.CPU.Cores, (it*3)%17))
 		st := setup.sim.Analyzer().Stats()
 		if next < len(iters) && it == iters[next] {
 			tb.AddRow(it, st.HitAllRate(), st.HitInRate(), st.HitBoundaryRate())

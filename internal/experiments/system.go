@@ -238,9 +238,17 @@ func Fig21(env *Env) (*Report, error) {
 	return r, nil
 }
 
+// maxOf returns the maximum element, 0 for an empty slice. It seeds from
+// the first element rather than 0.0 so an all-negative input (possible
+// for the overhead-percentage series, where TensorTEE can beat the
+// non-secure reference) returns its true maximum instead of a fabricated
+// zero.
 func maxOf(vals []float64) float64 {
-	m := 0.0
-	for _, v := range vals {
+	if len(vals) == 0 {
+		return 0
+	}
+	m := vals[0]
+	for _, v := range vals[1:] {
 		if v > m {
 			m = v
 		}

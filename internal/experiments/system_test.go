@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"tensortee/internal/stats"
+)
+
+// TestMaxOf pins the init-from-first semantics: an all-negative slice —
+// the shape the overhead-percentage series takes when TensorTEE beats
+// the non-secure reference — must return its true (negative) maximum,
+// not a fabricated zero.
+func TestMaxOf(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"all-negative", []float64{-3.2, -0.5, -7.1}, -0.5},
+		{"mixed", []float64{-1, 4.25, 2}, 4.25},
+		{"single", []float64{-9}, -9},
+		{"empty", nil, 0},
+		{"positive", []float64{1.5, 5.5, 4.0}, 5.5},
+	} {
+		if got := maxOf(tc.in); got != tc.want {
+			t.Errorf("%s: maxOf(%v) = %v, want %v", tc.name, tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestOverheadScalarPathSignSafe audits the other aggregate feeding the
+// fig16 scalars: the mean over the overhead series must be sign-safe and
+// defined on empty input (it seeds from zero but divides by the length,
+// so negatives pass through undistorted).
+func TestOverheadScalarPathSignSafe(t *testing.T) {
+	if got := stats.Mean([]float64{-2, -4}); got != -3 {
+		t.Errorf("Mean over negatives = %v, want -3", got)
+	}
+	if got := stats.Mean(nil); got != 0 || math.IsNaN(got) {
+		t.Errorf("Mean(nil) = %v, want 0", got)
+	}
+}

@@ -181,7 +181,26 @@ type Engine struct {
 	macLat  sim.Dur // MAC latency
 	metaLat sim.Dur // metadata cache hit latency
 
+	// memo is the metadata-cache transition memo: a direct-mapped table
+	// of line -> way handles validated by the cache's per-set generation
+	// (the set-state fingerprint). Consecutive data lines share their
+	// VN/MAC metadata lines eight to one, so most metaAccess calls
+	// revalidate a handle in O(1) instead of scanning the set; any tag
+	// movement in the set bumps its generation and forces the full
+	// (exact) lookup. A memo hit performs precisely the Access hit-path
+	// state transitions, so the memo is invisible to timing and stats —
+	// TestMetaMemoParity pins this against a memo-disabled twin.
+	memo    [metaMemoSlots]metaMemo
+	memoOff bool // test hook: force every metaAccess through the full scan
+
 	stats Stats
+}
+
+const metaMemoSlots = 256
+
+type metaMemo struct {
+	line uint64
+	h    cache.Handle
 }
 
 // NewEngine builds an MEE for the host memory controller from the CPU
@@ -211,7 +230,16 @@ func (e *Engine) MetaCacheStats() cache.Stats { return e.metaCache.Stats() }
 // missed. Dirty victims are written back to DRAM (traffic, off the critical
 // path).
 func (e *Engine) metaAccess(at sim.Time, lineAddr uint64, write bool, kind *uint64, kindW *uint64) (ready sim.Time, missed bool) {
-	r := e.metaCache.Access(lineAddr, write)
+	// Memo fast path: a still-valid handle proves residency and takes the
+	// exact Access hit path without a scan. Metadata lines are never at
+	// address 0 (the map starts at 1<<44), so empty slots cannot match.
+	slot := &e.memo[(lineAddr*0x9E3779B97F4A7C15)>>56&(metaMemoSlots-1)]
+	if !e.memoOff && slot.line == lineAddr && e.metaCache.AccessVia(slot.h, lineAddr, write) {
+		e.stats.MetaCacheHits++
+		return at + e.metaLat, false
+	}
+	r, h := e.metaCache.AccessTrack(lineAddr, write)
+	slot.line, slot.h = lineAddr, h
 	if r.HasWriteback {
 		// Background writeback: charge DRAM occupancy, not latency.
 		e.mem.Access(at, r.WritebackAddr, true)
@@ -442,15 +470,17 @@ func (e *Engine) TensorWrite(at sim.Time, addr uint64, outcome TensorOutcome) si
 // The Run methods charge a whole span of n consecutive data lines issued
 // in one burst at time `at` — the shape Flush drains dirty spans in, the
 // bulk-transfer paths use, and the span parity tests replay. The
-// metadata-cache and DRAM bank/bus state machines are inherently
-// order-dependent, so their transitions are replayed in exactly the
-// per-line order; what the span amortizes is everything provably
-// order-free: the per-slot metadata-line math (one VN/MAC line address
-// per 8-slot group instead of per line — tree levels follow the group
-// too) and the per-line counter updates. Calling a Run method is
-// therefore indistinguishable, state- and stats-wise, from n sequential
-// single-line calls; the returned time aggregates the span (latest
-// completion).
+// metadata-cache and DRAM bank/bus state machines are order-dependent,
+// so their transitions follow exactly the per-line order — but within a
+// slot group that order is known in advance: after the group's first
+// line resolves, the remaining lines can only re-hit the same two
+// resident metadata lines, so the group collapses to one residency probe
+// plus batched hit bookkeeping, and the data-line transfers fast-forward
+// through dram.AccessRun's steady-state walk. Groups whose metadata is
+// not resident after the first line replay per line. Calling a Run
+// method is therefore indistinguishable, state- and stats-wise, from n
+// sequential single-line calls; the returned time aggregates the span
+// (latest completion).
 
 // spanGroups calls fn for each metadata slot group of the span: base
 // address, line count, and the group's shared VN/MAC line addresses.
@@ -468,6 +498,67 @@ func (e *Engine) spanGroups(addr uint64, n int, fn func(base uint64, lines int, 
 	}
 }
 
+// readGroup charges one slot group of `lines` consecutive protected line
+// reads issued at time at, sharing vnLine/macLine. The first line runs
+// the full dataflow; when both metadata lines are resident afterwards,
+// the remaining lines are provably pure metadata-cache hits (hits cannot
+// evict, so no fills, walks, or writebacks can occur mid-group) and
+// collapse into batched hit bookkeeping plus one AccessRun over the data
+// lines. Their dataflow times share every term except the data fetch, so
+// the aggregate needs only the span's latest transfer.
+func (e *Engine) readGroup(at sim.Time, base uint64, lines int, vnLine, macLine uint64) ReadResult {
+	lb := uint64(e.Layout.LineBytes)
+	agg := e.readLine(at, base, vnLine, macLine)
+	j := 1
+	if j < lines && e.metaCache.Probe(vnLine) && e.metaCache.Probe(macLine) {
+		k := lines - j
+		e.metaCache.AccessHitN(vnLine, k, false)
+		e.metaCache.AccessHitN(macLine, k, false)
+		e.stats.MetaCacheHits += 2 * uint64(k)
+		e.stats.DataReads += uint64(k)
+		e.stats.AESOps += uint64(k)
+		e.stats.MACOps += uint64(k)
+		maxData := e.mem.AccessRun(at, base+uint64(j)*lb, k, lb, false)
+		tMeta := at + e.metaLat
+		done := sim.Max(sim.Max(maxData, tMeta+e.aesLat), sim.Max(maxData, tMeta)+e.macLat)
+		agg.DataReady = sim.Max(agg.DataReady, done)
+		agg.Verified = sim.Max(agg.Verified, done)
+		return agg
+	}
+	for ; j < lines; j++ {
+		r := e.readLine(at, base+uint64(j)*lb, vnLine, macLine)
+		agg.DataReady = sim.Max(agg.DataReady, r.DataReady)
+		agg.Verified = sim.Max(agg.Verified, r.Verified)
+	}
+	return agg
+}
+
+// writeGroup is readGroup's write-dataflow counterpart (see writeLine for
+// the per-line shape being collapsed).
+func (e *Engine) writeGroup(at sim.Time, base uint64, lines int, vnLine, macLine uint64) sim.Time {
+	lb := uint64(e.Layout.LineBytes)
+	last := e.writeLine(at, base, vnLine, macLine)
+	j := 1
+	if j < lines && e.metaCache.Probe(vnLine) && e.metaCache.Probe(macLine) {
+		k := lines - j
+		e.metaCache.AccessHitN(vnLine, k, true)
+		e.metaCache.AccessHitN(macLine, k, true)
+		e.stats.MetaCacheHits += 2 * uint64(k)
+		e.stats.DataWrites += uint64(k)
+		e.stats.AESOps += uint64(k)
+		e.stats.MACOps += 2 * uint64(k)
+		tMeta := at + e.metaLat
+		padDone := tMeta + e.macLat + e.aesLat
+		maxData := e.mem.AccessRun(padDone, base+uint64(j)*lb, k, lb, true)
+		tMAC := sim.Max(padDone, tMeta) + e.macLat
+		return sim.Max(last, sim.Max(maxData, tMAC))
+	}
+	for ; j < lines; j++ {
+		last = sim.Max(last, e.writeLine(at, base+uint64(j)*lb, vnLine, macLine))
+	}
+	return last
+}
+
 // ReadRun charges n consecutive protected line reads issued at time at,
 // returning the span's aggregate timing (latest data release and latest
 // verification).
@@ -475,21 +566,14 @@ func (e *Engine) ReadRun(at sim.Time, addr uint64, n int) ReadResult {
 	var agg ReadResult
 	if e.Mode == ModeOff {
 		e.stats.DataReads += uint64(n)
-		lb := uint64(e.Layout.LineBytes)
-		for i := 0; i < n; i++ {
-			t := e.mem.Access(at, addr+uint64(i)*lb, false)
-			agg.DataReady = sim.Max(agg.DataReady, t)
-		}
+		agg.DataReady = e.mem.AccessRun(at, addr, n, uint64(e.Layout.LineBytes), false)
 		agg.Verified = agg.DataReady
 		return agg
 	}
-	lb := uint64(e.Layout.LineBytes)
 	e.spanGroups(addr, n, func(base uint64, lines int, vnLine, macLine uint64) {
-		for j := 0; j < lines; j++ {
-			r := e.readLine(at, base+uint64(j)*lb, vnLine, macLine)
-			agg.DataReady = sim.Max(agg.DataReady, r.DataReady)
-			agg.Verified = sim.Max(agg.Verified, r.Verified)
-		}
+		r := e.readGroup(at, base, lines, vnLine, macLine)
+		agg.DataReady = sim.Max(agg.DataReady, r.DataReady)
+		agg.Verified = sim.Max(agg.Verified, r.Verified)
 	})
 	return agg
 }
@@ -499,18 +583,12 @@ func (e *Engine) ReadRun(at sim.Time, addr uint64, n int) ReadResult {
 // updates retire.
 func (e *Engine) WriteRun(at sim.Time, addr uint64, n int) sim.Time {
 	var last sim.Time
-	lb := uint64(e.Layout.LineBytes)
 	if e.Mode == ModeOff {
 		e.stats.DataWrites += uint64(n)
-		for i := 0; i < n; i++ {
-			last = sim.Max(last, e.mem.Access(at, addr+uint64(i)*lb, true))
-		}
-		return last
+		return e.mem.AccessRun(at, addr, n, uint64(e.Layout.LineBytes), true)
 	}
 	e.spanGroups(addr, n, func(base uint64, lines int, vnLine, macLine uint64) {
-		for j := 0; j < lines; j++ {
-			last = sim.Max(last, e.writeLine(at, base+uint64(j)*lb, vnLine, macLine))
-		}
+		last = sim.Max(last, e.writeGroup(at, base, lines, vnLine, macLine))
 	})
 	return last
 }
@@ -528,12 +606,11 @@ func (e *Engine) TensorReadRun(at sim.Time, addr uint64, n int, outcome TensorOu
 		e.stats.HitIn += uint64(n)
 		e.stats.AESOps += uint64(n)
 		e.stats.MACOps += uint64(n)
-		padDone := at + e.aesLat
-		for i := 0; i < n; i++ {
-			tData := e.mem.Access(at, addr+uint64(i)*lb, false)
-			ready := sim.Max(tData, padDone)
-			agg.DataReady = sim.Max(agg.DataReady, ready)
-			agg.Verified = sim.Max(agg.Verified, ready+e.macLat)
+		if n > 0 {
+			padDone := at + e.aesLat
+			ready := sim.Max(e.mem.AccessRun(at, addr, n, lb, false), padDone)
+			agg.DataReady = ready
+			agg.Verified = ready + e.macLat
 		}
 		return agg
 	case THitBoundary:
@@ -542,11 +619,9 @@ func (e *Engine) TensorReadRun(at sim.Time, addr uint64, n int, outcome TensorOu
 		e.stats.Mis += uint64(n)
 	}
 	e.spanGroups(addr, n, func(base uint64, lines int, vnLine, macLine uint64) {
-		for j := 0; j < lines; j++ {
-			r := e.readLine(at, base+uint64(j)*lb, vnLine, macLine)
-			agg.DataReady = sim.Max(agg.DataReady, r.DataReady)
-			agg.Verified = sim.Max(agg.Verified, r.Verified)
-		}
+		r := e.readGroup(at, base, lines, vnLine, macLine)
+		agg.DataReady = sim.Max(agg.DataReady, r.DataReady)
+		agg.Verified = sim.Max(agg.Verified, r.Verified)
 	})
 	return agg
 }
@@ -569,20 +644,17 @@ func (e *Engine) TensorWriteRun(at sim.Time, addr uint64, n int, outcome TensorO
 		// line (see TensorWrite for the per-line rationale).
 		e.stats.AESOps += uint64(n)
 		e.stats.MACOps += uint64(n)
-		padDone := at + e.aesLat
-		tMAC := padDone + e.macLat
-		for i := 0; i < n; i++ {
-			tData := e.mem.Access(padDone, addr+uint64(i)*lb, true)
-			last = sim.Max(last, sim.Max(tData, tMAC))
+		if n > 0 {
+			padDone := at + e.aesLat
+			tMAC := padDone + e.macLat
+			last = sim.Max(e.mem.AccessRun(padDone, addr, n, lb, true), tMAC)
 		}
 		return last
 	default:
 		e.stats.Mis += uint64(n)
 	}
 	e.spanGroups(addr, n, func(base uint64, lines int, vnLine, macLine uint64) {
-		for j := 0; j < lines; j++ {
-			last = sim.Max(last, e.writeLine(at, base+uint64(j)*lb, vnLine, macLine))
-		}
+		last = sim.Max(last, e.writeGroup(at, base, lines, vnLine, macLine))
 	})
 	return last
 }

@@ -227,6 +227,13 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, rd *rendered) {
 	h.Set("ETag", rd.etag)
 	h.Set("Content-Type", rd.contentType)
 	h.Set("Cache-Control", "no-cache") // serve from cache only after revalidation
+	// The representation is negotiated from the Accept header (absent an
+	// explicit ?format=), so intermediaries must key cached responses on
+	// it: without Vary, a shared cache could satisfy an Accept: text/csv
+	// request with a previously cached JSON body under the same URL (the
+	// ETags are representation-specific, but a cache only consults them
+	// on revalidation, not on a fresh-enough hit).
+	h.Set("Vary", "Accept")
 	if etagMatches(r.Header.Get("If-None-Match"), rd.etag) {
 		s.metrics.NotModified()
 		w.WriteHeader(http.StatusNotModified)

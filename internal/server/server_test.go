@@ -127,7 +127,33 @@ func TestContentNegotiation(t *testing.T) {
 			if !strings.Contains(body, tc.wantFrag) {
 				t.Errorf("body missing %q:\n%.200s", tc.wantFrag, body)
 			}
+			if vary := resp.Header.Get("Vary"); vary != "Accept" {
+				t.Errorf("Vary = %q, want %q", vary, "Accept")
+			}
 		})
+	}
+}
+
+// TestVaryAcceptOnAllNegotiatedResponses pins the cache-correctness
+// header on every negotiated endpoint, including 304 revalidations and
+// the /all aggregate: the same URL serves different representations per
+// Accept, so an intermediary cache must key on it — a strong ETag alone
+// does not stop a fresh cached JSON body from answering a CSV request.
+func TestVaryAcceptOnAllNegotiatedResponses(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	for _, url := range []string{"/v1/experiments/tab2", "/v1/experiments/all"} {
+		resp, _ := get(t, ts.URL+url, nil)
+		if vary := resp.Header.Get("Vary"); vary != "Accept" {
+			t.Errorf("%s: Vary = %q, want %q", url, vary, "Accept")
+		}
+		etag := resp.Header.Get("ETag")
+		resp304, _ := get(t, ts.URL+url, map[string]string{"If-None-Match": etag})
+		if resp304.StatusCode != http.StatusNotModified {
+			t.Fatalf("%s: revalidation status = %d", url, resp304.StatusCode)
+		}
+		if vary := resp304.Header.Get("Vary"); vary != "Accept" {
+			t.Errorf("%s: 304 Vary = %q, want %q", url, vary, "Accept")
+		}
 	}
 }
 

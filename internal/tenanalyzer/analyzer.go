@@ -3,6 +3,8 @@ package tenanalyzer
 import (
 	"fmt"
 	"sort"
+
+	"tensortee/internal/sim"
 )
 
 // Outcome classifies a Meta Table lookup (Figures 10 and 12).
@@ -158,8 +160,43 @@ type Analyzer struct {
 	prefixMaxEnd []uint64
 	indexDirty   bool
 
-	// boundary address -> entry id for O(1) hit-boundary checks.
-	boundaries map[uint64]int
+	// boundary address -> entry id for O(1) hit-boundary checks. An
+	// open-addressed table rather than a Go map: the working set is
+	// bounded by the live entries (<= 512), every boundary extension
+	// deletes and reinserts a key, and every detection-phase miss
+	// probes — the custom table keeps all of that in a few hot cache
+	// lines.
+	boundaries boundaryMap
+
+	// winTab is the run-window memo: a small direct-mapped, address-
+	// indexed table mapping a line address to the Meta Table entry owning
+	// its innermost run, with the run's precomputed [lo, hi) extent and
+	// the canonical index of its first line. A window hit answers the
+	// whole lookup in O(1) — no Contains walk, no binary search — which
+	// is what breaks the per-line lookup floor for streaming spans that
+	// revisit the same runs line after line. Windows are validated
+	// against shapeGen: any entry drop, merge, or table restore bumps it
+	// and invalidates every window at once (extensions grow coverage
+	// without moving canonical indices, so they need no bump). Exactness
+	// rides on the same uniqueness argument as the rings: valid entries
+	// never overlap, so a still-valid window can only name the entry the
+	// search would find, with the index Contains would compute.
+	winTab    [winTabSlots]entryWindow
+	shapeGen  uint64
+	lineShift int // Pow2Shift(LineBytes); <0 disables the window memo
+
+	// missTab is winTab's negative counterpart: [lo, hi) intervals known
+	// to contain no covered line of any entry, installed when a full
+	// lookup concludes a miss with addr outside every bounding box (hi
+	// is then the next entry base). Validated against missGen, which
+	// bumps on anything that can only ADD coverage — promotion, hints,
+	// boundary extensions, restores. Drops and merges never add coverage
+	// (a merged entry covers exactly the union of its parents), so they
+	// leave miss windows valid. This is what keeps the detection-phase
+	// write stream — which lands in the uncovered gaps between shifted
+	// per-core chunks — off the binary search.
+	missTab [winTabSlots]missWindow
+	missGen uint64
 
 	// memoRead/memoWrite/memoMisc memoize the entry ids of recent
 	// successful lookups per dataflow (move-to-front rings, -1 = empty).
@@ -207,7 +244,8 @@ func New(cfg Config, store VNStore) *Analyzer {
 		store:      store,
 		filter:     newFilter(cfg.FilterEntries, cfg.FilterDepth, cfg.MaxStride),
 		entries:    make([]Entry, cfg.Entries),
-		boundaries: make(map[uint64]int),
+		boundaries: newBoundaryMap(),
+		lineShift:  sim.Pow2Shift(cfg.LineBytes),
 		memoRead:   emptyMemo,
 		memoWrite:  emptyMemo,
 		memoMisc:   emptyMemo,
@@ -256,6 +294,60 @@ func (a *Analyzer) rebuildIndex() {
 	a.indexDirty = false
 }
 
+// fixPrefix recomputes the running prefix maximum from position p on.
+func (a *Analyzer) fixPrefix(p int) {
+	var run uint64
+	if p > 0 {
+		run = a.prefixMaxEnd[p-1]
+	}
+	for i := p; i < len(a.sorted); i++ {
+		if e := a.entries[a.sorted[i]].BoundEnd(); e > run {
+			run = e
+		}
+		a.prefixMaxEnd[i] = run
+	}
+}
+
+// insertID adds one entry to the sorted index in place — detection
+// promotes entries at the streaming frontier, so the insertion point is
+// near the end and the suffix fix is O(1) amortized, replacing the full
+// re-sort the dirty flag used to force on the next lookup. A dirty index
+// stays dirty (the rebuild will see the entry).
+func (a *Analyzer) insertID(id int) {
+	if a.indexDirty {
+		return
+	}
+	base := a.entries[id].Base
+	n := len(a.sorted)
+	p := sort.Search(n, func(i int) bool { return a.entries[a.sorted[i]].Base > base })
+	a.sorted = append(a.sorted, 0)
+	copy(a.sorted[p+1:], a.sorted[p:])
+	a.sorted[p] = id
+	a.prefixMaxEnd = append(a.prefixMaxEnd, 0)
+	a.fixPrefix(p)
+}
+
+// removeID drops one entry from the sorted index in place (the entry's
+// Base must still be readable; callers remove before recycling).
+func (a *Analyzer) removeID(id int) {
+	if a.indexDirty {
+		return
+	}
+	base := a.entries[id].Base
+	n := len(a.sorted)
+	p := sort.Search(n, func(i int) bool { return a.entries[a.sorted[i]].Base >= base })
+	for p < n && a.sorted[p] != id {
+		p++
+	}
+	if p == n {
+		a.indexDirty = true // not found: fall back to a rebuild
+		return
+	}
+	a.sorted = append(a.sorted[:p], a.sorted[p+1:]...)
+	a.prefixMaxEnd = a.prefixMaxEnd[:n-1]
+	a.fixPrefix(p)
+}
+
 // lookup finds the entry containing addr (exact line containment) and its
 // canonical line index.
 // lookupMemo is a tiny move-to-front ring of entry ids (-1 = empty).
@@ -285,8 +377,65 @@ func (a *Analyzer) lookup(addr uint64) (id, lineIdx int, ok bool) {
 	return a.lookupHint(addr, &a.memoMisc)
 }
 
+const winTabSlots = 256
+
+// entryWindow caches one innermost run of one entry: any line-aligned
+// address in [lo, hi) belongs to entry id at canonical index
+// idx0 + (addr-lo)/LineBytes, as long as gen still matches shapeGen.
+type entryWindow struct {
+	lo, hi uint64
+	id     int
+	idx0   int
+	gen    uint64
+}
+
+// winSlot hashes a line address to its window slot. 64 KB granularity
+// keeps a tensor's bursts on few slots while separating the w/g/m/v
+// streams that interleave per burst.
+func winSlot(addr uint64) int {
+	return int(((addr >> 16) * 0x9E3779B97F4A7C15) >> 56 & (winTabSlots - 1))
+}
+
+// missWindow is a cached uncovered interval: no entry contains any line
+// in [lo, hi) while gen still matches missGen.
+type missWindow struct {
+	lo, hi uint64
+	gen    uint64
+}
+
+// noteWindow installs the innermost run containing (addr -> id, lineIdx)
+// into the window memo. Only line-granular innermost dimensions qualify
+// (strided runs leave gaps a plain range check cannot represent).
+func (a *Analyzer) noteWindow(id int, addr uint64, lineIdx int) {
+	if a.lineShift < 0 {
+		return
+	}
+	e := &a.entries[id]
+	d0 := e.Dims[0]
+	if d0.Stride != uint64(a.cfg.LineBytes) {
+		return
+	}
+	r := lineIdx % d0.Count
+	lo := addr - uint64(r)<<uint(a.lineShift)
+	a.winTab[winSlot(addr)] = entryWindow{
+		lo:   lo,
+		hi:   lo + uint64(d0.Count)<<uint(a.lineShift),
+		id:   id,
+		idx0: lineIdx - r,
+		gen:  a.shapeGen,
+	}
+}
+
 func (a *Analyzer) lookupHint(addr uint64, memo *lookupMemo) (id, lineIdx int, ok bool) {
-	// Fast path: entries this dataflow matched recently.
+	// O(1) fast path: a still-valid run window answers without Contains.
+	if w := &a.winTab[winSlot(addr)]; w.gen == a.shapeGen && addr >= w.lo && addr < w.hi {
+		return w.id, w.idx0 + int((addr-w.lo)>>uint(a.lineShift)), true
+	}
+	// O(1) negative answer: addr sits in a still-valid uncovered window.
+	if w := &a.missTab[winSlot(addr)]; w.gen == a.missGen && addr >= w.lo && addr < w.hi {
+		return 0, 0, false
+	}
+	// Entries this dataflow matched recently.
 	for _, h := range memo {
 		if h < 0 {
 			break // rings fill front-first: the rest is empty too
@@ -294,6 +443,7 @@ func (a *Analyzer) lookupHint(addr uint64, memo *lookupMemo) (id, lineIdx int, o
 		if e := &a.entries[h]; e.valid {
 			if idx, in := e.Contains(addr); in {
 				memo.note(h)
+				a.noteWindow(h, addr, idx)
 				return h, idx, true
 			}
 		}
@@ -316,6 +466,7 @@ func (a *Analyzer) lookupHint(addr uint64, memo *lookupMemo) (id, lineIdx int, o
 	p := sort.Search(n, func(i int) bool {
 		return a.entries[a.sorted[i]].Base > addr
 	})
+	boxHit := false
 	for i := p - 1; i >= 0; i-- {
 		if a.prefixMaxEnd[i] <= addr {
 			break // nothing further left can reach addr
@@ -323,8 +474,26 @@ func (a *Analyzer) lookupHint(addr uint64, memo *lookupMemo) (id, lineIdx int, o
 		e := &a.entries[a.sorted[i]]
 		if idx, in := e.Contains(addr); in {
 			memo.note(a.sorted[i])
+			a.noteWindow(a.sorted[i], addr, idx)
 			return a.sorted[i], idx, true
 		}
+		if addr < e.BoundEnd() {
+			// Inside a strided entry's box but between its lines: the
+			// neighboring addresses may be covered, so no window.
+			boxHit = true
+		}
+	}
+	if !boxHit {
+		// addr is outside every bounding box: every entry left of the
+		// insertion point ends at or before addr (walked or pruned via
+		// the prefix max), and entries from p on start after it — so
+		// [addr, nextBase) contains no covered line until something adds
+		// coverage (missGen bumps).
+		hi := ^uint64(0)
+		if p < n {
+			hi = a.entries[a.sorted[p]].Base
+		}
+		a.missTab[winSlot(addr)] = missWindow{lo: addr, hi: hi, gen: a.missGen}
 	}
 	return 0, 0, false
 }
@@ -332,6 +501,7 @@ func (a *Analyzer) lookupHint(addr uint64, memo *lookupMemo) (id, lineIdx int, o
 // noteEndGrowth updates the prefix-max index after an extension (base
 // order unchanged, only one bounding end grew).
 func (a *Analyzer) noteEndGrowth(id int) {
+	a.missGen++ // the extension adds coverage: drop cached miss windows
 	if a.indexDirty {
 		return
 	}
@@ -402,7 +572,7 @@ func (a *Analyzer) Read(addr uint64) (Outcome, uint64) {
 		return HitIn, e.EffectiveVN(lineIdx)
 	}
 
-	if id, ok := a.boundaries[addr]; ok && !a.cfg.DisableBoundaryExt {
+	if id, ok := a.boundaries.get(addr); ok && !a.cfg.DisableBoundaryExt {
 		e := &a.entries[id]
 		// Extension is allowed mid-epoch (UF set): the new run joins with
 		// its bitmap bits unflipped, so its effective VN is the entry VN,
@@ -421,16 +591,16 @@ func (a *Analyzer) Read(addr uint64) (Outcome, uint64) {
 			e.lastUse = a.clock
 			offchip := a.store.Get(addr)
 			if offchip == e.VN && a.runUniform(e) {
-				delete(a.boundaries, addr)
+				a.boundaries.del(addr)
 				e.Extend()
 				a.stats.Extensions++
-				a.boundaries[e.BoundaryAddr()] = id
+				a.boundaries.set(e.BoundaryAddr(), id)
 				a.noteEndGrowth(id)
 				a.filter.invalidateRange(e.Base, e.BoundEnd())
 			}
 			return HitBoundary, offchip
 		}
-		delete(a.boundaries, addr) // stale
+		a.boundaries.del(addr) // stale
 	}
 
 	// Miss: VN from DRAM; request feeds the Tensor Filter.
@@ -534,7 +704,7 @@ func (a *Analyzer) frontierMissRun(addr uint64, n int) int {
 	}
 	if !a.cfg.DisableBoundaryExt {
 		for i := 0; i < n; i++ {
-			if _, ok := a.boundaries[addr+uint64(i)*uint64(a.cfg.LineBytes)]; ok {
+			if _, ok := a.boundaries.get(addr + uint64(i)*uint64(a.cfg.LineBytes)); ok {
 				return 0
 			}
 		}
@@ -721,8 +891,9 @@ func (a *Analyzer) promote(s *filterSlot) {
 		valid:   true,
 	}
 	a.stats.Creations++
-	a.boundaries[a.entries[id].BoundaryAddr()] = id
-	a.indexDirty = true
+	a.boundaries.set(a.entries[id].BoundaryAddr(), id)
+	a.insertID(id)
+	a.missGen++ // new coverage: drop cached miss windows
 	a.noteRecent(id)
 	a.mergeAround(id)
 }
@@ -763,11 +934,15 @@ func (a *Analyzer) dropEntry(id int) {
 	if !e.valid {
 		return
 	}
-	delete(a.boundaries, e.BoundaryAddr())
+	a.boundaries.del(e.BoundaryAddr())
+	a.removeID(id)
 	e.valid = false
 	e.bitmap = nil
 	a.free = append(a.free, id)
-	a.indexDirty = true
+	// Invalidate every run window at once: the dropped slot may be
+	// reused, and a merge replacing the surviving entry's shape always
+	// drops its partner through here first.
+	a.shapeGen++
 	for i, r := range a.recent {
 		if r == id {
 			a.recent = append(a.recent[:i], a.recent[i+1:]...)
@@ -974,12 +1149,16 @@ func (a *Analyzer) commitMerge(loID, hiID int, dims []Dim) {
 	}
 	merged.bitmap = make([]bool, merged.Lines())
 
-	delete(a.boundaries, lo.BoundaryAddr())
-	delete(a.boundaries, hi.BoundaryAddr())
+	a.boundaries.del(lo.BoundaryAddr())
+	a.boundaries.del(hi.BoundaryAddr())
 	a.dropEntry(hiID)
 	a.entries[loID] = merged
-	a.boundaries[merged.BoundaryAddr()] = loID
-	a.indexDirty = true
+	// Same base, grown bounding end: lo keeps its index position and the
+	// prefix maxima only grow (the merged lattice is exactly lo ∪ hi, so
+	// no miss window can be invalidated — noteEndGrowth's missGen bump is
+	// merely conservative).
+	a.noteEndGrowth(loID)
+	a.boundaries.set(merged.BoundaryAddr(), loID)
 	a.noteRecent(loID)
 }
 
@@ -1025,8 +1204,9 @@ func (a *Analyzer) InstallHint(base uint64, size int, stride uint64) bool {
 		valid:   true,
 	}
 	a.stats.HintInstall++
-	a.boundaries[a.entries[id].BoundaryAddr()] = id
-	a.indexDirty = true
+	a.boundaries.set(a.entries[id].BoundaryAddr(), id)
+	a.insertID(id)
+	a.missGen++ // new coverage: drop cached miss windows
 	a.filter.invalidateRange(base, base+uint64(count)*stride)
 	return true
 }
@@ -1079,6 +1259,7 @@ func (a *Analyzer) Save() Snapshot {
 			e := a.entries[i]
 			e.bitmap = append([]bool(nil), e.bitmap...)
 			e.Dims = append([]Dim(nil), e.Dims...)
+			e.lines = 0 // snapshots carry shape, not memo state
 			s.Entries = append(s.Entries, e)
 		}
 	}
@@ -1096,7 +1277,7 @@ func (a *Analyzer) Restore(s Snapshot) {
 	for i := a.cfg.Entries - 1; i >= len(s.Entries); i-- {
 		a.free = append(a.free, i)
 	}
-	a.boundaries = make(map[uint64]int)
+	a.boundaries.reset()
 	for i, e := range s.Entries {
 		if i >= a.cfg.Entries {
 			break
@@ -1104,11 +1285,13 @@ func (a *Analyzer) Restore(s Snapshot) {
 		e.bitmap = append([]bool(nil), e.bitmap...)
 		e.Dims = append([]Dim(nil), e.Dims...)
 		a.entries[i] = e
-		a.boundaries[e.BoundaryAddr()] = i
+		a.boundaries.set(e.BoundaryAddr(), i)
 	}
 	a.filter.reset()
 	a.indexDirty = true
 	a.recent = nil
+	a.shapeGen++ // restored entries invalidate every cached run window
+	a.missGen++  // and any cached miss window
 }
 
 // --- introspection ----------------------------------------------------------
@@ -1123,6 +1306,7 @@ func (a *Analyzer) EntryAt(addr uint64) (Entry, bool) {
 	e := a.entries[id]
 	e.bitmap = append([]bool(nil), e.bitmap...)
 	e.Dims = append([]Dim(nil), e.Dims...)
+	e.lines = 0 // drop the memo: copies compare by shape, not cache state
 	return e, true
 }
 
@@ -1153,16 +1337,28 @@ func (a *Analyzer) CheckInvariant() error {
 type ArrayVNStore struct {
 	base      uint64
 	lineBytes int
+	lineShift int // Pow2Shift(lineBytes); <0 keeps the division
 	vns       []uint64
 }
 
 // NewArrayVNStore covers [base, base+size) with per-line VNs.
 func NewArrayVNStore(base uint64, size, lineBytes int) *ArrayVNStore {
 	lines := (size + lineBytes - 1) / lineBytes
-	return &ArrayVNStore{base: base, lineBytes: lineBytes, vns: make([]uint64, lines)}
+	return &ArrayVNStore{
+		base:      base,
+		lineBytes: lineBytes,
+		lineShift: sim.Pow2Shift(lineBytes),
+		vns:       make([]uint64, lines),
+	}
 }
 
 func (s *ArrayVNStore) idx(addr uint64) int {
+	// The shift computes the identical quotient for the power-of-two
+	// line sizes every simulator uses; writes update the store once per
+	// line, so the division was showing up in profiles.
+	if s.lineShift >= 0 {
+		return int((addr - s.base) >> uint(s.lineShift))
+	}
 	return int((addr - s.base) / uint64(s.lineBytes))
 }
 

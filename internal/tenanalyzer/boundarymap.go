@@ -1,0 +1,147 @@
+package tenanalyzer
+
+// boundaryMap is a small open-addressed hash table from boundary line
+// addresses to Meta Table entry ids. It exists because the boundary set
+// churns on every extension (delete old boundary, insert the next one)
+// and is probed on every detection-phase miss; with at most one boundary
+// per live entry (<= 512) the linear-probe table stays in a few cache
+// lines where the general-purpose map paid hashing and bucket traffic.
+//
+// Keys are line-aligned addresses and therefore never 0 or 1 (a boundary
+// is always at least one line past an entry base), freeing those values
+// as the empty and tombstone sentinels. Semantics are exactly a
+// map[uint64]int: get/set/del/len.
+type boundaryMap struct {
+	keys  []uint64 // 0 = empty, 1 = tombstone
+	vals  []int32
+	mask  uint64
+	n     int // live keys
+	tombs int // tombstones
+
+	// spare double-buffers compactions: boundary churn (one delete +
+	// insert per extension) tombstones the table every ~capacity/2
+	// operations, and reusing the previous buffers keeps the steady
+	// state allocation-free.
+	spareKeys []uint64
+	spareVals []int32
+}
+
+const (
+	bmEmpty = uint64(0)
+	bmTomb  = uint64(1)
+)
+
+func newBoundaryMap() boundaryMap {
+	const initial = 64
+	return boundaryMap{
+		keys: make([]uint64, initial),
+		vals: make([]int32, initial),
+		mask: initial - 1,
+	}
+}
+
+func bmHash(key uint64) uint64 { return key * 0x9E3779B97F4A7C15 }
+
+// get returns the id for key, or ok=false.
+func (m *boundaryMap) get(key uint64) (int, bool) {
+	i := bmHash(key) >> 32 & m.mask
+	for {
+		switch m.keys[i] {
+		case key:
+			return int(m.vals[i]), true
+		case bmEmpty:
+			return 0, false
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// set inserts or overwrites key -> id.
+func (m *boundaryMap) set(key uint64, id int) {
+	// Keep occupancy (live + tombstones) under half the table: the
+	// boundary set churns one delete+insert per extension, and linear
+	// probes degrade sharply once tombstones push the load past that.
+	if (m.n+m.tombs+1)*2 >= len(m.keys) {
+		m.rehash()
+	}
+	i := bmHash(key) >> 32 & m.mask
+	firstTomb := -1
+	for {
+		switch m.keys[i] {
+		case key:
+			m.vals[i] = int32(id)
+			return
+		case bmTomb:
+			if firstTomb < 0 {
+				firstTomb = int(i)
+			}
+		case bmEmpty:
+			if firstTomb >= 0 {
+				i = uint64(firstTomb)
+				m.tombs--
+			}
+			m.keys[i] = key
+			m.vals[i] = int32(id)
+			m.n++
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// del removes key if present.
+func (m *boundaryMap) del(key uint64) {
+	i := bmHash(key) >> 32 & m.mask
+	for {
+		switch m.keys[i] {
+		case key:
+			m.keys[i] = bmTomb
+			m.n--
+			m.tombs++
+			return
+		case bmEmpty:
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+}
+
+// reset drops every key, keeping capacity.
+func (m *boundaryMap) reset() {
+	for i := range m.keys {
+		m.keys[i] = bmEmpty
+	}
+	m.n, m.tombs = 0, 0
+}
+
+// rehash grows (or compacts tombstones) keeping live keys under a
+// quarter of the table, so compactions stay rare relative to the
+// deletes that trigger them. Same-size compactions swap into the spare
+// buffers instead of allocating.
+func (m *boundaryMap) rehash() {
+	size := len(m.keys)
+	if (m.n+1)*4 >= size {
+		size *= 2
+		m.spareKeys, m.spareVals = nil, nil
+	}
+	keys, vals := m.keys, m.vals
+	if len(m.spareKeys) == size {
+		m.keys, m.vals = m.spareKeys, m.spareVals
+		for i := range m.keys {
+			m.keys[i] = bmEmpty
+		}
+	} else {
+		m.keys = make([]uint64, size)
+		m.vals = make([]int32, size)
+	}
+	if len(keys) == size {
+		m.spareKeys, m.spareVals = keys, vals
+	}
+	m.mask = uint64(size - 1)
+	m.n, m.tombs = 0, 0
+	for i, k := range keys {
+		if k != bmEmpty && k != bmTomb {
+			m.set(k, int(vals[i]))
+		}
+	}
+}

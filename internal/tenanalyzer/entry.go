@@ -53,15 +53,22 @@ type Entry struct {
 
 	lastUse uint64 // analyzer clock for LRU
 	valid   bool
+	lines   int // memoized Lines(); 0 = recompute (reset on shape change)
 }
 
-// Lines returns the number of cachelines the entry covers.
+// Lines returns the number of cachelines the entry covers. The product
+// over dims is memoized — the write dataflow asks on every covered
+// write — and invalidated by Extend (other shape changes build fresh
+// Entry values, whose zero memo recomputes).
 func (e *Entry) Lines() int {
-	n := 1
-	for _, d := range e.Dims {
-		n *= d.Count
+	if e.lines == 0 {
+		n := 1
+		for _, d := range e.Dims {
+			n *= d.Count
+		}
+		e.lines = n
 	}
-	return n
+	return e.lines
 }
 
 // Span returns the bounding-box size in bytes: distance from Base to one
@@ -176,6 +183,7 @@ func (e *Entry) RunAddrs() []uint64 {
 func (e *Entry) Extend() {
 	outer := &e.Dims[len(e.Dims)-1]
 	outer.Count++
+	e.lines = 0 // shape changed: drop the Lines memo
 	grown := e.Lines()
 	for len(e.bitmap) < grown {
 		e.bitmap = append(e.bitmap, e.BS)

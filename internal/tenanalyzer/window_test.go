@@ -1,0 +1,84 @@
+package tenanalyzer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRunWindowMemoParity drives identical randomized access streams —
+// streaming reads, writes, strided tile walks, hints, merges, evictions,
+// snapshots — through a window-memo analyzer and a twin whose memo is
+// disabled, requiring identical outcomes, VNs, stats, live-entry counts,
+// and store contents throughout. The memo may only ever find the unique
+// owner the full lookup would, so any divergence is a bug in the window
+// bookkeeping (most likely a missing shapeGen bump).
+func TestRunWindowMemoParity(t *testing.T) {
+	const storeLines = 1 << 14
+	memoized := New(DefaultConfig(), NewArrayVNStore(0, storeLines*64, 64))
+	plain := New(DefaultConfig(), NewArrayVNStore(0, storeLines*64, 64))
+	plain.lineShift = -1 // disables window installs: every lookup walks
+
+	rng := rand.New(rand.NewSource(99))
+	check := func(op int, om, op2 Outcome, vm, vp uint64) {
+		t.Helper()
+		if om != op2 || vm != vp {
+			t.Fatalf("op %d: outcome/VN diverge: %v/%d vs %v/%d", op, om, vm, op2, vp)
+		}
+	}
+	for op := 0; op < 60000; op++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // streaming reads build and extend entries
+			base := uint64(rng.Intn(storeLines-64)) * 64
+			for i := 0; i < 1+rng.Intn(24); i++ {
+				a := base + uint64(i)*64
+				om, vm := memoized.Read(a)
+				op2, vp := plain.Read(a)
+				check(op, om, op2, vm, vp)
+			}
+		case 4, 5, 6: // write bursts drive epochs, asserts, merges
+			base := uint64(rng.Intn(storeLines-64)) * 64
+			for i := 0; i < 1+rng.Intn(24); i++ {
+				a := base + uint64(i)*64
+				om, vm := memoized.Write(a)
+				op2, vp := plain.Write(a)
+				check(op, om, op2, vm, vp)
+			}
+		case 7: // strided walk (tile rows): non-window entries
+			base := uint64(rng.Intn(storeLines/2)) * 64
+			stride := uint64(256 << rng.Intn(2))
+			for i := 0; i < 8; i++ {
+				a := base + uint64(i)*stride
+				om, vm := memoized.Read(a)
+				op2, vp := plain.Read(a)
+				check(op, om, op2, vm, vp)
+			}
+		case 8: // hints install entries wholesale
+			base := uint64(rng.Intn(storeLines/2)) * 64
+			hm := memoized.InstallHint(base, 64*64, 64)
+			hp := plain.InstallHint(base, 64*64, 64)
+			if hm != hp {
+				t.Fatalf("op %d: hint acceptance diverges", op)
+			}
+		default: // snapshot round-trip invalidates windows
+			if rng.Intn(4) == 0 {
+				memoized.Restore(memoized.Save())
+				plain.Restore(plain.Save())
+			}
+		}
+		if memoized.Stats() != plain.Stats() {
+			t.Fatalf("op %d: stats diverge\nmemo:  %+v\nplain: %+v", op, memoized.Stats(), plain.Stats())
+		}
+		if memoized.LiveEntries() != plain.LiveEntries() {
+			t.Fatalf("op %d: live entries diverge", op)
+		}
+	}
+	if err := memoized.CheckInvariant(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < storeLines; i++ {
+		a := uint64(i) * 64
+		if memoized.store.Get(a) != plain.store.Get(a) {
+			t.Fatalf("store diverges at line %d", i)
+		}
+	}
+}
