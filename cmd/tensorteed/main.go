@@ -9,16 +9,24 @@
 //	tensorteed -addr :9000             custom listen address
 //	tensorteed -parallel 4             worker pool inside the Runner
 //	tensorteed -max-concurrent 2       bound concurrent cold computations
+//	tensorteed -max-scenarios 2        bound concurrent scenario computations
 //	tensorteed -warm                   compute every experiment at startup
 //	tensorteed -pprof localhost:6060   net/http/pprof on a side listener
 //
 // Endpoints:
 //
-//	GET /v1/experiments                index with paper-artifact metadata
-//	GET /v1/experiments/{id}           one result (?format=text|json|csv)
-//	GET /v1/experiments/all            every result
-//	GET /healthz                       liveness probe
-//	GET /metrics                       request/cache/latency counters
+//	GET  /v1/experiments               index with paper-artifact metadata
+//	GET  /v1/experiments/{id}          one result (?format=text|json|csv)
+//	GET  /v1/experiments/all           every result
+//	POST /v1/scenarios                 run a declarative custom scenario
+//	GET  /healthz                      liveness probe
+//	GET  /metrics                      request/cache/latency counters
+//
+// POST /v1/scenarios takes a JSON scenario spec (model, systems with
+// Table-1 overrides, metrics, optional sweep — see EXPERIMENTS.md).
+// Results are cached by the spec's content fingerprint and served with a
+// strong ETag derived from it, so identical specs revalidate with
+// If-None-Match → 304.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
 // accepting, in-flight requests drain, then the process exits.
@@ -57,6 +65,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	addr := fs.String("addr", ":8344", "listen address")
 	parallel := fs.Int("parallel", 1, "experiments the Runner may execute concurrently (0 = GOMAXPROCS)")
 	maxConcurrent := fs.Int("max-concurrent", 4, "cold experiment computations in flight at once (0 = unbounded)")
+	maxScenarios := fs.Int("max-scenarios", 2, "scenario computations in flight at once (0 = unbounded)")
 	warm := fs.Bool("warm", false, "compute every experiment before accepting traffic")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
@@ -92,7 +101,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		tensortee.WithParallelism(*parallel),
 		tensortee.WithCalibrationCache(true),
 	)
-	srv := server.New(server.Config{Runner: runner, MaxConcurrent: *maxConcurrent})
+	srv := server.New(server.Config{
+		Runner:                 runner,
+		MaxConcurrent:          *maxConcurrent,
+		MaxConcurrentScenarios: *maxScenarios,
+	})
 
 	if *warm {
 		fmt.Fprintln(stdout, "warming: computing all experiments...")

@@ -163,6 +163,33 @@ func TestDaemonDrainsInFlightComputation(t *testing.T) {
 	}
 }
 
+// TestDaemonServesScenarios pins the POST /v1/scenarios route through the
+// real daemon, including the -max-scenarios flag parsing.
+func TestDaemonServesScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario computation calibrates a system")
+	}
+	base, _, _, _ := startDaemon(t, "-max-scenarios", "1")
+	spec := `{"name": "daemon-smoke",
+	          "model": {"layers": 1, "hidden": 128, "heads": 2, "batch": 1, "seqlen": 64},
+	          "systems": [{"kind": "non-secure"}], "metrics": ["total"]}`
+	resp, err := http.Post(base+"/v1/scenarios", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d (%s)", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"id": "scenario:daemon-smoke"`) {
+		t.Errorf("body missing scenario id:\n%.300s", body)
+	}
+	if etag := resp.Header.Get("ETag"); etag == "" {
+		t.Error("missing ETag on scenario response")
+	}
+}
+
 func TestDaemonBadFlag(t *testing.T) {
 	var out, errBuf bytes.Buffer
 	if code := run(context.Background(), []string{"-no-such-flag"}, &out, &errBuf); code != 2 {

@@ -8,8 +8,15 @@
 //	tensorteesim -exp all                   regenerate everything
 //	tensorteesim -exp all -parallel 4       ... on 4 workers, shared calibration
 //	tensorteesim -exp fig16 -json           emit typed JSON
+//	tensorteesim -scenario spec.json        run a declarative custom scenario
+//	tensorteesim -scenario -                ... reading the spec from stdin
 //	tensorteesim -step GPT2-M               simulate one training step on all systems
 //	tensorteesim -models                    list workload models
+//
+// A scenario spec names a workload model (zoo name or custom dims), a set
+// of systems with Table-1 overrides, a metric set, and an optional sweep
+// axis — see the "Custom scenarios" section of EXPERIMENTS.md and
+// examples/scenario for the JSON shape.
 package main
 
 import (
@@ -28,17 +35,18 @@ import (
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+	os.Exit(run(ctx, os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
 
 // run is the testable body of main: parse args, dispatch, and return the
-// process exit code. All output goes through stdout/stderr so tests can
-// capture it.
-func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+// process exit code. All I/O goes through stdin/stdout/stderr so tests
+// can drive it.
+func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tensorteesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	exp := fs.String("exp", "", "experiment id to regenerate (or 'all')")
+	scenarioPath := fs.String("scenario", "", "run a custom scenario from a JSON spec file ('-' = stdin)")
 	step := fs.String("step", "", "simulate one training step for the named model")
 	models := fs.Bool("models", false, "list workload models and exit")
 	jsonOut := fs.Bool("json", false, "emit experiment results as JSON")
@@ -97,6 +105,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if err := emit(stdout, stderr, res, *jsonOut); err != nil {
 			return 1
 		}
+	case *scenarioPath != "":
+		res, err := runScenario(ctx, runner, *scenarioPath, stdin)
+		if err != nil {
+			fmt.Fprintln(stderr, fmt.Errorf("scenario: %w", err))
+			return 1
+		}
+		if err := emit(stdout, stderr, res, *jsonOut); err != nil {
+			return 1
+		}
 	case *step != "":
 		if err := runStep(stdout, *step); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -122,6 +139,28 @@ func emit(stdout, stderr io.Writer, res *tensortee.Result, jsonOut bool) error {
 	fmt.Fprint(stdout, res.Text())
 	fmt.Fprintf(stdout, "[%s regenerated in %v]\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
 	return nil
+}
+
+// runScenario decodes a spec from the file (or stdin with "-") and runs
+// it through the shared Runner, so registry experiments and scenarios in
+// one invocation share calibrated systems.
+func runScenario(ctx context.Context, runner *tensortee.Runner, path string, stdin io.Reader) (*tensortee.Result, error) {
+	src := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		src = f
+	}
+	var spec tensortee.Scenario
+	dec := json.NewDecoder(src)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("decoding spec: %w", err)
+	}
+	return runner.RunScenario(ctx, spec)
 }
 
 func runStep(stdout io.Writer, model string) error {

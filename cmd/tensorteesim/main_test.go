@@ -4,17 +4,25 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"tensortee"
 )
 
-// runCLI invokes run with captured output.
+// runCLI invokes run with captured output and an empty stdin.
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
 	t.Helper()
+	return runCLIStdin(t, "", args...)
+}
+
+// runCLIStdin invokes run with captured output and the given stdin.
+func runCLIStdin(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
 	var out, errBuf bytes.Buffer
-	code = run(context.Background(), args, &out, &errBuf)
+	code = run(context.Background(), args, strings.NewReader(stdin), &out, &errBuf)
 	return code, out.String(), errBuf.String()
 }
 
@@ -88,6 +96,77 @@ func TestExpAllParallel(t *testing.T) {
 	}
 	if !strings.Contains(stderr, "14 experiments regenerated") {
 		t.Errorf("summary line missing from stderr: %s", stderr)
+	}
+}
+
+// cliSpec is a cheap scenario (one mode-off calibration).
+const cliSpec = `{
+  "name": "cli-smoke",
+  "model": {"layers": 1, "hidden": 128, "heads": 2, "batch": 1, "seqlen": 64},
+  "systems": [{"kind": "non-secure"}],
+  "metrics": ["total", "npu"]
+}`
+
+func TestScenarioFromFile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario calibrates a system")
+	}
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(cliSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCLI(t, "-scenario", path)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(out, "=== scenario:cli-smoke:") {
+		t.Errorf("output missing scenario header:\n%s", out)
+	}
+	if !strings.Contains(out, "total (s)") || !strings.Contains(out, "npu (s)") {
+		t.Errorf("output missing metric columns:\n%s", out)
+	}
+}
+
+func TestScenarioFromStdinJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario calibrates a system")
+	}
+	code, out, stderr := runCLIStdin(t, cliSpec, "-scenario", "-", "-json")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var res struct {
+		ID     string `json:"id"`
+		Tables []any  `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if res.ID != "scenario:cli-smoke" || len(res.Tables) != 1 {
+		t.Errorf("decoded result = %+v", res)
+	}
+}
+
+func TestScenarioErrors(t *testing.T) {
+	// Unknown model: rejected before any simulation, named in the error.
+	code, _, stderr := runCLIStdin(t,
+		`{"model": {"name": "GPT-9000"}, "systems": [{"kind": "tensortee"}]}`,
+		"-scenario", "-")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown model") || !strings.Contains(stderr, "GPT-9000") {
+		t.Errorf("error does not name the unknown model: %s", stderr)
+	}
+	// Malformed JSON.
+	code, _, stderr = runCLIStdin(t, `{"model":`, "-scenario", "-")
+	if code != 1 || !strings.Contains(stderr, "decoding spec") {
+		t.Errorf("malformed spec: exit = %d, stderr = %s", code, stderr)
+	}
+	// Missing file.
+	code, _, stderr = runCLI(t, "-scenario", filepath.Join(t.TempDir(), "nope.json"))
+	if code != 1 || !strings.Contains(stderr, "nope.json") {
+		t.Errorf("missing file: exit = %d, stderr = %s", code, stderr)
 	}
 }
 

@@ -54,7 +54,24 @@ type CPU struct {
 	MetaCacheWays int
 	AESLatCycles  int // 40-cycle 128-bit AES
 	MACLatCycles  int // 40-cycle MAC
+	// ProtectedBytes fixes the MEE protected-region span assumed during
+	// CPU calibration. 0 (the default) sizes the region to the calibration
+	// workload; larger values deepen the Merkle tree and grow the VN/MAC
+	// metadata footprint the metadata cache contends for. Values below
+	// MinProtectedBytes are rejected: the calibration window would no
+	// longer fit and the measured cost-per-byte would be meaningless.
+	ProtectedBytes int64
 }
+
+// MinProtectedBytes is the smallest explicit CPU.ProtectedBytes a
+// configuration may request: the calibration working set (a 2M-element
+// w/g/m/v Adam window, 32 MB) plus headroom for its off-chip metadata.
+const MinProtectedBytes = 64 << 20
+
+// MaxProtectedBytes bounds explicit CPU.ProtectedBytes: the simulated
+// metadata layout is allocated densely per line, so multi-GB regions would
+// cost real host memory proportional to the span.
+const MaxProtectedBytes = 1 << 30
 
 // NPU describes the accelerator (Table 1, "NPU Configuration").
 type NPU struct {
@@ -226,6 +243,14 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: Protection.MACGranBytes %d below line size %d", c.Protection.MACGranBytes, c.CPU.LineBytes)
 	case c.Protection.MetaTableSize <= 0:
 		return fmt.Errorf("config: Protection.MetaTableSize must be positive, got %d", c.Protection.MetaTableSize)
+	case c.CPU.MetaCacheSize > 0 && c.CPU.MetaCacheWays > 0 && c.CPU.MetaCacheSize < c.CPU.MetaCacheWays*c.CPU.LineBytes:
+		return fmt.Errorf("config: CPU.MetaCacheSize %d below one set (%d ways x %d B lines)", c.CPU.MetaCacheSize, c.CPU.MetaCacheWays, c.CPU.LineBytes)
+	case c.CPU.ProtectedBytes < 0:
+		return fmt.Errorf("config: CPU.ProtectedBytes must be non-negative, got %d", c.CPU.ProtectedBytes)
+	case c.CPU.ProtectedBytes != 0 && c.CPU.ProtectedBytes < MinProtectedBytes:
+		return fmt.Errorf("config: CPU.ProtectedBytes %d below the %d-byte calibration window", c.CPU.ProtectedBytes, int64(MinProtectedBytes))
+	case c.CPU.ProtectedBytes > MaxProtectedBytes:
+		return fmt.Errorf("config: CPU.ProtectedBytes %d above the %d-byte simulation bound", c.CPU.ProtectedBytes, int64(MaxProtectedBytes))
 	}
 	if c.System == NonSecure && (c.Protection.DelayedVerification || c.Protection.TensorWiseCPU || c.Protection.DirectTransfer) {
 		return fmt.Errorf("config: NonSecure system must not enable protection features")

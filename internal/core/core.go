@@ -64,9 +64,20 @@ const SampledElems = 1 << 21
 // Adam sweep: read w,g,m,v and write back w,m,v.
 const adamTrafficBytesPerElem = 28
 
-// NewSystem builds and calibrates a system of the given kind.
+// NewSystem builds and calibrates a system of the given kind with the
+// Table-1 default configuration.
 func NewSystem(kind config.SystemKind) (*System, error) {
-	cfg := config.Default(kind)
+	return NewSystemFromConfig(config.Default(kind))
+}
+
+// NewSystemFromConfig builds and calibrates a system from an explicit
+// configuration — the entry point for custom scenarios that override
+// Table-1 knobs (metadata-cache size, DRAM channels, link bandwidth, ...).
+// The protection behavior (MEE mode, NPU MAC scheme, transfer protocol) is
+// derived from the Protection flags, not from the SystemKind label, so a
+// config may mix, say, the SGX-like CPU MEE with the direct transfer
+// protocol.
+func NewSystemFromConfig(cfg config.Config) (*System, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -75,26 +86,35 @@ func NewSystem(kind config.SystemKind) (*System, error) {
 	return s, nil
 }
 
-// cpuMode maps the system kind to the MEE mode.
+// cpuMode derives the MEE mode from the protection configuration: no
+// protection at all for non-secure systems, the tensor-granularity path
+// when TenAnalyzer runs in the memory controller, the SGX-like
+// per-cacheline path otherwise. For the three Table-1 defaults this maps
+// exactly to the historical kind-based selection.
 func (s *System) cpuMode() mee.Mode {
-	switch s.Cfg.System {
-	case config.NonSecure:
+	switch {
+	case !s.Cfg.Secure():
 		return mee.ModeOff
-	case config.BaselineSGXMGX:
-		return mee.ModeSGX
-	default:
+	case s.Cfg.Protection.TensorWiseCPU:
 		return mee.ModeTensor
+	default:
+		return mee.ModeSGX
 	}
 }
 
-// npuScheme maps the system kind to the NPU MAC scheme.
+// npuScheme derives the NPU MAC scheme and granularity from the protection
+// configuration: delayed tensor-granularity verification when enabled,
+// else cacheline MACs at the configured granularity (coarse grouping when
+// the granularity exceeds a line).
 func (s *System) npuScheme() (npumac.Scheme, int) {
-	switch s.Cfg.System {
-	case config.TensorTEE:
-		return npumac.SchemeTensorDelayed, 64
+	gran := s.Cfg.Protection.MACGranBytes
+	switch {
+	case s.Cfg.Protection.DelayedVerification:
+		return npumac.SchemeTensorDelayed, gran
+	case gran > s.Cfg.NPU.LineBytes:
+		return npumac.SchemeCoarse, gran
 	default:
-		// MGX-like baseline: cacheline-granularity MACs.
-		return npumac.SchemeCacheline, 64
+		return npumac.SchemeCacheline, gran
 	}
 }
 
@@ -105,6 +125,13 @@ func (s *System) calibrateCPU() {
 	arena := tensor.NewArena(0, 64)
 	quads := []trace.AdamTensors{trace.NewAdamTensors(arena, "calib", SampledElems)}
 	lines := int(arena.Next()/64) + 64
+	// An explicit protected-region span deepens the Merkle tree and grows
+	// the metadata footprint beyond what the calibration window implies.
+	if pb := s.Cfg.CPU.ProtectedBytes; pb > 0 {
+		if rl := int(pb / int64(s.Cfg.CPU.LineBytes)); rl > lines {
+			lines = rl
+		}
+	}
 
 	csim := cpusim.New(s.Cfg, cpusim.Options{Mode: s.cpuMode(), DataLines: lines})
 	mk := func() []trace.Stream {
@@ -163,19 +190,19 @@ func (s *System) TrainStep(m workload.Model) StepBreakdown {
 	b.NPU = fwd + bwd
 	b.CPU = cpu
 
-	switch s.Cfg.System {
-	case config.NonSecure:
+	switch {
+	case !s.Cfg.Secure():
 		b.CommG = comm.Visible(s.Link.NonSecure(gradBytes), bwd, true)
 		b.CommW = comm.Visible(s.Link.NonSecure(weightBytes), 0, false)
-	case config.BaselineSGXMGX:
-		b.CommG = comm.Visible(s.Link.StagedSecure(gradBytes), 0, false)
-		b.CommW = comm.Visible(s.Link.StagedSecure(weightBytes), 0, false)
-	case config.TensorTEE:
+	case s.Cfg.Protection.DirectTransfer:
 		// Same schedule as Non-Secure (gradients overlap backward, the
 		// weight stage is sequential): the protocol removes the crypto
 		// passes, it does not change the ZeRO-Offload schedule.
 		b.CommG = comm.Visible(s.Link.Direct(gradBytes), bwd, true)
 		b.CommW = comm.Visible(s.Link.Direct(weightBytes), 0, false)
+	default:
+		b.CommG = comm.Visible(s.Link.StagedSecure(gradBytes), 0, false)
+		b.CommW = comm.Visible(s.Link.StagedSecure(weightBytes), 0, false)
 	}
 	return b
 }
@@ -184,13 +211,13 @@ func (s *System) TrainStep(m workload.Model) StepBreakdown {
 // transfer under this system's protocol.
 func (s *System) GradTransferBreakdown(m workload.Model) comm.Breakdown {
 	gradBytes, _ := m.CommBytes()
-	switch s.Cfg.System {
-	case config.BaselineSGXMGX:
-		return s.Link.StagedSecure(gradBytes)
-	case config.TensorTEE:
+	switch {
+	case !s.Cfg.Secure():
+		return s.Link.NonSecure(gradBytes)
+	case s.Cfg.Protection.DirectTransfer:
 		return s.Link.Direct(gradBytes)
 	default:
-		return s.Link.NonSecure(gradBytes)
+		return s.Link.StagedSecure(gradBytes)
 	}
 }
 

@@ -146,7 +146,7 @@ func Fig3(_ *Env) (*Report, error) {
 	threadPoints := []int{1, 2, 4, 8}
 	nsTimes := make([]sim.Dur, len(threadPoints))
 	sgxTimes := make([]sim.Dur, len(threadPoints))
-	sweep(2*len(threadPoints), func(j int) {
+	Sweep(2*len(threadPoints), func(j int) {
 		threads := threadPoints[j/2]
 		if j%2 == 0 {
 			ns := newCPUAdam(mee.ModeOff, fig3Elems)
@@ -230,7 +230,7 @@ func Fig19(_ *Env) (*Report, error) {
 		tte                     []sim.Dur // one sample per entry of iters
 	}
 	blocks := make([]fig19Block, len(threadPoints))
-	sweep(4*len(threadPoints), func(j int) {
+	Sweep(4*len(threadPoints), func(j int) {
 		b, chain := &blocks[j/4], j%4
 		threads := threadPoints[j/4]
 		switch chain {

@@ -19,13 +19,13 @@ import (
 	"tensortee/internal/stats"
 )
 
-// sweep runs n independent sweep points on a bounded worker pool
+// Sweep runs n independent sweep points on a bounded worker pool
 // (min(n, GOMAXPROCS) goroutines) and waits for all of them. Generators
-// use it to fan out thread-count and config points over per-point Sim
-// instances; each job writes its result into its own slot, and the caller
-// assembles rows in the original order afterwards, so the rendered output
-// is identical to the serial sweep.
-func sweep(n int, job func(i int)) {
+// and the scenario engine use it to fan out thread-count and config
+// points over per-point Sim instances; each job writes its result into
+// its own slot, and the caller assembles rows in the original order
+// afterwards, so the rendered output is identical to the serial sweep.
+func Sweep(n int, job func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
@@ -106,6 +106,10 @@ type SystemProvider func(kind config.SystemKind) (*core.System, error)
 type Env struct {
 	// Systems supplies calibrated systems; nil means core.NewSystem.
 	Systems SystemProvider
+	// Configs supplies calibrated systems for explicit (possibly
+	// non-default) configurations — the scenario engine's entry point;
+	// nil means core.NewSystemFromConfig, uncached.
+	Configs func(cfg config.Config) (*core.System, error)
 }
 
 // System resolves a calibrated system through the provider (or directly).
@@ -114,6 +118,15 @@ func (e *Env) System(kind config.SystemKind) (*core.System, error) {
 		return e.Systems(kind)
 	}
 	return core.NewSystem(kind)
+}
+
+// SystemFromConfig resolves a calibrated system for an explicit
+// configuration through the provider (or directly, uncached).
+func (e *Env) SystemFromConfig(cfg config.Config) (*core.System, error) {
+	if e != nil && e.Configs != nil {
+		return e.Configs(cfg)
+	}
+	return core.NewSystemFromConfig(cfg)
 }
 
 // Generator produces a report within an environment.

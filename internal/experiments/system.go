@@ -24,7 +24,7 @@ func threeSystems(env *Env) (ns, base, tte *core.System, err error) {
 	kinds := [3]config.SystemKind{config.NonSecure, config.BaselineSGXMGX, config.TensorTEE}
 	var sys [3]*core.System
 	var errs [3]error
-	sweep(3, func(i int) { sys[i], errs[i] = env.System(kinds[i]) })
+	Sweep(3, func(i int) { sys[i], errs[i] = env.System(kinds[i]) })
 	for _, e := range errs {
 		if e != nil {
 			return nil, nil, nil, e

@@ -1,0 +1,126 @@
+package scenario
+
+import (
+	"tensortee/internal/core"
+	"tensortee/internal/experiments"
+	"tensortee/internal/stats"
+)
+
+// metricColumn maps a metric name to its table column header.
+func metricColumn(m string) string {
+	switch m {
+	case "total":
+		return "total (s)"
+	case "npu":
+		return "npu (s)"
+	case "cpu":
+		return "cpu (s)"
+	case "comm_w":
+		return "commW (s)"
+	case "comm_g":
+		return "commG (s)"
+	case "comm":
+		return "comm (s)"
+	default:
+		return "speedup"
+	}
+}
+
+// Run compiles and executes the spec under env, producing the same Report
+// shape the registry experiments emit (so the Runner wraps it into the
+// public typed Result unchanged). Systems resolve through
+// env.SystemFromConfig, so a caching environment calibrates each distinct
+// configuration once and shares it with every other scenario — and with
+// the registry experiments, when the configuration is a Table-1 default.
+func Run(env *experiments.Env, spec Spec) (*experiments.Report, error) {
+	plan, err := Compile(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		b   core.StepBreakdown
+		err error
+	}
+	nSys := len(plan.Spec.Systems)
+	cells := make([]cell, len(plan.Points)*nSys)
+	experiments.Sweep(len(cells), func(i int) {
+		pt, si := plan.Points[i/nSys], i%nSys
+		sys, err := env.SystemFromConfig(pt.Configs[si])
+		if err != nil {
+			cells[i].err = err
+			return
+		}
+		cells[i].b = sys.TrainStep(pt.Model)
+	})
+	for _, c := range cells {
+		if c.err != nil {
+			return nil, c.err
+		}
+	}
+
+	r := &experiments.Report{
+		ID:      "scenario:" + plan.Spec.Name,
+		Title:   "Custom scenario: " + plan.Spec.Name,
+		Scalars: map[string]float64{},
+	}
+	cols := []string{"point", "model", "system"}
+	for _, m := range plan.Metrics {
+		cols = append(cols, metricColumn(m))
+	}
+	tb := stats.NewTable("one ZeRO-Offload training step", cols...)
+
+	var lastSpeedups []float64
+	for pi, pt := range plan.Points {
+		first := cells[pi*nSys].b.Total()
+		for si, label := range plan.SystemLabels {
+			b := cells[pi*nSys+si].b
+			row := []any{pt.Label, pt.Model.Name, label}
+			for _, m := range plan.Metrics {
+				var v float64
+				switch m {
+				case "total":
+					v = b.Total().Seconds()
+				case "npu":
+					v = b.NPU.Seconds()
+				case "cpu":
+					v = b.CPU.Seconds()
+				case "comm_w":
+					v = b.CommW.Seconds()
+				case "comm_g":
+					v = b.CommG.Seconds()
+				case "comm":
+					v = (b.CommW + b.CommG).Seconds()
+				case "speedup":
+					// Ratio of the first listed system's total to this
+					// one's, computed on the raw simulated durations (the
+					// paper's convention with the baseline listed first).
+					v = float64(first) / float64(b.Total())
+				}
+				row = append(row, v)
+			}
+			tb.AddRow(row...)
+			if si == nSys-1 && nSys > 1 {
+				lastSpeedups = append(lastSpeedups, float64(first)/float64(b.Total()))
+			}
+		}
+	}
+	r.Tables = append(r.Tables, tb)
+
+	r.Scalars["points"] = float64(len(plan.Points))
+	r.Scalars["systems"] = float64(nSys)
+	if len(lastSpeedups) > 0 {
+		r.Scalars["avg_speedup"] = stats.Mean(lastSpeedups)
+	}
+	if plan.Spec.Sweep != nil {
+		r.Notes = append(r.Notes, "sweep over "+plan.Spec.Sweep.Axis)
+	}
+	for _, m := range plan.Metrics {
+		if m == "speedup" {
+			r.Notes = append(r.Notes, "speedup is relative to the first listed system")
+			break
+		}
+	}
+	r.Notes = append(r.Notes, "spec fingerprint "+plan.Spec.Fingerprint())
+	return r, nil
+}

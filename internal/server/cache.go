@@ -153,6 +153,114 @@ func (s *resultStore) render(ctx context.Context, id string, f Format) (*rendere
 	return r, nil
 }
 
+// scenarioStore is the server-side cache for POST /v1/scenarios results,
+// keyed by the spec's content fingerprint (normalized, so two request
+// bodies that decode to equivalent specs share one entry). Each
+// fingerprint computes at most once (singleflight via per-entry
+// sync.Once); fills run detached from the triggering request's context
+// and hold the scenario semaphore, bounding concurrent scenario
+// computations independently of the experiment bound. Rendered
+// representations are memoized per format on top of the Result.
+type scenarioStore struct {
+	runner  *tensortee.Runner
+	sem     chan struct{} // bounds concurrent scenario fills; nil = unbounded
+	metrics *Metrics
+
+	mu      sync.Mutex
+	entries map[string]*storeEntry
+}
+
+func newScenarioStore(r *tensortee.Runner, maxConcurrent int, m *Metrics) *scenarioStore {
+	var sem chan struct{}
+	if maxConcurrent > 0 {
+		sem = make(chan struct{}, maxConcurrent)
+	}
+	return &scenarioStore{
+		runner:  r,
+		sem:     sem,
+		metrics: m,
+		entries: make(map[string]*storeEntry),
+	}
+}
+
+// maxScenarioEntries bounds the scenario result cache: the experiment
+// store's key space is the 14 registry ids, but scenario fingerprints are
+// attacker-controlled, so retention must not grow with distinct specs.
+// At the cap, completed entries are dropped wholesale (the cache is
+// correctness-neutral; replays recompute) while in-flight fills are kept
+// so their waiters and singleflight semantics are undisturbed.
+const maxScenarioEntries = 256
+
+func (s *scenarioStore) entry(fp string) *storeEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[fp]
+	if !ok {
+		if len(s.entries) >= maxScenarioEntries {
+			for k, old := range s.entries {
+				select {
+				case <-old.done:
+					delete(s.entries, k)
+				default: // still filling; keep
+				}
+			}
+		}
+		e = &storeEntry{done: make(chan struct{}), renders: make(map[Format]*rendered)}
+		s.entries[fp] = e
+	}
+	return e
+}
+
+// render returns the cached wire representation of the scenario in the
+// given format, computing the scenario on first request for its
+// fingerprint. The ETag is keyed on the spec fingerprint (plus format),
+// so revalidation works across restarts for identical specs.
+func (s *scenarioStore) render(ctx context.Context, fp string, spec tensortee.Scenario, f Format) (*rendered, error) {
+	e := s.entry(fp)
+	select {
+	case <-e.done:
+		s.metrics.ScenarioCacheHit()
+	default:
+		e.once.Do(func() {
+			go func() {
+				defer close(e.done)
+				if s.sem != nil {
+					s.sem <- struct{}{} // queue cold scenario computations
+					defer func() { <-s.sem }()
+				}
+				e.res, e.err = s.runner.RunScenario(context.WithoutCancel(ctx), spec)
+				if e.err == nil {
+					s.metrics.ScenarioRun()
+				}
+			}()
+		})
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
+	if r, ok := e.renders[f]; ok {
+		return r, nil
+	}
+	body, err := renderResult(e.res, f)
+	if err != nil {
+		return nil, err
+	}
+	r := &rendered{
+		body:        body,
+		etag:        fmt.Sprintf("%q", fp+"-scenario-"+string(f)),
+		contentType: f.contentType(),
+	}
+	e.renders[f] = r
+	return r, nil
+}
+
 // fingerprintStrings derives one stable hex digest from a list of tags
 // (used to build the /all ETag out of the member ETags).
 func fingerprintStrings(ss []string) string {

@@ -12,11 +12,13 @@ import (
 // the Prometheus text exposition format. All methods are safe for
 // concurrent use.
 type Metrics struct {
-	requests    atomic.Int64 // every request the daemon saw
-	inFlight    atomic.Int64 // requests currently being served
-	cacheHits   atomic.Int64 // experiment lookups served from memory
-	notModified atomic.Int64 // 304 responses to If-None-Match revalidations
-	errors      atomic.Int64 // 4xx/5xx responses
+	requests     atomic.Int64 // every request the daemon saw
+	inFlight     atomic.Int64 // requests currently being served
+	cacheHits    atomic.Int64 // experiment lookups served from memory
+	notModified  atomic.Int64 // 304 responses to If-None-Match revalidations
+	errors       atomic.Int64 // 4xx/5xx responses
+	scenarioRuns atomic.Int64 // scenario specs actually computed
+	scenarioHits atomic.Int64 // scenario lookups served from memory
 
 	mu  sync.Mutex
 	exp map[string]*experimentMetrics
@@ -53,6 +55,13 @@ func (m *Metrics) NotModified() { m.notModified.Add(1) }
 // Error counts a 4xx/5xx response.
 func (m *Metrics) Error() { m.errors.Add(1) }
 
+// ScenarioRun counts one actual computation of a scenario spec.
+func (m *Metrics) ScenarioRun() { m.scenarioRuns.Add(1) }
+
+// ScenarioCacheHit counts a scenario lookup served from the in-memory
+// scenario store without recomputation.
+func (m *Metrics) ScenarioCacheHit() { m.scenarioHits.Add(1) }
+
 // ExperimentRun records one actual computation of an experiment.
 func (m *Metrics) ExperimentRun(id string, seconds float64) {
 	m.mu.Lock()
@@ -80,6 +89,10 @@ func (m *Metrics) Render() string {
 	fmt.Fprintf(&b, "tensorteed_not_modified_total %d\n", m.notModified.Load())
 	fmt.Fprintf(&b, "# TYPE tensorteed_errors_total counter\n")
 	fmt.Fprintf(&b, "tensorteed_errors_total %d\n", m.errors.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_scenario_runs_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_scenario_runs_total %d\n", m.scenarioRuns.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_scenario_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_scenario_cache_hits_total %d\n", m.scenarioHits.Load())
 
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.exp))

@@ -32,15 +32,21 @@ type Config struct {
 	// cold requests queues behind the bound instead of thrashing system
 	// calibration. 0 means unbounded.
 	MaxConcurrent int
+	// MaxConcurrentScenarios bounds concurrent scenario computations
+	// (POST /v1/scenarios). Scenarios calibrate fresh systems per distinct
+	// override set, so an unbounded burst of cold specs is the daemon's
+	// most expensive request shape. 0 means unbounded.
+	MaxConcurrentScenarios int
 }
 
 // Server is the tensorteed HTTP API. Build with New, mount with Handler.
 type Server struct {
-	store   *resultStore
-	metrics *Metrics
-	index   []tensortee.ExperimentInfo
-	known   map[string]bool
-	mux     *http.ServeMux
+	store     *resultStore
+	scenarios *scenarioStore
+	metrics   *Metrics
+	index     []tensortee.ExperimentInfo
+	known     map[string]bool
+	mux       *http.ServeMux
 }
 
 // New builds a Server around the runner.
@@ -51,10 +57,11 @@ func New(cfg Config) *Server {
 	}
 	m := NewMetrics()
 	s := &Server{
-		store:   newResultStore(r, cfg.MaxConcurrent, m),
-		metrics: m,
-		index:   tensortee.Experiments(),
-		known:   make(map[string]bool),
+		store:     newResultStore(r, cfg.MaxConcurrent, m),
+		scenarios: newScenarioStore(r, cfg.MaxConcurrentScenarios, m),
+		metrics:   m,
+		index:     tensortee.Experiments(),
+		known:     make(map[string]bool),
 	}
 	for _, e := range s.index {
 		s.known[e.ID] = true
@@ -66,6 +73,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/experiments/{$}", s.handleIndex)
 	mux.HandleFunc("GET /v1/experiments/all", s.handleAll)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
+	mux.HandleFunc("POST /v1/scenarios", s.handleScenario)
 	s.mux = mux
 	return s
 }
@@ -188,6 +196,51 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 		tags = append(tags, o.rd.etag)
 	}
 	s.serve(w, r, combine(bodies, tags, f))
+}
+
+// maxScenarioBody bounds POST /v1/scenarios request bodies: specs are a
+// few hundred bytes; anything near the cap is hostile or confused.
+const maxScenarioBody = 1 << 20
+
+// handleScenario runs a declarative custom scenario:
+//
+//	POST /v1/scenarios
+//	{"model": {"name": "LLAMA2-7B"}, "systems": [{"kind": "tensortee"}],
+//	 "sweep": {"axis": "meta_cache_kb", "values": [64, 128, 256]}}
+//
+// Results are cached by the spec's normalized content fingerprint — two
+// bodies that decode to equivalent specs share one computation — and
+// served with a strong ETag derived from that fingerprint, so clients
+// replaying a spec can revalidate with If-None-Match and get 304 without
+// a body. Invalid specs (unknown model, bad sweep bounds,
+// calibration-breaking overrides) answer 400 with the validation error.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	f, err := negotiate(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var spec tensortee.Scenario
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScenarioBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		http.Error(w, fmt.Sprintf("decoding scenario spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rd, err := s.scenarios.render(r.Context(), spec.Fingerprint(), spec, f)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, tensortee.ErrInvalidScenario) {
+			status = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	s.serve(w, r, rd)
 }
 
 // combine aggregates per-experiment representations into the /all body:

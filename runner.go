@@ -2,6 +2,9 @@ package tensortee
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,16 +14,21 @@ import (
 	"tensortee/internal/config"
 	"tensortee/internal/core"
 	"tensortee/internal/experiments"
+	"tensortee/internal/scenario"
 )
 
-// systemCache shares calibrated systems across experiments and goroutines.
-// Calibration (a short CPU-simulation sample) is the expensive part of
-// building a system; with the cache each SystemKind calibrates exactly
-// once per Runner instead of once per experiment. Concurrent requests for
-// the same kind block on a single calibration (per-entry sync.Once).
+// systemCache shares calibrated systems across experiments, scenarios and
+// goroutines. Calibration (a short CPU-simulation sample) is the expensive
+// part of building a system; with the cache each distinct configuration
+// calibrates exactly once per Runner instead of once per experiment.
+// Entries are keyed by a content fingerprint of the full configuration, so
+// a scenario whose overrides resolve to a Table-1 default shares the
+// registry experiments' calibration, while every distinct override set
+// gets (and keeps) its own. Concurrent requests for the same configuration
+// block on a single calibration (per-entry sync.Once).
 type systemCache struct {
 	mu      sync.Mutex
-	entries map[config.SystemKind]*cacheEntry
+	entries map[string]*cacheEntry
 }
 
 type cacheEntry struct {
@@ -30,18 +38,46 @@ type cacheEntry struct {
 }
 
 func newSystemCache() *systemCache {
-	return &systemCache{entries: make(map[config.SystemKind]*cacheEntry)}
+	return &systemCache{entries: make(map[string]*cacheEntry)}
 }
 
-func (c *systemCache) get(kind config.SystemKind) (*core.System, error) {
+// configFingerprint derives the cache key from the complete configuration.
+// config.Config is plain data (value fields only), so its JSON form is a
+// stable content identity.
+func configFingerprint(cfg config.Config) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		// Cannot happen for plain-data configs; degrade to a shared key
+		// rather than panicking.
+		return "unmarshalable:" + err.Error()
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:16])
+}
+
+// maxCachedSystems bounds the calibrated-system cache. Registry
+// experiments only ever need the three Table-1 defaults; the rest of the
+// budget absorbs scenario override sets. A calibrated system with a large
+// explicit protected region holds a dense metadata layout, so unbounded
+// retention would let a stream of distinct scenario configs exhaust
+// memory. At the cap the whole map is dropped (wholesale, not LRU — the
+// cache is correctness-neutral and recalibration is ~a second): in-flight
+// callers keep their entry pointers and finish normally.
+const maxCachedSystems = 32
+
+func (c *systemCache) get(cfg config.Config) (*core.System, error) {
+	key := configFingerprint(cfg)
 	c.mu.Lock()
-	e, ok := c.entries[kind]
+	e, ok := c.entries[key]
 	if !ok {
+		if len(c.entries) >= maxCachedSystems {
+			c.entries = make(map[string]*cacheEntry)
+		}
 		e = &cacheEntry{}
-		c.entries[kind] = e
+		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.sys, e.err = core.NewSystem(kind) })
+	e.once.Do(func() { e.sys, e.err = core.NewSystemFromConfig(cfg) })
 	return e.sys, e.err
 }
 
@@ -215,7 +251,12 @@ func (r *Runner) env() *experiments.Env {
 	if r.cache == nil {
 		return nil // on-demand, uncached systems
 	}
-	return &experiments.Env{Systems: r.cache.get}
+	return &experiments.Env{
+		Systems: func(kind config.SystemKind) (*core.System, error) {
+			return r.cache.get(config.Default(kind))
+		},
+		Configs: r.cache.get,
+	}
 }
 
 // warm calibrates the pre-declared systems, honoring ctx between kinds.
@@ -250,6 +291,28 @@ func (r *Runner) Run(ctx context.Context, id string) (*Result, error) {
 	}
 	start := time.Now()
 	rep, err := experiments.RunWith(r.env(), id)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(rep, time.Since(start)), nil
+}
+
+// RunScenario compiles and runs a declarative custom scenario (see the
+// Scenario type): a workload model, a set of systems with Table-1
+// overrides, a metric set, and an optional sweep axis, executed through
+// the same calibrated simulation pipeline as the registry experiments.
+// Calibrated systems are shared through the Runner's calibration cache,
+// keyed by the override fingerprint — two scenarios (or a scenario and a
+// registry experiment) that resolve to the same configuration calibrate
+// once. Invalid specs fail fast with errors matching ErrInvalidScenario
+// (and the specific sentinels ErrUnknownModel, ErrBadSweep,
+// ErrUnsafeOverride) before any simulation starts.
+func (r *Runner) RunScenario(ctx context.Context, spec Scenario) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rep, err := scenario.Run(r.env(), spec)
 	if err != nil {
 		return nil, err
 	}

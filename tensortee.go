@@ -40,6 +40,7 @@ import (
 	"tensortee/internal/config"
 	"tensortee/internal/core"
 	"tensortee/internal/experiments"
+	"tensortee/internal/scenario"
 	"tensortee/internal/sim"
 	"tensortee/internal/workload"
 )
@@ -187,6 +188,60 @@ func ExperimentIDs() []string {
 	}
 	return out
 }
+
+// Scenario is a declarative custom experiment: a workload model (zoo name
+// or custom transformer dims), a set of systems with structured Table-1
+// overrides, a metric set, and an optional one-axis sweep. Build one in Go
+// or decode it from JSON, then execute it with Runner.RunScenario:
+//
+//	spec := tensortee.Scenario{
+//		Model:   tensortee.ScenarioModel{Name: "LLAMA2-7B"},
+//		Systems: []tensortee.ScenarioSystem{{Kind: "sgx-mgx"}, {Kind: "tensortee"}},
+//		Sweep:   &tensortee.ScenarioSweep{Axis: "meta_cache_kb", Values: []float64{64, 128, 256}},
+//	}
+//	res, err := tensortee.NewRunner().RunScenario(ctx, spec)
+//
+// The same JSON form drives `tensorteesim -scenario spec.json` and
+// tensorteed's POST /v1/scenarios.
+type Scenario = scenario.Spec
+
+// ScenarioModel selects the scenario workload (see scenario.ModelSpec).
+type ScenarioModel = scenario.ModelSpec
+
+// ScenarioSystem is one evaluated system of a scenario.
+type ScenarioSystem = scenario.SystemSpec
+
+// ScenarioOverrides adjusts Table-1 knobs for one scenario system.
+type ScenarioOverrides = scenario.Overrides
+
+// ScenarioSweep is a scenario's one-axis parameter sweep.
+type ScenarioSweep = scenario.Sweep
+
+// Scenario validation sentinels, matchable with errors.Is. Every
+// rejection matches ErrInvalidScenario; the specific causes additionally
+// match their own sentinel.
+var (
+	// ErrInvalidScenario reports any scenario spec the engine refuses.
+	ErrInvalidScenario = scenario.ErrInvalidSpec
+	// ErrUnknownModel reports a scenario model name outside the Table-2 zoo.
+	ErrUnknownModel = scenario.ErrUnknownModel
+	// ErrBadSweep reports a malformed scenario sweep (unknown axis,
+	// zero/negative bounds, non-integral values on integer axes).
+	ErrBadSweep = scenario.ErrBadSweep
+	// ErrUnsafeOverride reports a scenario override that would invalidate
+	// system calibration (e.g. a protected region below the calibration
+	// window).
+	ErrUnsafeOverride = scenario.ErrUnsafeOverride
+	// ErrUnknownMetric reports a scenario metric name outside
+	// ScenarioMetrics().
+	ErrUnknownMetric = scenario.ErrUnknownMetric
+)
+
+// ScenarioMetrics lists the valid scenario metric names.
+func ScenarioMetrics() []string { return scenario.Metrics() }
+
+// ScenarioSweepAxes lists the valid scenario sweep axis names.
+func ScenarioSweepAxes() []string { return scenario.SweepAxes() }
 
 // RunExperiment regenerates one of the paper's tables or figures and
 // returns the rendered report.
