@@ -243,7 +243,11 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("config: Protection.MACGranBytes %d below line size %d", c.Protection.MACGranBytes, c.CPU.LineBytes)
 	case c.Protection.MetaTableSize <= 0:
 		return fmt.Errorf("config: Protection.MetaTableSize must be positive, got %d", c.Protection.MetaTableSize)
-	case c.CPU.MetaCacheSize > 0 && c.CPU.MetaCacheWays > 0 && c.CPU.MetaCacheSize < c.CPU.MetaCacheWays*c.CPU.LineBytes:
+	case c.CPU.MetaCacheSize <= 0:
+		return fmt.Errorf("config: CPU.MetaCacheSize must be positive, got %d", c.CPU.MetaCacheSize)
+	case c.CPU.MetaCacheWays <= 0:
+		return fmt.Errorf("config: CPU.MetaCacheWays must be positive, got %d", c.CPU.MetaCacheWays)
+	case c.CPU.MetaCacheSize < c.CPU.MetaCacheWays*c.CPU.LineBytes:
 		return fmt.Errorf("config: CPU.MetaCacheSize %d below one set (%d ways x %d B lines)", c.CPU.MetaCacheSize, c.CPU.MetaCacheWays, c.CPU.LineBytes)
 	case c.CPU.ProtectedBytes < 0:
 		return fmt.Errorf("config: CPU.ProtectedBytes must be non-negative, got %d", c.CPU.ProtectedBytes)

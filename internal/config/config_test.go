@@ -109,6 +109,10 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"bad arity", func(c *Config) { c.Protection.MerkleArity = 1 }, "MerkleArity"},
 		{"gran below line", func(c *Config) { c.Protection.MACGranBytes = 32 }, "MACGran"},
 		{"no entries", func(c *Config) { c.Protection.MetaTableSize = 0 }, "MetaTable"},
+		{"zero meta cache", func(c *Config) { c.CPU.MetaCacheSize = 0 }, "MetaCacheSize"},
+		{"negative meta cache", func(c *Config) { c.CPU.MetaCacheSize = -1 << 10 }, "MetaCacheSize"},
+		{"zero meta cache ways", func(c *Config) { c.CPU.MetaCacheWays = 0 }, "MetaCacheWays"},
+		{"meta cache below one set", func(c *Config) { c.CPU.MetaCacheSize = 256 }, "MetaCacheSize"},
 	}
 	for _, tc := range cases {
 		c := Default(TensorTEE)

@@ -96,6 +96,9 @@ func Compile(s Spec) (*Plan, error) {
 	if norm.Sweep != nil {
 		points = norm.Sweep.Values
 	}
+	if n := len(points) * len(norm.Systems); n > maxPointSystems {
+		return nil, invalid(nil, "spec compiles to %d point-system runs (%d points x %d systems), max %d", n, len(points), len(norm.Systems), maxPointSystems)
+	}
 	for _, v := range points {
 		p, err := compilePoint(norm, kinds, v)
 		if err != nil {
@@ -239,20 +242,33 @@ func resolveSweep(sw *Sweep) ([]float64, error) {
 // errors that would silently invalidate the calibration sample map to
 // ErrUnsafeOverride; the rest are plain ErrInvalidSpec.
 func (o *Overrides) check(kind config.SystemKind) error {
-	for f, v := range map[string]int{
-		"meta_cache_kb": o.MetaCacheKB, "dram_channels": o.DRAMChannels,
-		"npu_aes_engines": o.NPUAESEngines, "mac_gran_bytes": o.MACGranBytes,
-		"region_mb": o.RegionMB,
+	for _, b := range []struct {
+		name     string
+		val, max int
+	}{
+		{"meta_cache_kb", o.MetaCacheKB, maxMetaCacheKB},
+		{"dram_channels", o.DRAMChannels, maxDRAMChannels},
+		{"npu_aes_engines", o.NPUAESEngines, maxAESEngines},
+		{"mac_gran_bytes", o.MACGranBytes, maxMACGranBytes},
 	} {
-		if v < 0 {
-			return invalid(nil, "override %s must be positive, got %d", f, v)
+		if b.val < 0 {
+			return invalid(nil, "override %s must be positive, got %d", b.name, b.val)
 		}
+		if b.val > b.max {
+			return invalid(nil, "override %s %d above the %d simulation bound", b.name, b.val, b.max)
+		}
+	}
+	if o.RegionMB < 0 {
+		return invalid(nil, "override region_mb must be positive, got %d", o.RegionMB)
 	}
 	for f, v := range map[string]float64{
 		"npu_bandwidth_gbs": o.NPUBandwidthGBs, "link_gbs": o.LinkGBs, "staging_gbs": o.StagingGBs,
 	} {
 		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
 			return invalid(nil, "override %s must be a positive finite number, got %v", f, v)
+		}
+		if v > maxBandwidthGBs {
+			return invalid(nil, "override %s %g above the %g GB/s simulation bound", f, v, float64(maxBandwidthGBs))
 		}
 	}
 	switch strings.ToLower(strings.TrimSpace(o.MEEMode)) {
@@ -269,10 +285,15 @@ func (o *Overrides) check(kind config.SystemKind) error {
 		return invalid(nil, "unknown mee_mode %q (want off, sgx or tensor)", o.MEEMode)
 	}
 	if o.RegionMB > 0 {
-		if bytes := int64(o.RegionMB) << 20; bytes < config.MinProtectedBytes {
-			return invalid(ErrUnsafeOverride, "region_mb %d is below the %d MB calibration window", o.RegionMB, config.MinProtectedBytes>>20)
-		} else if bytes > config.MaxProtectedBytes {
+		// Compare in MB, before the <<20 shift: region_mb values >= 2^44
+		// would wrap the shifted int64, and a wrapped product landing back
+		// inside the valid window would silently simulate a region far
+		// smaller than the one the result is labeled with.
+		if o.RegionMB > int(config.MaxProtectedBytes>>20) {
 			return invalid(nil, "region_mb %d above the %d MB simulation bound", o.RegionMB, config.MaxProtectedBytes>>20)
+		}
+		if int64(o.RegionMB)<<20 < config.MinProtectedBytes {
+			return invalid(ErrUnsafeOverride, "region_mb %d is below the %d MB calibration window", o.RegionMB, config.MinProtectedBytes>>20)
 		}
 	}
 	return nil
@@ -410,13 +431,33 @@ func compilePoint(norm Spec, kinds []config.SystemKind, value float64) (Point, e
 const (
 	maxSystems     = 16
 	maxSweepPoints = 64
-	maxLayers      = 10_000
-	maxHidden      = 1 << 18 // 262144
-	maxHeads       = 4096
-	maxFFN         = 1 << 21
-	maxVocab       = 4_000_000
-	maxBatch       = 65_536
-	maxSeqLen      = 1 << 20
+	// maxPointSystems caps the sweep-points x systems cross product. Each
+	// (point, system) pair with a non-default configuration is a fresh
+	// ~1 s calibration, and a scenario fill runs detached and uncancelable
+	// once started — without this cap one request could combine both
+	// per-axis maxima into 64x16 = 1024 calibrations (~17 min) that
+	// monopolize a scenario slot for the duration.
+	maxPointSystems = 256
+	maxLayers       = 10_000
+	maxHidden       = 1 << 18 // 262144
+	maxHeads        = 4096
+	maxFFN          = 1 << 21
+	maxVocab        = 4_000_000
+	maxBatch        = 65_536
+	maxSeqLen       = 1 << 20
+
+	// Override caps. The integer knobs drive real per-system allocations
+	// (the metadata-cache slab scales with meta_cache_kb, the DRAM model
+	// allocates per-channel bank state), so unbounded values would let one
+	// POST /v1/scenarios allocate arbitrary daemon memory — and
+	// meta_cache_kb values near 2^53 would overflow the <<10 shift into a
+	// zero or negative cache size. Bandwidths are rates, not allocations,
+	// but are capped anyway so scaled configs stay finite.
+	maxMetaCacheKB  = 1 << 18 // 256 MB metadata cache, 8192x Table 1
+	maxDRAMChannels = 64
+	maxAESEngines   = 1024
+	maxMACGranBytes = 1 << 20
+	maxBandwidthGBs = 1e6 // 1 PB/s
 )
 
 // checkDims bounds a fully-resolved model shape. It runs per sweep point,

@@ -3,8 +3,19 @@ package scenario
 import (
 	"tensortee/internal/core"
 	"tensortee/internal/experiments"
+	"tensortee/internal/sim"
 	"tensortee/internal/stats"
 )
+
+// speedup is baseline/total, or 0 when the simulated step rounds to a zero
+// duration (degenerate but representable configs must not emit Inf/NaN
+// into JSON rendering).
+func speedup(baseline, total sim.Dur) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(baseline) / float64(total)
+}
 
 // metricColumn maps a metric name to its table column header.
 func metricColumn(m string) string {
@@ -95,13 +106,13 @@ func Run(env *experiments.Env, spec Spec) (*experiments.Report, error) {
 					// Ratio of the first listed system's total to this
 					// one's, computed on the raw simulated durations (the
 					// paper's convention with the baseline listed first).
-					v = float64(first) / float64(b.Total())
+					v = speedup(first, b.Total())
 				}
 				row = append(row, v)
 			}
 			tb.AddRow(row...)
 			if si == nSys-1 && nSys > 1 {
-				lastSpeedups = append(lastSpeedups, float64(first)/float64(b.Total()))
+				lastSpeedups = append(lastSpeedups, speedup(first, b.Total()))
 			}
 		}
 	}

@@ -48,6 +48,29 @@ func TestValidateRejections(t *testing.T) {
 			s.Sweep = &Sweep{Axis: "region_mb", Values: []float64{16}}
 		}, ErrUnsafeOverride},
 		{"region above bound", func(s *Spec) { s.Systems[0].Overrides = &Overrides{RegionMB: 1 << 20} }, nil},
+		{"meta cache above bound", func(s *Spec) { s.Systems[0].Overrides = &Overrides{MetaCacheKB: maxMetaCacheKB + 1} }, nil},
+		{"meta cache would overflow shift", func(s *Spec) { s.Systems[0].Overrides = &Overrides{MetaCacheKB: 1 << 54} }, nil},
+		{"dram channels above bound", func(s *Spec) { s.Systems[0].Overrides = &Overrides{DRAMChannels: maxDRAMChannels + 1} }, nil},
+		{"aes engines above bound", func(s *Spec) { s.Systems[0].Overrides = &Overrides{NPUAESEngines: maxAESEngines + 1} }, nil},
+		{"mac granularity above bound", func(s *Spec) { s.Systems[0].Overrides = &Overrides{MACGranBytes: maxMACGranBytes + 1} }, nil},
+		{"bandwidth above bound", func(s *Spec) { s.Systems[0].Overrides = &Overrides{LinkGBs: 1e12} }, nil},
+		{"swept meta cache above bound", func(s *Spec) {
+			s.Sweep = &Sweep{Axis: "meta_cache_kb", Values: []float64{1e18}}
+		}, nil},
+		{"region would wrap shift into valid window", func(s *Spec) {
+			// (1<<44)+64 MB shifted <<20 wraps an int64 to exactly 64 MB.
+			s.Systems[0].Overrides = &Overrides{RegionMB: 1<<44 + 64}
+		}, nil},
+		{"point-system product above bound", func(s *Spec) {
+			for i := 1; i < maxSystems; i++ {
+				s.Systems = append(s.Systems, SystemSpec{Kind: "tensortee"})
+			}
+			vals := make([]float64, maxSweepPoints)
+			for i := range vals {
+				vals[i] = float64(i + 1)
+			}
+			s.Sweep = &Sweep{Axis: "layers", Values: vals}
+		}, nil},
 		{"mac granularity below line size", func(s *Spec) { s.Systems[0].Overrides = &Overrides{MACGranBytes: 32} }, nil},
 		{"absurd model dims", func(s *Spec) { s.Model = ModelSpec{Layers: 1_000_000_000, Hidden: 65536, Heads: 2} }, nil},
 		{"absurd swept dim", func(s *Spec) { s.Sweep = &Sweep{Axis: "hidden", Values: []float64{1 << 30}} }, nil},

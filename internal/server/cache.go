@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -70,6 +71,38 @@ type storeEntry struct {
 	renders map[Format]*rendered
 }
 
+// fill runs compute for this entry exactly once and waits for the result,
+// honoring ctx for the wait only: the computation itself runs in a
+// goroutine detached from any single request (an impatient first client
+// cannot poison the cache), queued on sem when non-nil. The fill outlives
+// its request, so a panic in compute (a validation gap reaching a
+// simulator invariant) would crash the whole daemon; it degrades to a
+// per-entry error instead. Shared by the experiment and scenario stores
+// so hardening applies to both fills.
+func (e *storeEntry) fill(ctx context.Context, sem chan struct{}, compute func(context.Context) (*tensortee.Result, error)) error {
+	e.once.Do(func() {
+		go func() {
+			defer close(e.done)
+			defer func() {
+				if p := recover(); p != nil {
+					e.err = fmt.Errorf("computation panicked: %v", p)
+				}
+			}()
+			if sem != nil {
+				sem <- struct{}{} // queue cold computations instead of thrashing calibration
+				defer func() { <-sem }()
+			}
+			e.res, e.err = compute(context.WithoutCancel(ctx))
+		}()
+	})
+	select {
+	case <-e.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 func newResultStore(r *tensortee.Runner, maxConcurrent int, m *Metrics) *resultStore {
 	var sem chan struct{}
 	if maxConcurrent > 0 {
@@ -106,25 +139,16 @@ func (s *resultStore) result(ctx context.Context, id string) (*tensortee.Result,
 		return e.res, e.err
 	default:
 	}
-	e.once.Do(func() {
-		go func() {
-			defer close(e.done)
-			if s.sem != nil {
-				s.sem <- struct{}{} // queue cold computations instead of thrashing calibration
-				defer func() { <-s.sem }()
-			}
-			e.res, e.err = s.runner.Cached(context.WithoutCancel(ctx), id)
-			if e.err == nil {
-				s.metrics.ExperimentRun(id, e.res.Elapsed.Seconds())
-			}
-		}()
-	})
-	select {
-	case <-e.done:
-		return e.res, e.err
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	if err := e.fill(ctx, s.sem, func(ctx context.Context) (*tensortee.Result, error) {
+		res, err := s.runner.Cached(ctx, id)
+		if err == nil {
+			s.metrics.ExperimentRun(id, res.Elapsed.Seconds())
+		}
+		return res, err
+	}); err != nil {
+		return nil, err
 	}
+	return e.res, e.err
 }
 
 // render returns the cached wire representation of the experiment in the
@@ -188,10 +212,20 @@ func newScenarioStore(r *tensortee.Runner, maxConcurrent int, m *Metrics) *scena
 // attacker-controlled, so retention must not grow with distinct specs.
 // At the cap, completed entries are dropped wholesale (the cache is
 // correctness-neutral; replays recompute) while in-flight fills are kept
-// so their waiters and singleflight semantics are undisturbed.
+// so their waiters and singleflight semantics are undisturbed. The cap is
+// hard: when eviction frees nothing — every slot holds an in-flight fill —
+// new fingerprints are refused instead of inserted, so neither the map nor
+// the detached fill-goroutine count can grow past the cap (fills outlive
+// the requests that started them, so without the refusal a client posting
+// distinct specs and aborting each request would leak both).
 const maxScenarioEntries = 256
 
-func (s *scenarioStore) entry(fp string) *storeEntry {
+// ErrScenarioStoreBusy reports that every scenario-cache slot holds an
+// in-flight computation; the caller should answer 503 and have the client
+// retry once some fills complete.
+var ErrScenarioStoreBusy = errors.New("all scenario computations busy; retry later")
+
+func (s *scenarioStore) entry(fp string) (*storeEntry, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.entries[fp]
@@ -204,11 +238,14 @@ func (s *scenarioStore) entry(fp string) *storeEntry {
 				default: // still filling; keep
 				}
 			}
+			if len(s.entries) >= maxScenarioEntries {
+				return nil, ErrScenarioStoreBusy
+			}
 		}
 		e = &storeEntry{done: make(chan struct{}), renders: make(map[Format]*rendered)}
 		s.entries[fp] = e
 	}
-	return e
+	return e, nil
 }
 
 // render returns the cached wire representation of the scenario in the
@@ -216,28 +253,22 @@ func (s *scenarioStore) entry(fp string) *storeEntry {
 // fingerprint. The ETag is keyed on the spec fingerprint (plus format),
 // so revalidation works across restarts for identical specs.
 func (s *scenarioStore) render(ctx context.Context, fp string, spec tensortee.Scenario, f Format) (*rendered, error) {
-	e := s.entry(fp)
+	e, err := s.entry(fp)
+	if err != nil {
+		return nil, err
+	}
 	select {
 	case <-e.done:
 		s.metrics.ScenarioCacheHit()
 	default:
-		e.once.Do(func() {
-			go func() {
-				defer close(e.done)
-				if s.sem != nil {
-					s.sem <- struct{}{} // queue cold scenario computations
-					defer func() { <-s.sem }()
-				}
-				e.res, e.err = s.runner.RunScenario(context.WithoutCancel(ctx), spec)
-				if e.err == nil {
-					s.metrics.ScenarioRun()
-				}
-			}()
-		})
-		select {
-		case <-e.done:
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if err := e.fill(ctx, s.sem, func(ctx context.Context) (*tensortee.Result, error) {
+			res, err := s.runner.RunScenario(ctx, spec)
+			if err == nil {
+				s.metrics.ScenarioRun()
+			}
+			return res, err
+		}); err != nil {
+			return nil, err
 		}
 	}
 	if e.err != nil {
@@ -254,11 +285,19 @@ func (s *scenarioStore) render(ctx context.Context, fp string, spec tensortee.Sc
 	}
 	r := &rendered{
 		body:        body,
-		etag:        fmt.Sprintf("%q", fp+"-scenario-"+string(f)),
+		etag:        scenarioETag(fp, f),
 		contentType: f.contentType(),
 	}
 	e.renders[f] = r
 	return r, nil
+}
+
+// scenarioETag is the strong validator for one scenario representation.
+// It depends only on the spec fingerprint and the format — not on the
+// computed body — so it is known before any computation and stays valid
+// across evictions and daemon restarts.
+func scenarioETag(fp string, f Format) string {
+	return fmt.Sprintf("%q", fp+"-scenario-"+string(f))
 }
 
 // fingerprintStrings derives one stable hex digest from a list of tags

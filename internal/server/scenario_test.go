@@ -1,6 +1,9 @@
 package server
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -80,7 +83,9 @@ func TestScenarioEndpointComputesAndCaches(t *testing.T) {
 		t.Errorf("variant ETag = %q, want %q", got, etag)
 	}
 
-	// If-None-Match with the spec-fingerprint ETag answers 304, no body.
+	// If-None-Match with the spec-fingerprint ETag answers 304, no body —
+	// and without touching the store (the tag is derived from the spec
+	// alone), so it does not count as a cache hit.
 	resp4, body4 := post(t, url, tinySpec, map[string]string{"If-None-Match": etag})
 	if resp4.StatusCode != http.StatusNotModified {
 		t.Errorf("revalidation status = %d, want 304", resp4.StatusCode)
@@ -89,17 +94,40 @@ func TestScenarioEndpointComputesAndCaches(t *testing.T) {
 		t.Errorf("304 carried a body: %q", body4)
 	}
 
-	// The cache behavior is observable in /metrics: one computation,
-	// several hits.
+	// The cache behavior is observable in /metrics: one computation, two
+	// hits (the replay and the variant), one revalidation.
 	_, metrics := get(t, ts.URL+"/metrics", nil)
 	if !strings.Contains(metrics, "tensorteed_scenario_runs_total 1") {
 		t.Errorf("scenario did not compute exactly once:\n%s", metrics)
 	}
-	if !strings.Contains(metrics, "tensorteed_scenario_cache_hits_total 3") {
+	if !strings.Contains(metrics, "tensorteed_scenario_cache_hits_total 2") {
 		t.Errorf("scenario hits not counted:\n%s", metrics)
 	}
 	if !strings.Contains(metrics, "tensorteed_not_modified_total 1") {
 		t.Errorf("scenario 304 not counted:\n%s", metrics)
+	}
+}
+
+func TestScenarioRevalidationSkipsComputation(t *testing.T) {
+	// The scenario ETag is determined by the spec fingerprint and format
+	// alone, so a client revalidating a spec this process never computed
+	// (evicted entry, daemon restart) gets its 304 for free.
+	_, ts := newTestServer(t, 0)
+	var spec tensortee.Scenario
+	if err := json.Unmarshal([]byte(tinySpec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	etag := scenarioETag(spec.Fingerprint(), FormatJSON)
+	resp, body := post(t, ts.URL+"/v1/scenarios", tinySpec, map[string]string{"If-None-Match": etag})
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("status = %d (%s), want 304", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Errorf("ETag = %q, want %q", got, etag)
+	}
+	_, metrics := get(t, ts.URL+"/metrics", nil)
+	if !strings.Contains(metrics, "tensorteed_scenario_runs_total 0") {
+		t.Errorf("revalidation triggered a computation:\n%s", metrics)
 	}
 }
 
@@ -159,6 +187,40 @@ func TestScenarioEndpointRejectsBadSpecs(t *testing.T) {
 	resp, _ := get(t, url, nil)
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/scenarios = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestScenarioStoreRefusesWhenAllEntriesInFlight(t *testing.T) {
+	s := newScenarioStore(tensortee.NewRunner(), 0, NewMetrics())
+	// Fill every slot with an entry whose fill never completes (done stays
+	// open): eviction can free nothing, so the cap must hold by refusal.
+	for i := 0; i < maxScenarioEntries; i++ {
+		if _, err := s.entry(fmt.Sprintf("fp-%d", i)); err != nil {
+			t.Fatalf("entry %d refused below the cap: %v", i, err)
+		}
+	}
+	if _, err := s.entry("fp-new"); !errors.Is(err, ErrScenarioStoreBusy) {
+		t.Fatalf("entry past the cap: err = %v, want ErrScenarioStoreBusy", err)
+	}
+	if len(s.entries) != maxScenarioEntries {
+		t.Fatalf("entries = %d, want exactly %d", len(s.entries), maxScenarioEntries)
+	}
+	// A known fingerprint still resolves at the cap (waiters join, no growth).
+	if _, err := s.entry("fp-0"); err != nil {
+		t.Fatalf("existing entry refused at the cap: %v", err)
+	}
+	// Once one fill completes, eviction frees its slot and new specs are
+	// admitted again.
+	e, err := s.entry("fp-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(e.done)
+	if _, err := s.entry("fp-new"); err != nil {
+		t.Fatalf("entry after eviction became possible: %v", err)
+	}
+	if len(s.entries) > maxScenarioEntries {
+		t.Fatalf("entries = %d, exceeds the cap", len(s.entries))
 	}
 }
 

@@ -231,11 +231,26 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	rd, err := s.scenarios.render(r.Context(), spec.Fingerprint(), spec, f)
+	fp := spec.Fingerprint()
+	// The ETag is determined by the normalized spec alone, so a matching
+	// If-None-Match answers 304 without computing anything — in particular
+	// without recomputing a scenario the bounded store evicted (or one
+	// never computed by this process: the tag survives restarts).
+	if etag := scenarioETag(fp, f); etagMatches(r.Header.Get("If-None-Match"), etag) {
+		s.serve(w, r, &rendered{etag: etag, contentType: f.contentType()})
+		return
+	}
+	rd, err := s.scenarios.render(r.Context(), fp, spec, f)
 	if err != nil {
 		status := http.StatusInternalServerError
-		if errors.Is(err, tensortee.ErrInvalidScenario) {
+		switch {
+		case errors.Is(err, tensortee.ErrInvalidScenario):
 			status = http.StatusBadRequest
+		case errors.Is(err, ErrScenarioStoreBusy):
+			status = http.StatusServiceUnavailable
+			// Fills are uncancelable and can run for minutes; steer
+			// well-behaved clients away from a per-second retry storm.
+			w.Header().Set("Retry-After", "30")
 		}
 		http.Error(w, err.Error(), status)
 		return
