@@ -10,7 +10,11 @@
 //	tensorteed -parallel 4             worker pool inside the Runner
 //	tensorteed -max-concurrent 2       bound concurrent cold computations
 //	tensorteed -max-scenarios 2        bound concurrent scenario computations
-//	tensorteed -warm                   compute every experiment at startup
+//	tensorteed -warm                   warm every experiment at startup
+//	tensorteed -warm -warm-exit        ... then exit instead of serving
+//	tensorteed -store-dir /var/lib/tt  persist results/calibrations on disk
+//	tensorteed -store-max-bytes N      evict oldest entries past N bytes
+//	tensorteed -peers http://a,http://b  probe replicas on local store miss
 //	tensorteed -pprof localhost:6060   net/http/pprof on a side listener
 //
 // Endpoints:
@@ -19,8 +23,19 @@
 //	GET  /v1/experiments/{id}          one result (?format=text|json|csv)
 //	GET  /v1/experiments/all           every result
 //	POST /v1/scenarios                 run a declarative custom scenario
+//	GET  /v1/scenarios/{fingerprint}   look up a computed scenario by fingerprint
+//	GET  /v1/store                     persistent-store statistics
+//	GET  /v1/store/{ns}/{key}          raw store envelope (peer replication)
 //	GET  /healthz                      liveness probe
 //	GET  /metrics                      request/cache/latency counters
+//
+// With -store-dir, every computed experiment result, scenario result and
+// calibration snapshot writes through to a content-addressed store in
+// that directory, and a restarted daemon (or a -warm pass) serves
+// anything already on disk instead of recomputing it. With -peers, a
+// local store miss additionally probes the listed replicas' /v1/store
+// endpoints (strict per-probe timeout, fail-open), so a fleet computes
+// each artifact once.
 //
 // POST /v1/scenarios takes a JSON scenario spec (model, systems with
 // Table-1 overrides, metrics, optional sweep — see EXPERIMENTS.md).
@@ -43,12 +58,26 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"tensortee"
 	"tensortee/internal/server"
+	"tensortee/internal/store"
 )
+
+// splitPeers parses the -peers value: comma-separated base URLs, blanks
+// ignored, trailing slashes trimmed (the store appends its own paths).
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimRight(strings.TrimSpace(p), "/"); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -66,10 +95,22 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 1, "experiments the Runner may execute concurrently (0 = GOMAXPROCS)")
 	maxConcurrent := fs.Int("max-concurrent", 4, "cold experiment computations in flight at once (0 = unbounded)")
 	maxScenarios := fs.Int("max-scenarios", 2, "scenario computations in flight at once (0 = unbounded)")
-	warm := fs.Bool("warm", false, "compute every experiment before accepting traffic")
+	warm := fs.Bool("warm", false, "warm every experiment before accepting traffic")
+	warmExit := fs.Bool("warm-exit", false, "with -warm: exit after warming instead of serving")
+	storeDir := fs.String("store-dir", "", "persist results and calibrations in this directory; empty disables")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "evict oldest store entries past this many bytes (0 = unbounded)")
+	peers := fs.String("peers", "", "comma-separated replica base URLs to probe on local store miss (requires -store-dir)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *peers != "" && *storeDir == "" {
+		fmt.Fprintln(stderr, "-peers requires -store-dir (peer fetches persist locally)")
+		return 2
+	}
+	if *warmExit && !*warm {
+		fmt.Fprintln(stderr, "-warm-exit requires -warm")
 		return 2
 	}
 
@@ -97,10 +138,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "pprof listening on %s\n", pln.Addr())
 	}
 
-	runner := tensortee.NewRunner(
+	opts := []tensortee.RunnerOption{
 		tensortee.WithParallelism(*parallel),
 		tensortee.WithCalibrationCache(true),
-	)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{
+			MaxBytes: *storeMaxBytes,
+			Peers:    splitPeers(*peers),
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "opening store: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "store: %s (build %s)\n", st.Dir(), store.BuildTag())
+		opts = append(opts, tensortee.WithStore(st))
+	}
+	runner := tensortee.NewRunner(opts...)
 	srv := server.New(server.Config{
 		Runner:                 runner,
 		MaxConcurrent:          *maxConcurrent,
@@ -108,13 +162,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	})
 
 	if *warm {
-		fmt.Fprintln(stdout, "warming: computing all experiments...")
+		fmt.Fprintln(stdout, "warming: filling the result cache...")
 		start := time.Now()
-		if _, err := runner.RunAll(ctx); err != nil {
+		fromStore, computed, err := runner.WarmAll(ctx)
+		if err != nil {
 			fmt.Fprintf(stderr, "warm failed: %v\n", err)
 			return 1
 		}
-		fmt.Fprintf(stdout, "warm done in %v\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "warm done in %v: %d warmed from disk, %d computed\n",
+			time.Since(start).Round(time.Millisecond), fromStore, computed)
+		if *warmExit {
+			return 0
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDaemonStoreFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-peers", "http://localhost:1"}, // -peers without -store-dir
+		{"-warm-exit"},                   // -warm-exit without -warm
+		{"-peers", "http://localhost:1", "-store-dir", ""},
+	}
+	for _, args := range cases {
+		var out, errBuf bytes.Buffer
+		if code := run(context.Background(), args, &out, &errBuf); code != 2 {
+			t.Errorf("run(%v) = %d, want 2 (stderr: %s)", args, code, errBuf.String())
+		}
+	}
+}
+
+func TestDaemonStoreDirEnablesStoreSurface(t *testing.T) {
+	dir := t.TempDir()
+	base, stop, exit, _ := startDaemon(t, "-store-dir", dir)
+
+	resp, err := http.Get(base + "/v1/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"enabled": true`) {
+		t.Fatalf("/v1/store = %d %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), dir) {
+		t.Errorf("store dir not reported: %s", body)
+	}
+
+	// The raw-entry surface 404s cleanly on entries that do not exist yet.
+	resp, err = http.Get(base + "/v1/store/result/fig15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("empty store entry = %d, want 404", resp.StatusCode)
+	}
+
+	stop()
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Errorf("exit = %d", code)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon did not exit")
+	}
+}
+
+// TestDaemonWarmFromStoreSkipsRecompute pins the cold-start contract end
+// to end on one cheap experiment: a first daemon computes and persists
+// fig15, and a second daemon over the same -store-dir serves it from
+// disk without recomputing (observable both in /metrics and in the
+// response time).
+func TestDaemonWarmFromStoreSkipsRecompute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("computes an experiment")
+	}
+	dir := t.TempDir()
+
+	base1, stop1, exit1, _ := startDaemon(t, "-store-dir", dir)
+	resp, err := http.Get(base1 + "/v1/experiments/fig15?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body1, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first serve = %d", resp.StatusCode)
+	}
+	stop1()
+	<-exit1
+
+	base2, stop2, exit2, _ := startDaemon(t, "-store-dir", dir)
+	defer stop2()
+	start := time.Now()
+	resp, err = http.Get(base2 + "/v1/experiments/fig15?format=text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("restart serve = %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Error("restarted daemon served different bytes")
+	}
+	// A disk hit is a read + decode, not a simulation: well under a
+	// second even on a loaded CI box (computing fig15 calibrates a
+	// system, which alone takes longer).
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("restart serve took %v; looks like a recompute", elapsed)
+	}
+	resp, err = http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.Contains(string(metrics), `tensorteed_experiment_runs_total{id="fig15"}`) {
+		t.Errorf("restart recomputed fig15:\n%s", metrics)
+	}
+	if !strings.Contains(string(metrics), "tensorteed_experiment_store_serves_total 1") {
+		t.Errorf("store serve not counted:\n%s", metrics)
+	}
+	stop2()
+	<-exit2
+}

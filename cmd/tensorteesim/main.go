@@ -7,6 +7,7 @@
 //	tensorteesim -exp fig16                 regenerate one experiment
 //	tensorteesim -exp all                   regenerate everything
 //	tensorteesim -exp all -parallel 4       ... on 4 workers, shared calibration
+//	tensorteesim -exp all -store-dir DIR    ... persisting (and reusing) results on disk
 //	tensorteesim -exp fig16 -json           emit typed JSON
 //	tensorteesim -scenario spec.json        run a declarative custom scenario
 //	tensorteesim -scenario -                ... reading the spec from stdin
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"tensortee"
+	"tensortee/internal/store"
 )
 
 func main() {
@@ -51,14 +53,24 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	models := fs.Bool("models", false, "list workload models and exit")
 	jsonOut := fs.Bool("json", false, "emit experiment results as JSON")
 	parallel := fs.Int("parallel", 1, "experiments to run concurrently (0 = GOMAXPROCS)")
+	storeDir := fs.String("store-dir", "", "persist results and calibrations in this directory; reuse anything already there")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	runner := tensortee.NewRunner(
+	opts := []tensortee.RunnerOption{
 		tensortee.WithParallelism(*parallel),
 		tensortee.WithCalibrationCache(true),
-	)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{})
+		if err != nil {
+			fmt.Fprintf(stderr, "opening store: %v\n", err)
+			return 1
+		}
+		opts = append(opts, tensortee.WithStore(st))
+	}
+	runner := tensortee.NewRunner(opts...)
 
 	switch {
 	case *list:
@@ -74,7 +86,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		}
 	case *exp == "all":
 		start := time.Now()
-		results, err := runner.RunAll(ctx)
+		results, err := runAllResults(ctx, runner, stderr)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
@@ -97,7 +109,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		fmt.Fprintf(stderr, "[%d experiments regenerated in %v, parallelism %d]\n",
 			len(results), time.Since(start).Round(time.Millisecond), *parallel)
 	case *exp != "":
-		res, err := runner.Run(ctx, *exp)
+		// With a store attached, Cached consults disk (and peers) before
+		// computing and persists whatever it does compute; without one it
+		// degenerates to a plain run.
+		res, err := runner.Cached(ctx, *exp)
 		if err != nil {
 			fmt.Fprintln(stderr, fmt.Errorf("experiment %s: %w", *exp, err))
 			return 1
@@ -124,6 +139,28 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		return 2
 	}
 	return 0
+}
+
+// runAllResults regenerates every experiment. Without a store this is a
+// plain RunAll; with one, the warm pass serves whatever is already on
+// disk and a summary of the warmed/computed split goes to stderr.
+func runAllResults(ctx context.Context, runner *tensortee.Runner, stderr io.Writer) ([]*tensortee.Result, error) {
+	if runner.Store() == nil {
+		return runner.RunAll(ctx)
+	}
+	fromStore, computed, err := runner.WarmAll(ctx)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stderr, "[store: %d warmed from disk, %d computed]\n", fromStore, computed)
+	ids := tensortee.ExperimentIDs()
+	results := make([]*tensortee.Result, len(ids))
+	for i, id := range ids {
+		if results[i], err = runner.Cached(ctx, id); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 func emit(stdout, stderr io.Writer, res *tensortee.Result, jsonOut bool) error {

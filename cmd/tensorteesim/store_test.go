@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stripElapsed drops the "[id regenerated in X]" trailer lines, the only
+// run-to-run varying part of the text output.
+func stripElapsed(out string) string {
+	var kept []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "[") && strings.Contains(line, "regenerated in") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+// TestExpStoreDirReusesResults pins the CLI cold-start path: the first
+// invocation computes fig15 and persists it under -store-dir; a second
+// process over the same directory serves the identical table from disk
+// (observable as an instant, zero-elapsed regeneration).
+func TestExpStoreDirReusesResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates systems")
+	}
+	dir := t.TempDir()
+
+	code, out1, stderr := runCLI(t, "-exp", "fig15", "-store-dir", dir)
+	if code != 0 {
+		t.Fatalf("first run exit = %d (stderr: %s)", code, stderr)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "result", "fig15.tte")); err != nil {
+		t.Fatalf("result not persisted: %v", err)
+	}
+
+	code, out2, stderr := runCLI(t, "-exp", "fig15", "-store-dir", dir)
+	if code != 0 {
+		t.Fatalf("second run exit = %d (stderr: %s)", code, stderr)
+	}
+	if stripElapsed(out2) != stripElapsed(out1) {
+		t.Errorf("stored result renders differently:\n--- first ---\n%s\n--- second ---\n%s", out1, out2)
+	}
+	// A stored result carries zero Elapsed — the tell that nothing was
+	// simulated on the second run.
+	if !strings.Contains(out2, "[fig15 regenerated in 0s]") {
+		t.Errorf("second run does not look disk-served:\n%s", out2)
+	}
+
+	// Calibration snapshots persisted too.
+	entries, err := filepath.Glob(filepath.Join(dir, "calib", "*.tte"))
+	if err != nil || len(entries) == 0 {
+		t.Errorf("no calibration snapshots persisted (err=%v)", err)
+	}
+}
+
+func TestStoreDirOpenFailure(t *testing.T) {
+	// A store path that collides with an existing file cannot be created.
+	path := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := runCLI(t, "-exp", "fig15", "-store-dir", path)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "opening store") {
+		t.Errorf("store error not reported: %s", stderr)
+	}
+}

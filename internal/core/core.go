@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"tensortee/internal/comm"
 	"tensortee/internal/config"
@@ -83,6 +84,47 @@ func NewSystemFromConfig(cfg config.Config) (*System, error) {
 	}
 	s := &System{Cfg: cfg, Link: comm.FromSystem(&cfg)}
 	s.calibrateCPU()
+	return s, nil
+}
+
+// CalibrationSnapshot is the serializable product of calibrateCPU: the
+// two measured cost-per-byte figures, carried as raw IEEE-754 bits so a
+// snapshot round-trips bit-exactly through any text encoding. Everything
+// else in a System is derived from its Config, so (config fingerprint,
+// snapshot) fully reconstructs a calibrated system — which is what makes
+// cold-start calibration O(disk read) for the persistent store.
+type CalibrationSnapshot struct {
+	CostPerByteBits   uint64 `json:"cost_per_byte_bits"`
+	WarmupPerByteBits uint64 `json:"warmup_per_byte_bits"`
+}
+
+// Snapshot captures this system's calibrated state.
+func (s *System) Snapshot() CalibrationSnapshot {
+	return CalibrationSnapshot{
+		CostPerByteBits:   math.Float64bits(s.cpuCostPerByte),
+		WarmupPerByteBits: math.Float64bits(s.cpuWarmupPerByte),
+	}
+}
+
+// NewSystemFromSnapshot rebuilds a calibrated system from a stored
+// snapshot without re-running the calibration simulation. The snapshot
+// must come from a system calibrated with an identical configuration
+// (callers key snapshots by config content fingerprint); implausible
+// snapshot values (non-finite or non-positive costs) are rejected so a
+// stale or hand-edited snapshot degrades to an error — and thence to a
+// fresh calibration — rather than to silently wrong numbers.
+func NewSystemFromSnapshot(cfg config.Config, snap CalibrationSnapshot) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cost := math.Float64frombits(snap.CostPerByteBits)
+	warm := math.Float64frombits(snap.WarmupPerByteBits)
+	if !(cost > 0) || !(warm > 0) || math.IsInf(cost, 0) || math.IsInf(warm, 0) {
+		return nil, fmt.Errorf("core: implausible calibration snapshot (cost=%g warmup=%g)", cost, warm)
+	}
+	s := &System{Cfg: cfg, Link: comm.FromSystem(&cfg)}
+	s.cpuCostPerByte = cost
+	s.cpuWarmupPerByte = warm
 	return s, nil
 }
 

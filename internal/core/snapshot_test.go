@@ -1,0 +1,69 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"tensortee/internal/config"
+	"tensortee/internal/workload"
+)
+
+// TestSnapshotRoundTripIsBitExact pins the warm-cold-start contract of
+// the persistent store: a system rebuilt from a (JSON round-tripped)
+// snapshot must time every workload bit-identically to the freshly
+// calibrated original — the calibrated floats are carried as raw bits,
+// so nothing may drift.
+func TestSnapshotRoundTripIsBitExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibrates a system")
+	}
+	for _, kind := range []config.SystemKind{config.NonSecure, config.BaselineSGXMGX, config.TensorTEE} {
+		fresh, err := NewSystem(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Through JSON, as the store keeps it.
+		b, err := json.Marshal(fresh.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap CalibrationSnapshot
+		if err := json.Unmarshal(b, &snap); err != nil {
+			t.Fatal(err)
+		}
+		rebuilt, err := NewSystemFromSnapshot(fresh.Cfg, snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rebuilt.cpuCostPerByte != fresh.cpuCostPerByte || rebuilt.cpuWarmupPerByte != fresh.cpuWarmupPerByte {
+			t.Fatalf("%v: calibration floats drifted through the snapshot", kind)
+		}
+		for _, m := range workload.Models() {
+			got, want := rebuilt.TrainStep(m), fresh.TrainStep(m)
+			if got != want {
+				t.Errorf("%v/%s: TrainStep from snapshot = %+v, fresh = %+v", kind, m.Name, got, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotRejectsImplausibleValues(t *testing.T) {
+	cfg := config.Default(config.NonSecure)
+	cases := []CalibrationSnapshot{
+		{}, // zero costs
+		{CostPerByteBits: 0x7FF0000000000000, WarmupPerByteBits: 1}, // +Inf cost
+		{CostPerByteBits: 0x7FF8000000000001, WarmupPerByteBits: 1}, // NaN cost
+		{CostPerByteBits: 0xBFF0000000000000, WarmupPerByteBits: 1}, // negative cost
+	}
+	for i, snap := range cases {
+		if _, err := NewSystemFromSnapshot(cfg, snap); err == nil {
+			t.Errorf("case %d: implausible snapshot accepted", i)
+		}
+	}
+	// An invalid config is rejected before the snapshot is even looked at.
+	bad := cfg
+	bad.CPU.Cores = 0
+	if _, err := NewSystemFromSnapshot(bad, CalibrationSnapshot{CostPerByteBits: 1, WarmupPerByteBits: 1}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}

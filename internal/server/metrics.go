@@ -6,19 +6,28 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"tensortee/internal/store"
 )
 
 // Metrics is the daemon's operational counter set, rendered at /metrics in
 // the Prometheus text exposition format. All methods are safe for
 // concurrent use.
 type Metrics struct {
-	requests     atomic.Int64 // every request the daemon saw
-	inFlight     atomic.Int64 // requests currently being served
-	cacheHits    atomic.Int64 // experiment lookups served from memory
-	notModified  atomic.Int64 // 304 responses to If-None-Match revalidations
-	errors       atomic.Int64 // 4xx/5xx responses
-	scenarioRuns atomic.Int64 // scenario specs actually computed
-	scenarioHits atomic.Int64 // scenario lookups served from memory
+	requests       atomic.Int64 // every request the daemon saw
+	inFlight       atomic.Int64 // requests currently being served
+	cacheHits      atomic.Int64 // experiment lookups served from memory
+	notModified    atomic.Int64 // 304 responses to If-None-Match revalidations
+	errors         atomic.Int64 // 4xx/5xx responses
+	scenarioRuns   atomic.Int64 // scenario specs actually computed
+	scenarioHits   atomic.Int64 // scenario lookups served from memory
+	expStoreServes atomic.Int64 // experiment fills satisfied by the persistent store
+	scenStoreServe atomic.Int64 // scenario fills satisfied by the persistent store
+
+	// storeStats, when set, snapshots the persistent store's own counters
+	// for the /metrics rendering; nil means persistence is disabled and
+	// the store series are omitted entirely.
+	storeStats func() store.Stats
 
 	mu  sync.Mutex
 	exp map[string]*experimentMetrics
@@ -62,6 +71,18 @@ func (m *Metrics) ScenarioRun() { m.scenarioRuns.Add(1) }
 // scenario store without recomputation.
 func (m *Metrics) ScenarioCacheHit() { m.scenarioHits.Add(1) }
 
+// ExperimentStoreServe counts an experiment fill satisfied by the
+// persistent store (disk or peer) instead of a computation.
+func (m *Metrics) ExperimentStoreServe() { m.expStoreServes.Add(1) }
+
+// ScenarioStoreServe counts a scenario fill satisfied by the persistent
+// store (disk or peer) instead of a computation.
+func (m *Metrics) ScenarioStoreServe() { m.scenStoreServe.Add(1) }
+
+// SetStoreStats attaches the persistent store's counter snapshot; Render
+// emits the tensorteed_store_* series only when this is set.
+func (m *Metrics) SetStoreStats(fn func() store.Stats) { m.storeStats = fn }
+
 // ExperimentRun records one actual computation of an experiment.
 func (m *Metrics) ExperimentRun(id string, seconds float64) {
 	m.mu.Lock()
@@ -93,6 +114,36 @@ func (m *Metrics) Render() string {
 	fmt.Fprintf(&b, "tensorteed_scenario_runs_total %d\n", m.scenarioRuns.Load())
 	fmt.Fprintf(&b, "# TYPE tensorteed_scenario_cache_hits_total counter\n")
 	fmt.Fprintf(&b, "tensorteed_scenario_cache_hits_total %d\n", m.scenarioHits.Load())
+
+	if m.storeStats != nil {
+		st := m.storeStats()
+		fmt.Fprintf(&b, "# TYPE tensorteed_experiment_store_serves_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_experiment_store_serves_total %d\n", m.expStoreServes.Load())
+		fmt.Fprintf(&b, "# TYPE tensorteed_scenario_store_serves_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_scenario_store_serves_total %d\n", m.scenStoreServe.Load())
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_disk_hits_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_disk_hits_total %d\n", st.DiskHits)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_disk_misses_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_disk_misses_total %d\n", st.DiskMisses)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_corruptions_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_corruptions_total %d\n", st.Corruptions)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_peer_hits_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_peer_hits_total %d\n", st.PeerHits)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_peer_misses_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_peer_misses_total %d\n", st.PeerMisses)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_peer_errors_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_peer_errors_total %d\n", st.PeerErrors)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_writes_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_writes_total %d\n", st.Writes)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_write_errors_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_write_errors_total %d\n", st.WriteErrors)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_evictions_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_evictions_total %d\n", st.Evictions)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_entries gauge\n")
+		fmt.Fprintf(&b, "tensorteed_store_entries %d\n", st.Entries)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_bytes gauge\n")
+		fmt.Fprintf(&b, "tensorteed_store_bytes %d\n", st.Bytes)
+	}
 
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.exp))

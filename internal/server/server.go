@@ -5,6 +5,9 @@
 //	GET /v1/experiments        index with paper-artifact metadata (JSON)
 //	GET /v1/experiments/{id}   one result (text, json or csv)
 //	GET /v1/experiments/all    every result (text, json or csv)
+//	GET /v1/scenarios/{fp}     a previously computed scenario by fingerprint
+//	GET /v1/store              persistent-store statistics (JSON)
+//	GET /v1/store/{ns}/{key}   raw store envelope (the peer-replication surface)
 //	GET /healthz               liveness probe
 //	GET /metrics               request/cache/latency counters
 //
@@ -22,6 +25,7 @@ import (
 	"strings"
 
 	"tensortee"
+	"tensortee/internal/store"
 )
 
 // Config sizes a Server.
@@ -41,6 +45,7 @@ type Config struct {
 
 // Server is the tensorteed HTTP API. Build with New, mount with Handler.
 type Server struct {
+	runner    *tensortee.Runner
 	store     *resultStore
 	scenarios *scenarioStore
 	metrics   *Metrics
@@ -49,14 +54,22 @@ type Server struct {
 	mux       *http.ServeMux
 }
 
-// New builds a Server around the runner.
+// New builds a Server around the runner. When the runner carries a
+// persistent store (tensortee.WithStore), the server additionally serves
+// the store surface: /v1/store statistics, the raw-envelope peer
+// endpoint, and scenario lookups by fingerprint that survive both
+// memory eviction and daemon restarts.
 func New(cfg Config) *Server {
 	r := cfg.Runner
 	if r == nil {
 		r = tensortee.NewRunner()
 	}
 	m := NewMetrics()
+	if st := r.Store(); st != nil {
+		m.SetStoreStats(st.Stats)
+	}
 	s := &Server{
+		runner:    r,
 		store:     newResultStore(r, cfg.MaxConcurrent, m),
 		scenarios: newScenarioStore(r, cfg.MaxConcurrentScenarios, m),
 		metrics:   m,
@@ -74,6 +87,10 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/experiments/all", s.handleAll)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("POST /v1/scenarios", s.handleScenario)
+	mux.HandleFunc("GET /v1/scenarios/{fingerprint}", s.handleScenarioLookup)
+	mux.HandleFunc("GET /v1/store", s.handleStoreStats)
+	mux.HandleFunc("GET /v1/store/{$}", s.handleStoreStats)
+	mux.HandleFunc("GET /v1/store/{ns}/{key}", s.handleStoreEntry)
 	s.mux = mux
 	return s
 }
@@ -256,6 +273,106 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.serve(w, r, rd)
+}
+
+// handleScenarioLookup serves a previously computed scenario by its
+// normalized spec fingerprint (the value clients learn from the POST
+// response's ETag):
+//
+//	GET /v1/scenarios/{fingerprint}
+//
+// The lookup tiers mirror the write path: the in-memory scenario store
+// first, then the persistent store (disk, then peers) — so a scenario
+// evicted from memory, or computed by an earlier daemon process sharing
+// the same -store-dir, is re-admitted and served without recomputation.
+// A fingerprint found nowhere answers 404: this endpoint never computes
+// (fingerprints are not invertible to specs, so it could not). ETags and
+// If-None-Match behave exactly as on the POST route.
+func (s *Server) handleScenarioLookup(w http.ResponseWriter, r *http.Request) {
+	fp := r.PathValue("fingerprint")
+	f, err := negotiate(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// A matching validator proves the client already holds this
+	// representation (the tag embeds the fingerprint), so answer 304
+	// before touching either store tier.
+	if etag := scenarioETag(fp, f); etagMatches(r.Header.Get("If-None-Match"), etag) {
+		s.serve(w, r, &rendered{etag: etag, contentType: f.contentType()})
+		return
+	}
+	if e := s.scenarios.peek(fp); e != nil {
+		rd, err := e.renderScenario(fp, f)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		s.metrics.ScenarioCacheHit()
+		s.serve(w, r, rd)
+		return
+	}
+	if st := s.runner.Store(); st != nil {
+		if b, ok := st.GetOrFetch(r.Context(), store.Scenarios, fp); ok {
+			if res, err := tensortee.DecodeStoredResult(b); err == nil {
+				e := s.scenarios.admit(fp, res)
+				rd, err := e.renderScenario(fp, f)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				s.metrics.ScenarioStoreServe()
+				s.serve(w, r, rd)
+				return
+			}
+		}
+	}
+	http.Error(w, fmt.Sprintf("no stored result for scenario fingerprint %q", fp), http.StatusNotFound)
+}
+
+// handleStoreStats reports the persistent store's counters as JSON —
+// the humans-and-scripts view; Prometheus scrapers get the same numbers
+// at /metrics.
+func (s *Server) handleStoreStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	st := s.runner.Store()
+	if st == nil {
+		_ = enc.Encode(map[string]any{"enabled": false})
+		return
+	}
+	_ = enc.Encode(map[string]any{
+		"enabled":   true,
+		"dir":       st.Dir(),
+		"build_tag": store.BuildTag(),
+		"stats":     st.Stats(),
+	})
+}
+
+// handleStoreEntry is the peer-replication surface: it serves the raw,
+// checksum-verified envelope for one entry straight from disk. It never
+// computes — a fingerprint this replica hasn't materialized is a plain
+// 404, which is what lets replicas probe each other on miss without any
+// risk of recursive or duplicated computation. The bytes are the
+// envelope (header line + payload), not the payload: the fetching side
+// re-verifies the checksum and build tag itself rather than trusting the
+// network.
+func (s *Server) handleStoreEntry(w http.ResponseWriter, r *http.Request) {
+	st := s.runner.Store()
+	if st == nil {
+		http.Error(w, "persistent store disabled", http.StatusNotFound)
+		return
+	}
+	ns := store.Namespace(r.PathValue("ns"))
+	raw, ok := st.ReadRaw(ns, r.PathValue("key"))
+	if !ok {
+		http.Error(w, "no such store entry", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Cache-Control", "no-store") // replicas re-validate; don't let proxies keep stale builds
+	_, _ = w.Write(raw)
 }
 
 // combine aggregates per-experiment representations into the /all body:

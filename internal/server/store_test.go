@@ -1,0 +1,234 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tensortee"
+	"tensortee/internal/store"
+)
+
+// newStoreServer builds a test daemon whose runner persists to dir,
+// optionally probing peers on local misses — the two-replica topology
+// the peer tier is for.
+func newStoreServer(t *testing.T, dir string, peers ...string) (*Server, *httptest.Server) {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{Peers: peers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Runner: tensortee.NewRunner(tensortee.WithStore(st))})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func tinySpecFingerprint(t *testing.T) string {
+	t.Helper()
+	var spec tensortee.Scenario
+	if err := json.Unmarshal([]byte(tinySpec), &spec); err != nil {
+		t.Fatal(err)
+	}
+	return spec.Fingerprint()
+}
+
+func TestStoreEndpointsWithoutStore(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+
+	resp, body := get(t, ts.URL+"/v1/store", nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"enabled": false`) {
+		t.Errorf("GET /v1/store = %d %q", resp.StatusCode, body)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/store/result/fig15", nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("store entry without a store = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/v1/scenarios/"+strings.Repeat("ab", 16), nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("scenario lookup without a store = %d, want 404", resp.StatusCode)
+	}
+	// /metrics omits the store series when persistence is disabled.
+	if _, metrics := get(t, ts.URL+"/metrics", nil); strings.Contains(metrics, "tensorteed_store_") {
+		t.Error("store metrics rendered without a store")
+	}
+}
+
+func TestStoreStatsEndpoint(t *testing.T) {
+	_, ts := newStoreServer(t, t.TempDir())
+	resp, body := get(t, ts.URL+"/v1/store", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	for _, frag := range []string{`"enabled": true`, `"build_tag"`, `"disk_hits"`, `"entries"`} {
+		if !strings.Contains(body, frag) {
+			t.Errorf("stats body missing %s:\n%s", frag, body)
+		}
+	}
+	if _, metrics := get(t, ts.URL+"/metrics", nil); !strings.Contains(metrics, "tensorteed_store_disk_hits_total") {
+		t.Error("store metrics missing from /metrics")
+	}
+}
+
+func TestScenarioLookupByFingerprint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario computation calibrates a system")
+	}
+	_, ts := newStoreServer(t, t.TempDir())
+	fp := tinySpecFingerprint(t)
+
+	// Unknown fingerprints 404 without computing anything.
+	if resp, _ := get(t, ts.URL+"/v1/scenarios/"+strings.Repeat("00", 16), nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fingerprint = %d, want 404", resp.StatusCode)
+	}
+
+	respPost, bodyPost := post(t, ts.URL+"/v1/scenarios", tinySpec, nil)
+	if respPost.StatusCode != http.StatusOK {
+		t.Fatalf("POST = %d (%s)", respPost.StatusCode, bodyPost)
+	}
+
+	respGet, bodyGet := get(t, ts.URL+"/v1/scenarios/"+fp, nil)
+	if respGet.StatusCode != http.StatusOK {
+		t.Fatalf("GET by fingerprint = %d (%s)", respGet.StatusCode, bodyGet)
+	}
+	if bodyGet != bodyPost {
+		t.Error("GET body differs from the POST body")
+	}
+	if got, want := respGet.Header.Get("ETag"), respPost.Header.Get("ETag"); got != want {
+		t.Errorf("GET ETag = %q, POST ETag = %q", got, want)
+	}
+
+	// Revalidation answers 304 with no body.
+	resp304, body304 := get(t, ts.URL+"/v1/scenarios/"+fp, map[string]string{"If-None-Match": respGet.Header.Get("ETag")})
+	if resp304.StatusCode != http.StatusNotModified || body304 != "" {
+		t.Errorf("revalidation = %d (%q), want bare 304", resp304.StatusCode, body304)
+	}
+}
+
+func TestScenarioLookupServedAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario computation calibrates a system")
+	}
+	dir := t.TempDir()
+	fp := tinySpecFingerprint(t)
+
+	_, ts1 := newStoreServer(t, dir)
+	respPost, bodyPost := post(t, ts1.URL+"/v1/scenarios", tinySpec, nil)
+	if respPost.StatusCode != http.StatusOK {
+		t.Fatalf("POST = %d (%s)", respPost.StatusCode, bodyPost)
+	}
+	ts1.Close()
+
+	// A fresh daemon over the same -store-dir serves the fingerprint from
+	// disk — byte-identical, without recomputing.
+	_, ts2 := newStoreServer(t, dir)
+	resp, body := get(t, ts2.URL+"/v1/scenarios/"+fp, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET after restart = %d (%s)", resp.StatusCode, body)
+	}
+	if body != bodyPost {
+		t.Error("restarted daemon served different bytes")
+	}
+	_, metrics := get(t, ts2.URL+"/metrics", nil)
+	if !strings.Contains(metrics, "tensorteed_scenario_runs_total 0") {
+		t.Errorf("restart recomputed the scenario:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "tensorteed_scenario_store_serves_total 1") {
+		t.Errorf("store serve not counted:\n%s", metrics)
+	}
+
+	// The disk read re-admitted the entry: the next lookup hits memory.
+	if resp, _ := get(t, ts2.URL+"/v1/scenarios/"+fp, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-read = %d", resp.StatusCode)
+	}
+	if _, metrics := get(t, ts2.URL+"/metrics", nil); !strings.Contains(metrics, "tensorteed_scenario_cache_hits_total 1") {
+		t.Errorf("re-admitted entry missed memory:\n%s", metrics)
+	}
+}
+
+func TestExperimentServedFromStoreAcrossRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("computes an experiment")
+	}
+	dir := t.TempDir()
+
+	_, ts1 := newStoreServer(t, dir)
+	resp1, body1 := get(t, ts1.URL+"/v1/experiments/fig15", nil)
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first serve = %d", resp1.StatusCode)
+	}
+	ts1.Close()
+
+	_, ts2 := newStoreServer(t, dir)
+	resp2, body2 := get(t, ts2.URL+"/v1/experiments/fig15", nil)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("restart serve = %d", resp2.StatusCode)
+	}
+	if body2 != body1 {
+		t.Error("restarted daemon served different bytes")
+	}
+	if got, want := resp2.Header.Get("ETag"), resp1.Header.Get("ETag"); got != want {
+		t.Errorf("restart ETag = %q, want %q", got, want)
+	}
+	_, metrics := get(t, ts2.URL+"/metrics", nil)
+	if strings.Contains(metrics, `tensorteed_experiment_runs_total{id="fig15"}`) {
+		t.Errorf("restart recomputed fig15:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "tensorteed_experiment_store_serves_total 1") {
+		t.Errorf("store serve not counted:\n%s", metrics)
+	}
+}
+
+func TestStoreEntryEndpointAndPeerReplication(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario computation calibrates a system")
+	}
+	fp := tinySpecFingerprint(t)
+
+	// Replica A computes the scenario and persists it.
+	_, tsA := newStoreServer(t, t.TempDir())
+	respPost, bodyPost := post(t, tsA.URL+"/v1/scenarios", tinySpec, nil)
+	if respPost.StatusCode != http.StatusOK {
+		t.Fatalf("POST on A = %d (%s)", respPost.StatusCode, bodyPost)
+	}
+
+	// The raw-envelope endpoint serves the validated on-disk bytes.
+	respRaw, bodyRaw := get(t, tsA.URL+"/v1/store/scenario/"+fp, nil)
+	if respRaw.StatusCode != http.StatusOK {
+		t.Fatalf("raw envelope = %d", respRaw.StatusCode)
+	}
+	if ct := respRaw.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("raw Content-Type = %q", ct)
+	}
+	if !strings.HasPrefix(bodyRaw, "tensortee-store/v1 ") {
+		t.Errorf("raw body is not an envelope:\n%.100s", bodyRaw)
+	}
+	if resp, _ := get(t, tsA.URL+"/v1/store/scenario/"+strings.Repeat("00", 16), nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing entry = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get(t, tsA.URL+"/v1/store/bogus/"+fp, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("bogus namespace = %d, want 404", resp.StatusCode)
+	}
+
+	// Replica B, cold, lists A as a peer: the fingerprint lookup is served
+	// through the peer tier without B computing anything, and the fetched
+	// entry persists in B's own store.
+	sB, tsB := newStoreServer(t, t.TempDir(), tsA.URL)
+	resp, body := get(t, tsB.URL+"/v1/scenarios/"+fp, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer-backed lookup = %d (%s)", resp.StatusCode, body)
+	}
+	if body != bodyPost {
+		t.Error("replica B served different bytes than A computed")
+	}
+	_, metricsB := get(t, tsB.URL+"/metrics", nil)
+	if !strings.Contains(metricsB, "tensorteed_scenario_runs_total 0") {
+		t.Errorf("replica B recomputed the scenario:\n%s", metricsB)
+	}
+	if !strings.Contains(metricsB, "tensorteed_store_peer_hits_total 1") {
+		t.Errorf("peer hit not counted on B:\n%s", metricsB)
+	}
+	if st := sB.runner.Store().Stats(); st.Writes == 0 {
+		t.Error("peer fetch did not persist locally on B")
+	}
+}

@@ -1,0 +1,102 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// httpDoer abstracts the peer HTTP client for tests.
+type httpDoer interface {
+	Do(req *http.Request) (*http.Response, error)
+}
+
+// newPeerClient builds the peer-probe client: strict timeout, no
+// redirects (a replica answers directly or not at all), modest
+// keep-alive pool for the static peer list.
+func newPeerClient(timeout time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: timeout,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+// GetOrFetch returns the payload for ns/key from the local disk tier,
+// falling back to the configured peers on miss. A peer hit is validated
+// exactly like a disk read (envelope, checksum, build tag) and persisted
+// locally before returning, so the next lookup — and the next peer that
+// asks us — is a disk hit. Every failure mode (timeout, refused
+// connection, 404, corrupt or foreign envelope) fails open to ok=false:
+// the caller computes locally, it never errors.
+func (s *Store) GetOrFetch(ctx context.Context, ns Namespace, key string) ([]byte, bool) {
+	if payload, ok := s.Get(ns, key); ok {
+		return payload, true
+	}
+	if len(s.peers) == 0 || !validNamespace(ns) || !ValidKey(key) {
+		return nil, false
+	}
+	for _, peer := range s.peers {
+		payload, ok := s.fetchFromPeer(ctx, peer, ns, key)
+		if !ok {
+			continue
+		}
+		s.peerHits.Add(1)
+		// Write-through: persist the validated envelope locally so the
+		// fleet converges on every replica holding hot fingerprints.
+		if err := s.write(ns, key, s.encodeEnvelope(ns, key, payload)); err == nil {
+			s.writes.Add(1)
+			s.evict()
+		} else {
+			s.writeErrors.Add(1)
+		}
+		return payload, true
+	}
+	s.peerMisses.Add(1)
+	return nil, false
+}
+
+// fetchFromPeer probes one peer for ns/key. The peer serves the raw
+// envelope bytes (the /v1/store surface never computes), which validate
+// here exactly as a local disk read would — a peer on a different build
+// is a miss, not a source of wrong numbers.
+func (s *Store) fetchFromPeer(ctx context.Context, peer string, ns Namespace, key string) ([]byte, bool) {
+	url := fmt.Sprintf("%s/v1/store/%s/%s", strings.TrimRight(peer, "/"), ns, key)
+	ctx, cancel := context.WithTimeout(ctx, s.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		s.peerErrors.Add(1)
+		return nil, false
+	}
+	resp, err := s.client.Do(req)
+	if err != nil {
+		s.peerErrors.Add(1)
+		return nil, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// A clean 404 is the expected miss shape, not a peer error.
+		if resp.StatusCode != http.StatusNotFound {
+			s.peerErrors.Add(1)
+		}
+		return nil, false
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxEntryBytes+1))
+	if err != nil || len(raw) > maxEntryBytes {
+		s.peerErrors.Add(1)
+		return nil, false
+	}
+	payload, derr := s.decodeEnvelope(ns, key, raw)
+	if derr != nil {
+		if derr.corrupt {
+			s.peerErrors.Add(1)
+		}
+		return nil, false
+	}
+	return payload, true
+}

@@ -1,0 +1,513 @@
+// Package store is tensortee's persistent, content-addressed result
+// store: a disk-backed tier beneath the in-memory caches (experiment
+// results, scenario results, calibration snapshots), plus an optional
+// static-peer tier so N replicas compute each fingerprint once
+// fleet-wide.
+//
+// Layout is file-per-key under a root directory, one subdirectory per
+// namespace:
+//
+//	<root>/result/fig18.tte        experiment results, keyed by id
+//	<root>/scenario/<fp>.tte       scenario results, keyed by spec fingerprint
+//	<root>/calib/<fp>.tte          calibration snapshots, keyed by config fingerprint
+//	<root>/.tmp/                   atomic-write staging
+//	<root>/.quarantine/            corrupt entries, moved aside for inspection
+//
+// Every entry is a versioned envelope: a single header line naming the
+// format version, namespace, key, build tag and payload SHA-256, followed
+// by the raw payload bytes. Writes are atomic (temp file + rename), so a
+// reader — in this process or another one sharing the directory — sees
+// either the old complete entry or the new complete entry, never a torn
+// one. Reads verify the checksum; corrupt or truncated entries are
+// treated as misses and quarantined, never an error the caller must
+// handle and never a crash.
+//
+// The store is correctness-neutral by construction: entries are keyed by
+// content fingerprints and stamped with the build tag, so a different
+// build (which could simulate different numbers) misses instead of
+// serving stale bytes.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Namespace partitions the key space: one directory per kind of payload.
+type Namespace string
+
+const (
+	// Results holds persisted experiment results, keyed by experiment id.
+	Results Namespace = "result"
+	// Scenarios holds persisted scenario results, keyed by the normalized
+	// spec fingerprint.
+	Scenarios Namespace = "scenario"
+	// Calibrations holds calibrated-system snapshots, keyed by the config
+	// content fingerprint.
+	Calibrations Namespace = "calib"
+)
+
+// Namespaces lists the valid namespaces (the /v1/store/{ns}/{key} surface
+// rejects anything else).
+func Namespaces() []Namespace { return []Namespace{Results, Scenarios, Calibrations} }
+
+func validNamespace(ns Namespace) bool {
+	switch ns {
+	case Results, Scenarios, Calibrations:
+		return true
+	}
+	return false
+}
+
+// ValidKey reports whether key is usable as an entry name: 1-128 bytes of
+// [A-Za-z0-9._-], not starting with a dot. Experiment ids and hex
+// fingerprints both qualify; anything else (path separators, traversal)
+// does not.
+func ValidKey(key string) bool {
+	if len(key) == 0 || len(key) > 128 || key[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// envelopeMagic versions the on-disk format; bump it when the header or
+// payload encoding changes shape.
+const envelopeMagic = "tensortee-store/v1"
+
+// entryExt suffixes every entry file.
+const entryExt = ".tte"
+
+// maxEntryBytes bounds a single entry (and a peer response): the largest
+// real payload (an all-experiments JSON body) is well under a megabyte,
+// so anything near this cap is hostile or corrupt.
+const maxEntryBytes = 64 << 20
+
+// BuildTag identifies the producing build. Entries written by a different
+// build are treated as misses: a code change may legitimately change
+// simulated numbers, and the store must never override a fresh compute.
+// Released builds get the VCS revision (plus a -dirty suffix for modified
+// trees); builds without VCS stamping (go test, go run from a plain
+// directory) share the "dev" tag — wipe or re-warm the store directory
+// when changing simulator code under a dev build.
+func BuildTag() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if rev != "" {
+		if modified == "true" {
+			return rev + "-dirty"
+		}
+		return rev
+	}
+	if v := info.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "dev"
+}
+
+// Options configures a Store.
+type Options struct {
+	// MaxBytes bounds the total size of stored entries; past it, the
+	// least-recently-used entries (by mtime — reads touch) are evicted
+	// after each write. 0 means unbounded.
+	MaxBytes int64
+	// Peers lists base URLs of replica daemons probed on local miss
+	// (GET <peer>/v1/store/{ns}/{key}). Empty disables the peer tier.
+	Peers []string
+	// PeerTimeout bounds each peer probe (default 2s). Probes fail open:
+	// a slow or dead peer degrades to a local compute, never an error.
+	PeerTimeout time.Duration
+	// BuildTag overrides the build identity stamped into (and required
+	// of) entries. Empty selects BuildTag().
+	BuildTag string
+}
+
+// Stats is a snapshot of the store's counters.
+type Stats struct {
+	DiskHits    int64 `json:"disk_hits"`
+	DiskMisses  int64 `json:"disk_misses"`
+	Corruptions int64 `json:"corruptions"`
+	PeerHits    int64 `json:"peer_hits"`
+	PeerMisses  int64 `json:"peer_misses"`
+	PeerErrors  int64 `json:"peer_errors"`
+	Writes      int64 `json:"writes"`
+	WriteErrors int64 `json:"write_errors"`
+	Evictions   int64 `json:"evictions"`
+	// Entries and Bytes describe the current on-disk footprint (computed
+	// by walking the namespaces when Stats is taken).
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Store is a disk-backed content-addressed store. All methods are safe
+// for concurrent use, including by multiple processes sharing one
+// directory (atomic renames arbitrate).
+type Store struct {
+	dir      string
+	maxBytes int64
+	peers    []string
+	timeout  time.Duration
+	build    string
+	client   httpDoer
+
+	evictMu sync.Mutex // serializes eviction passes within this process
+
+	diskHits    atomic.Int64
+	diskMisses  atomic.Int64
+	corruptions atomic.Int64
+	peerHits    atomic.Int64
+	peerMisses  atomic.Int64
+	peerErrors  atomic.Int64
+	writes      atomic.Int64
+	writeErrors atomic.Int64
+	evictions   atomic.Int64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string, opts Options) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	for _, sub := range []string{"", ".tmp", ".quarantine"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	build := opts.BuildTag
+	if build == "" {
+		build = BuildTag()
+	}
+	// The header is space-separated; a build tag with spaces (or newlines)
+	// would desync parsing.
+	build = strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\n' || r == '\r' || r == '\t' {
+			return '_'
+		}
+		return r
+	}, build)
+	timeout := opts.PeerTimeout
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &Store{
+		dir:      dir,
+		maxBytes: opts.MaxBytes,
+		peers:    append([]string(nil), opts.Peers...),
+		timeout:  timeout,
+		build:    build,
+		client:   newPeerClient(timeout),
+	}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// HasPeers reports whether a peer tier is configured.
+func (s *Store) HasPeers() bool { return len(s.peers) > 0 }
+
+func (s *Store) entryPath(ns Namespace, key string) string {
+	return filepath.Join(s.dir, string(ns), key+entryExt)
+}
+
+// encodeEnvelope frames a payload:
+//
+//	tensortee-store/v1 <ns> <key> <build> <sha256-hex> <len>\n<payload>
+func (s *Store) encodeEnvelope(ns Namespace, key string, payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %s %s %s %d\n",
+		envelopeMagic, ns, key, s.build, hex.EncodeToString(sum[:]), len(payload))
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	return append(out, payload...)
+}
+
+// decodeError distinguishes a corrupt entry (quarantine) from a merely
+// mismatched one (someone else's valid entry: wrong build/ns/key — leave
+// it alone, report a miss).
+type decodeError struct {
+	corrupt bool
+	reason  string
+}
+
+func (e *decodeError) Error() string { return "store: " + e.reason }
+
+func corrupt(format string, args ...any) *decodeError {
+	return &decodeError{corrupt: true, reason: fmt.Sprintf(format, args...)}
+}
+
+func mismatch(format string, args ...any) *decodeError {
+	return &decodeError{corrupt: false, reason: fmt.Sprintf(format, args...)}
+}
+
+// decodeEnvelope validates raw entry bytes and returns the payload.
+func (s *Store) decodeEnvelope(ns Namespace, key string, raw []byte) ([]byte, *decodeError) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, corrupt("no header line")
+	}
+	fields := strings.Split(string(raw[:nl]), " ")
+	if len(fields) != 6 {
+		return nil, corrupt("header has %d fields, want 6", len(fields))
+	}
+	if fields[0] != envelopeMagic {
+		return nil, corrupt("bad magic %q", fields[0])
+	}
+	n, err := strconv.Atoi(fields[5])
+	if err != nil || n < 0 || n > maxEntryBytes {
+		return nil, corrupt("bad payload length %q", fields[5])
+	}
+	payload := raw[nl+1:]
+	if len(payload) != n {
+		return nil, corrupt("payload is %d bytes, header says %d", len(payload), n)
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != fields[4] {
+		return nil, corrupt("checksum mismatch")
+	}
+	// Content is intact from here on; the remaining checks classify whose
+	// entry this is, not whether it survived the disk.
+	if Namespace(fields[1]) != ns || fields[2] != key {
+		return nil, mismatch("entry is %s/%s, want %s/%s", fields[1], fields[2], ns, key)
+	}
+	if fields[3] != s.build {
+		return nil, mismatch("entry from build %q, this is %q", fields[3], s.build)
+	}
+	return payload, nil
+}
+
+// Get returns the payload stored under ns/key from disk, or ok=false on
+// miss. Corrupt or truncated entries are quarantined and reported as
+// misses; hits touch the entry's mtime so LRU eviction keeps hot entries.
+func (s *Store) Get(ns Namespace, key string) ([]byte, bool) {
+	if !validNamespace(ns) || !ValidKey(key) {
+		return nil, false
+	}
+	path := s.entryPath(ns, key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		s.diskMisses.Add(1)
+		return nil, false
+	}
+	payload, derr := s.decodeEnvelope(ns, key, raw)
+	if derr != nil {
+		if derr.corrupt {
+			s.quarantine(path)
+		}
+		s.diskMisses.Add(1)
+		return nil, false
+	}
+	s.diskHits.Add(1)
+	_ = os.Chtimes(path, time.Now(), time.Now()) // LRU touch; best-effort
+	return payload, true
+}
+
+// ReadRaw returns the validated raw envelope bytes for ns/key — the wire
+// form the /v1/store peer surface serves. It does not count as a local
+// hit or miss (it is the serving side of someone else's lookup), but a
+// corrupt entry is still quarantined.
+func (s *Store) ReadRaw(ns Namespace, key string) ([]byte, bool) {
+	if !validNamespace(ns) || !ValidKey(key) {
+		return nil, false
+	}
+	path := s.entryPath(ns, key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	if _, derr := s.decodeEnvelope(ns, key, raw); derr != nil {
+		if derr.corrupt {
+			s.quarantine(path)
+		}
+		return nil, false
+	}
+	return raw, true
+}
+
+// Put stores payload under ns/key, atomically: the envelope is staged in
+// .tmp and renamed into place, so concurrent readers (any process) see
+// either the previous entry or this one, never a torn write. Put then
+// enforces MaxBytes by evicting least-recently-used entries. Errors are
+// counted and returned, but callers treat persistence as best-effort —
+// a failed write never fails the computation that produced the payload.
+func (s *Store) Put(ns Namespace, key string, payload []byte) error {
+	if !validNamespace(ns) {
+		return fmt.Errorf("store: invalid namespace %q", ns)
+	}
+	if !ValidKey(key) {
+		return fmt.Errorf("store: invalid key %q", key)
+	}
+	if len(payload) > maxEntryBytes {
+		s.writeErrors.Add(1)
+		return fmt.Errorf("store: payload %d bytes exceeds the %d-byte entry bound", len(payload), maxEntryBytes)
+	}
+	if err := s.write(ns, key, s.encodeEnvelope(ns, key, payload)); err != nil {
+		s.writeErrors.Add(1)
+		return err
+	}
+	s.writes.Add(1)
+	s.evict()
+	return nil
+}
+
+func (s *Store) write(ns Namespace, key string, raw []byte) error {
+	if err := os.MkdirAll(filepath.Join(s.dir, string(ns)), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, ".tmp"), key+".*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	// Sync before rename: after a crash the entry must be complete or
+	// absent, not a rename pointing at unflushed bytes.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmpName, s.entryPath(ns, key)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// quarantine moves a corrupt entry aside (never deleting data that might
+// matter for a post-mortem) and counts it. Best-effort: if the rename
+// loses a race with a concurrent writer replacing the entry, the corrupt
+// bytes are already gone and that is fine too.
+func (s *Store) quarantine(path string) {
+	s.corruptions.Add(1)
+	dst, err := os.CreateTemp(filepath.Join(s.dir, ".quarantine"), filepath.Base(path)+".*")
+	if err != nil {
+		return
+	}
+	dstName := dst.Name()
+	dst.Close()
+	if err := os.Rename(path, dstName); err != nil {
+		os.Remove(dstName)
+	}
+}
+
+// entryInfo is one entry's eviction-relevant metadata.
+type entryInfo struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// walkEntries lists all entries across namespaces. Directory-read errors
+// are ignored: a namespace that does not exist yet holds no entries.
+func (s *Store) walkEntries() []entryInfo {
+	var out []entryInfo
+	for _, ns := range Namespaces() {
+		dir := filepath.Join(s.dir, string(ns))
+		des, err := os.ReadDir(dir)
+		if err != nil {
+			continue
+		}
+		for _, de := range des {
+			if de.IsDir() || !strings.HasSuffix(de.Name(), entryExt) {
+				continue
+			}
+			fi, err := de.Info()
+			if err != nil {
+				continue
+			}
+			out = append(out, entryInfo{
+				path:  filepath.Join(dir, de.Name()),
+				size:  fi.Size(),
+				mtime: fi.ModTime(),
+			})
+		}
+	}
+	return out
+}
+
+// evict removes least-recently-used entries until the total size fits
+// MaxBytes. The walk recomputes sizes from disk each pass, so totals
+// self-heal across processes sharing the directory.
+func (s *Store) evict() {
+	if s.maxBytes <= 0 {
+		return
+	}
+	s.evictMu.Lock()
+	defer s.evictMu.Unlock()
+	entries := s.walkEntries()
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	if total <= s.maxBytes {
+		return
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	for _, e := range entries {
+		if total <= s.maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err == nil {
+			total -= e.size
+			s.evictions.Add(1)
+		}
+	}
+}
+
+// Stats snapshots the counters and the on-disk footprint.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		DiskHits:    s.diskHits.Load(),
+		DiskMisses:  s.diskMisses.Load(),
+		Corruptions: s.corruptions.Load(),
+		PeerHits:    s.peerHits.Load(),
+		PeerMisses:  s.peerMisses.Load(),
+		PeerErrors:  s.peerErrors.Load(),
+		Writes:      s.writes.Load(),
+		WriteErrors: s.writeErrors.Load(),
+		Evictions:   s.evictions.Load(),
+	}
+	for _, e := range s.walkEntries() {
+		st.Entries++
+		st.Bytes += e.size
+	}
+	return st
+}

@@ -1,0 +1,111 @@
+package tensortee
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// The persistence codec serializes a Result for the content-addressed
+// disk store without losing anything the renderers depend on. The public
+// JSON form (Result.JSON) is deliberately lossy for numeric cells — it
+// emits the number and drops the rendered text, and decoding fabricates
+// a full-precision rendering — so a Result that round-tripped through it
+// would no longer produce byte-identical Text/CSV output. The stored
+// form keeps both the text and the number of every cell, so
+//
+//	decode(encode(res)).Text/JSON/CSV == res.Text/JSON/CSV
+//
+// byte for byte (pinned over all 14 paper artifacts by
+// TestStoredResultsRoundTripGolden). Elapsed is zeroed on encode: it is
+// the only run-to-run varying field, and a stored result is by
+// definition not freshly computed.
+
+// storedResultVersion versions the stored payload; a decoder refuses
+// other versions (the store's envelope already keys on build, this
+// catches schema drift within one build).
+const storedResultVersion = 1
+
+type storedCell struct {
+	Text   string  `json:"t,omitempty"`
+	Number float64 `json:"n,omitempty"`
+	IsNum  bool    `json:"in,omitempty"`
+}
+
+type storedTable struct {
+	Title   string         `json:"title"`
+	Columns []string       `json:"columns"`
+	Rows    [][]storedCell `json:"rows"`
+}
+
+type storedResult struct {
+	Version int                `json:"v"`
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Tables  []storedTable      `json:"tables,omitempty"`
+	Scalars map[string]float64 `json:"scalars,omitempty"`
+	Notes   []string           `json:"notes,omitempty"`
+}
+
+// EncodeStored serializes the Result into the lossless form the
+// persistent store keeps on disk. Decode with DecodeStoredResult.
+func (r *Result) EncodeStored() ([]byte, error) {
+	sr := storedResult{
+		Version: storedResultVersion,
+		ID:      r.ID,
+		Title:   r.Title,
+		Scalars: r.Scalars,
+		Notes:   r.Notes,
+	}
+	for _, t := range r.Tables {
+		st := storedTable{Title: t.Title, Columns: t.Columns}
+		for _, row := range t.Rows {
+			cells := make([]storedCell, len(row))
+			for i, c := range row {
+				cells[i] = storedCell{Text: c.Text, Number: c.Number, IsNum: c.IsNumber}
+			}
+			st.Rows = append(st.Rows, cells)
+		}
+		sr.Tables = append(sr.Tables, st)
+	}
+	b, err := json.Marshal(&sr)
+	if err != nil {
+		// Only non-finite floats can fail here; a result carrying them
+		// cannot be persisted (and could not render as JSON either).
+		return nil, fmt.Errorf("tensortee: encoding result %s for the store: %w", r.ID, err)
+	}
+	return b, nil
+}
+
+// DecodeStoredResult inverts EncodeStored. The returned Result has
+// Elapsed zero (stored results are not freshly computed) and renders
+// byte-identically to the Result that was encoded.
+func DecodeStoredResult(b []byte) (*Result, error) {
+	var sr storedResult
+	if err := json.Unmarshal(b, &sr); err != nil {
+		return nil, fmt.Errorf("tensortee: decoding stored result: %w", err)
+	}
+	if sr.Version != storedResultVersion {
+		return nil, fmt.Errorf("tensortee: stored result version %d, this build reads %d", sr.Version, storedResultVersion)
+	}
+	if sr.ID == "" {
+		return nil, fmt.Errorf("tensortee: stored result has no id")
+	}
+	res := &Result{
+		ID:      sr.ID,
+		Title:   sr.Title,
+		Scalars: sr.Scalars,
+		Notes:   sr.Notes,
+	}
+	for _, st := range sr.Tables {
+		rt := ResultTable{Title: st.Title, Columns: st.Columns}
+		for _, row := range st.Rows {
+			cells := make([]Cell, len(row))
+			for i, c := range row {
+				cells[i] = Cell{Text: c.Text, Number: c.Number, IsNumber: c.IsNum}
+			}
+			rt.Rows = append(rt.Rows, cells)
+		}
+		res.Tables = append(res.Tables, rt)
+	}
+	return res, nil
+}

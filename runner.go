@@ -15,6 +15,7 @@ import (
 	"tensortee/internal/core"
 	"tensortee/internal/experiments"
 	"tensortee/internal/scenario"
+	"tensortee/internal/store"
 )
 
 // systemCache shares calibrated systems across experiments, scenarios and
@@ -29,6 +30,10 @@ import (
 type systemCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+	// store, when set, persists calibration snapshots keyed by the config
+	// content fingerprint: calibration is the expensive prefix of every
+	// run, and a snapshot makes a cold start O(disk read).
+	store *store.Store
 }
 
 type cacheEntry struct {
@@ -77,7 +82,30 @@ func (c *systemCache) get(cfg config.Config) (*core.System, error) {
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.sys, e.err = core.NewSystemFromConfig(cfg) })
+	e.once.Do(func() {
+		// Disk (and peer) tier first: a persisted snapshot skips the
+		// calibration simulation entirely. Decode or rebuild failures fall
+		// through to a fresh calibration — the store is an accelerator,
+		// never a correctness dependency.
+		if c.store != nil {
+			if b, ok := c.store.GetOrFetch(context.Background(), store.Calibrations, key); ok {
+				var snap core.CalibrationSnapshot
+				if json.Unmarshal(b, &snap) == nil {
+					if sys, err := core.NewSystemFromSnapshot(cfg, snap); err == nil {
+						e.sys = sys
+						return
+					}
+				}
+			}
+		}
+		e.sys, e.err = core.NewSystemFromConfig(cfg)
+		if e.err == nil && c.store != nil {
+			if b, err := json.Marshal(e.sys.Snapshot()); err == nil {
+				// Best-effort write-through; a full disk must not fail the run.
+				_ = c.store.Put(store.Calibrations, key, b)
+			}
+		}
+	})
 	return e.sys, e.err
 }
 
@@ -97,6 +125,10 @@ type resultEntry struct {
 	done chan struct{} // closed when res/err are final
 	res  *Result
 	err  error
+	// fromStore records that res was loaded from the persistent store
+	// (disk or peer) rather than computed in this process. Written before
+	// done closes; read only after.
+	fromStore bool
 }
 
 func newResultCache() *resultCache {
@@ -144,6 +176,24 @@ func (c *resultCache) cached(id string) bool {
 	}
 }
 
+// fromStore reports whether the id's memoized result was loaded from the
+// persistent store rather than computed here (false while still
+// computing or on a never-requested id).
+func (c *resultCache) fromStore(id string) bool {
+	c.mu.Lock()
+	e, ok := c.entries[id]
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-e.done:
+		return e.fromStore
+	default:
+		return false
+	}
+}
+
 // Runner executes experiments, optionally many at a time, sharing one
 // calibration cache across all of them. The zero configuration
 // (NewRunner() with no options) runs sequentially with caching on; a
@@ -154,6 +204,7 @@ type Runner struct {
 	results     *resultCache // lazily built by Cached on the zero value
 	resultsOnce sync.Once
 	prewarm     []Kind
+	store       *store.Store // nil when persistence is disabled
 }
 
 // RunnerOption configures a Runner.
@@ -191,14 +242,34 @@ func WithCalibrationCache(enabled bool) RunnerOption {
 	}
 }
 
+// WithStore attaches a persistent content-addressed store: computed
+// results, scenario outputs, and calibration snapshots write through to
+// it, and future Runners (including future processes) sharing the same
+// store directory serve them from disk instead of recomputing. The store
+// is strictly an accelerator — every read is checksum-verified and keyed
+// by build, and any failure degrades to a plain recompute.
+func WithStore(st *store.Store) RunnerOption {
+	return func(r *Runner) { r.store = st }
+}
+
 // NewRunner builds a Runner.
 func NewRunner(opts ...RunnerOption) *Runner {
 	r := &Runner{parallelism: 1, cache: newSystemCache(), results: newResultCache()}
 	for _, o := range opts {
 		o(r)
 	}
+	// Wire after the options run: WithCalibrationCache may have rebuilt or
+	// dropped the cache, and WithStore may appear in any order relative
+	// to it.
+	if r.cache != nil {
+		r.cache.store = r.store
+	}
 	return r
 }
+
+// Store returns the attached persistent store (nil when persistence is
+// disabled).
+func (r *Runner) Store() *store.Store { return r.store }
 
 // resultsCache returns the result cache, building it on first use so the
 // zero-value Runner supports Cached too.
@@ -229,7 +300,15 @@ func (r *Runner) Cached(ctx context.Context, id string) (*Result, error) {
 	e.once.Do(func() {
 		go func() {
 			defer close(e.done)
-			e.res, e.err = r.Run(context.WithoutCancel(ctx), id)
+			detached := context.WithoutCancel(ctx)
+			if res, ok := r.resultFromStore(detached, id); ok {
+				e.res, e.fromStore = res, true
+				return
+			}
+			e.res, e.err = r.Run(detached, id)
+			if e.err == nil {
+				r.persistResult(id, e.res)
+			}
 		}()
 	})
 	select {
@@ -240,10 +319,49 @@ func (r *Runner) Cached(ctx context.Context, id string) (*Result, error) {
 	}
 }
 
+// resultFromStore tries the persistent store (disk, then peers) for an
+// experiment result. Any failure — no store, miss, undecodable or
+// mismatched payload — is a clean false; the caller recomputes.
+func (r *Runner) resultFromStore(ctx context.Context, id string) (*Result, bool) {
+	if r.store == nil {
+		return nil, false
+	}
+	b, ok := r.store.GetOrFetch(ctx, store.Results, id)
+	if !ok {
+		return nil, false
+	}
+	res, err := DecodeStoredResult(b)
+	if err != nil || res.ID != id {
+		// The envelope checksum already passed, so this is schema drift or a
+		// misfiled entry, not corruption; treat it as a miss.
+		return nil, false
+	}
+	return res, true
+}
+
+// persistResult writes a computed result through to the store,
+// best-effort: persistence failures never fail the run.
+func (r *Runner) persistResult(id string, res *Result) {
+	if r.store == nil || res == nil {
+		return
+	}
+	if b, err := res.EncodeStored(); err == nil {
+		_ = r.store.Put(store.Results, id, b)
+	}
+}
+
 // ResultCached reports whether Cached(id) would be served from memory
 // (the experiment has finished computing in this Runner).
 func (r *Runner) ResultCached(id string) bool {
 	return r.resultsCache().cached(id)
+}
+
+// ResultFromStore reports whether the memoized result for id was loaded
+// from the persistent store rather than computed by this process. False
+// while the experiment is still computing, was computed locally, or was
+// never requested.
+func (r *Runner) ResultFromStore(id string) bool {
+	return r.resultsCache().fromStore(id)
 }
 
 // env builds the experiment environment backed by this Runner's cache.
@@ -308,15 +426,126 @@ func (r *Runner) Run(ctx context.Context, id string) (*Result, error) {
 // (and the specific sentinels ErrUnknownModel, ErrBadSweep,
 // ErrUnsafeOverride) before any simulation starts.
 func (r *Runner) RunScenario(ctx context.Context, spec Scenario) (*Result, error) {
+	res, _, err := r.RunScenarioCached(ctx, spec)
+	return res, err
+}
+
+// RunScenarioCached is RunScenario with persistent-store integration:
+// when a store is attached, a scenario whose fingerprint is already on
+// disk (or on a peer) is served from the store — the bool reports that —
+// and freshly computed scenarios write through for next time. Specs are
+// validated before the store is consulted, so an invalid spec fails
+// identically with or without a store.
+func (r *Runner) RunScenarioCached(ctx context.Context, spec Scenario) (*Result, bool, error) {
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	var fp string
+	if r.store != nil {
+		if err := spec.Validate(); err != nil {
+			return nil, false, err
+		}
+		fp = spec.Fingerprint()
+		// The envelope already binds namespace, key and checksum, so a
+		// decodable payload under this fingerprint is the scenario's result
+		// (its ID is the scenario's name, not the fingerprint).
+		if b, ok := r.store.GetOrFetch(ctx, store.Scenarios, fp); ok {
+			if res, err := DecodeStoredResult(b); err == nil {
+				return res, true, nil
+			}
+		}
 	}
 	start := time.Now()
 	rep, err := scenario.Run(r.env(), spec)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	return newResult(rep, time.Since(start)), nil
+	res := newResult(rep, time.Since(start))
+	if r.store != nil {
+		if b, err := res.EncodeStored(); err == nil {
+			_ = r.store.Put(store.Scenarios, fp, b)
+		}
+	}
+	return res, false, nil
+}
+
+// WarmAll populates the Runner's in-memory result cache for every
+// registered experiment (all of ids, or the full registry when empty),
+// serving each from the persistent store when possible and computing —
+// and persisting — the rest. It returns how many came from the store
+// versus were computed, the split a cold-start log line wants. Work fans
+// out over the WithParallelism worker budget; the first error (or a
+// cancelled ctx) stops the warm and is returned.
+func (r *Runner) WarmAll(ctx context.Context, ids ...string) (fromStore, computed int, err error) {
+	if len(ids) == 0 {
+		ids = ExperimentIDs()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
+	}
+	if err := r.warm(ctx); err != nil {
+		return 0, 0, err
+	}
+
+	jobs := make(chan string, len(ids))
+	for _, id := range ids {
+		jobs <- id
+	}
+	close(jobs)
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+		stopped  atomic.Bool
+		nStore   atomic.Int64
+		nComp    atomic.Int64
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		stopped.Store(true)
+	}
+
+	workers := r.parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range jobs {
+				if stopped.Load() {
+					continue
+				}
+				if err := ctx.Err(); err != nil {
+					fail(err)
+					continue
+				}
+				if _, err := r.Cached(ctx, id); err != nil {
+					fail(fmt.Errorf("experiment %s: %w", id, err))
+					continue
+				}
+				if r.ResultFromStore(id) {
+					nStore.Add(1)
+				} else {
+					nComp.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return int(nStore.Load()), int(nComp.Load()), firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return int(nStore.Load()), int(nComp.Load()), err
+	}
+	return int(nStore.Load()), int(nComp.Load()), nil
 }
 
 // RunAll regenerates the given experiments (all registered ones when ids
@@ -384,6 +613,7 @@ func (r *Runner) RunAll(ctx context.Context, ids ...string) ([]*Result, error) {
 				// RunAll (e.g. tensorteed -warm) pre-populates what
 				// Cached will serve.
 				r.resultsCache().seed(ids[i], results[i])
+				r.persistResult(ids[i], results[i])
 			}
 		}()
 	}
