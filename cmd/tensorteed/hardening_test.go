@@ -1,0 +1,119 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startDaemonStderr is startDaemon plus the stderr stream, for tests that
+// assert on the structured request log.
+func startDaemonStderr(t *testing.T, args ...string) (base string, errBuf *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	errBuf = &syncBuffer{}
+	go run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out, errBuf)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "tensorteed listening on ") {
+			line := s[strings.Index(s, "tensorteed listening on ")+len("tensorteed listening on "):]
+			addr := strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			t.Cleanup(cancel)
+			return "http://" + addr, errBuf
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never reported its address (stdout %q, stderr %q)", out.String(), errBuf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestSlowlorisConnectionReaped pins the read-header timeout: a client
+// that trickles an eternally unfinished header block gets its connection
+// closed by the server instead of pinning a goroutine forever.
+func TestSlowlorisConnectionReaped(t *testing.T) {
+	base, _, _, _ := startDaemon(t, "-read-header-timeout", "200ms")
+
+	conn, err := net.DialTimeout("tcp", strings.TrimPrefix(base, "http://"), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A syntactically valid but unterminated header block: the server
+	// must not wait for the blank line that never comes.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: tensorteed\r\nX-Slow: ")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	buf := make([]byte, 1024)
+	for {
+		n, err := conn.Read(buf)
+		if err == io.EOF || (err == nil && n == 0) {
+			return // server reaped the connection — the regression is pinned
+		}
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.Fatal("connection still open 10s after the 200ms header deadline")
+			}
+			return // reset etc. — also closed
+		}
+		// Some servers write a 408 before closing; keep reading to EOF.
+	}
+}
+
+// TestDaemonRateLimitFlag pins the -rate-limit wiring end to end: the
+// daemon sheds a client that exhausts its bucket with 429 + Retry-After.
+func TestDaemonRateLimitFlag(t *testing.T) {
+	base, _, _, _ := startDaemon(t, "-rate-limit", "0.001", "-rate-burst", "1")
+
+	resp, err := http.Get(base + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request = %d, want 200", resp.StatusCode)
+	}
+	resp, err = http.Get(base + "/v1/experiments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("second request = %d (Retry-After %q), want 429 with hint",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+}
+
+// TestDaemonLogRequestsFlag pins -log-requests: structured JSON records
+// land on stderr, one per request.
+func TestDaemonLogRequestsFlag(t *testing.T) {
+	base, errBuf := startDaemonStderr(t, "-log-requests")
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := errBuf.String()
+		if strings.Contains(s, `"path":"/healthz"`) && strings.Contains(s, `"status":200`) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no request log record on stderr:\n%s", s)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

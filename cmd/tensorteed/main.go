@@ -16,6 +16,9 @@
 //	tensorteed -store-max-bytes N      evict oldest entries past N bytes
 //	tensorteed -peers http://a,http://b  probe replicas on local store miss
 //	tensorteed -pprof localhost:6060   net/http/pprof on a side listener
+//	tensorteed -rate-limit 10          per-client token bucket, 10 req/s
+//	tensorteed -trusted-proxies 1      client = X-Forwarded-For behind 1 proxy
+//	tensorteed -log-requests           structured JSON request log on stderr
 //
 // Endpoints:
 //
@@ -37,6 +40,17 @@
 // endpoints (strict per-probe timeout, fail-open), so a fleet computes
 // each artifact once.
 //
+// The serving path degrades instead of queueing under overload: when
+// every -max-concurrent slot is busy (or the fill circuit breaker is
+// open after repeated failures), requests for results already persisted
+// in -store-dir are answered from disk with a Warning: 110 stale marker,
+// and only requests with nothing stored shed with 503 + Retry-After.
+// With -rate-limit, each client (per remote address, or per
+// X-Forwarded-For entry behind -trusted-proxies proxies) gets a token
+// bucket; clients over budget receive 429 + Retry-After while /healthz
+// and /metrics stay exempt. Large negotiated bodies are gzip-compressed
+// when the client accepts it.
+//
 // POST /v1/scenarios takes a JSON scenario spec (model, systems with
 // Table-1 overrides, metrics, optional sweep — see EXPERIMENTS.md).
 // Results are cached by the spec's content fingerprint and served with a
@@ -53,6 +67,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -102,6 +117,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	peers := fs.String("peers", "", "comma-separated replica base URLs to probe on local store miss (requires -store-dir)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
+	rateLimit := fs.Float64("rate-limit", 0, "per-client request budget in req/s (0 = unlimited)")
+	rateBurst := fs.Int("rate-burst", 0, "per-client burst on top of -rate-limit (0 = 2x the rate)")
+	trustedProxies := fs.Int("trusted-proxies", 0, "trusted reverse proxies in front of the daemon; >0 keys clients by X-Forwarded-For")
+	logRequests := fs.Bool("log-requests", false, "log every request as structured JSON on stderr")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 10*time.Second, "time allowed to read a request's headers (slowloris guard)")
+	readTimeout := fs.Duration("read-timeout", time.Minute, "time allowed to read a full request")
+	writeTimeout := fs.Duration("write-timeout", 10*time.Minute, "time allowed to write a response (covers cold heavy-figure fills)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle budget")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -155,11 +178,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		opts = append(opts, tensortee.WithStore(st))
 	}
 	runner := tensortee.NewRunner(opts...)
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Runner:                 runner,
 		MaxConcurrent:          *maxConcurrent,
 		MaxConcurrentScenarios: *maxScenarios,
-	})
+		RateLimit:              *rateLimit,
+		RateBurst:              *rateBurst,
+		TrustedProxies:         *trustedProxies,
+	}
+	if *logRequests {
+		cfg.Log = slog.New(slog.NewJSONHandler(stderr, nil))
+	}
+	srv := server.New(cfg)
 
 	if *warm {
 		fmt.Fprintln(stdout, "warming: filling the result cache...")
@@ -183,8 +213,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	// Request contexts deliberately do NOT descend from the signal context:
 	// a SIGTERM must stop the listener and let in-flight requests finish
-	// (Shutdown below), not cancel them mid-computation.
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// (Shutdown below), not cancel them mid-computation. The write timeout
+	// must outlast a cold heavy-figure fill — a response that dies mid-body
+	// looks like a compute failure to the client.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readHeaderTimeout,
+		ReadTimeout:       *readTimeout,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()

@@ -1,0 +1,125 @@
+// Package resilience holds tensorteed's overload-protection primitives.
+// Its circuit breaker watches the compute fill path: consecutive fill
+// failures (errors, panics degraded to errors, or fills blowing a
+// latency budget) open the breaker, and while it is open the serving
+// layer stops starting new computations and degrades to stale results
+// from the persistent store instead.
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the breaker's position.
+type State string
+
+const (
+	// Closed: fills run normally.
+	Closed State = "closed"
+	// Open: the cooldown clock is running; no new fills start.
+	Open State = "open"
+	// HalfOpen: the cooldown elapsed; the next fill is a probe whose
+	// outcome closes or re-opens the breaker.
+	HalfOpen State = "half-open"
+)
+
+// Breaker is a consecutive-failure circuit breaker. It never blocks and
+// never remembers successes beyond resetting the failure streak, so a
+// healthy system pays one mutex per fill outcome. Safe for concurrent use.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	mu        sync.Mutex
+	failures  int
+	openUntil time.Time
+}
+
+// Option customizes a Breaker.
+type Option func(*Breaker)
+
+// WithClock substitutes the time source (tests).
+func WithClock(now func() time.Time) Option {
+	return func(b *Breaker) { b.now = now }
+}
+
+// New builds a Breaker that opens after `threshold` consecutive failures
+// and stays open for `cooldown`. threshold < 1 is raised to 1; a
+// non-positive cooldown gets a sane default (an open breaker that
+// re-closes instantly would never shed load).
+func New(threshold int, cooldown time.Duration, opts ...Option) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if cooldown <= 0 {
+		cooldown = 30 * time.Second
+	}
+	b := &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+	for _, o := range opts {
+		o(b)
+	}
+	return b
+}
+
+// State reports the breaker's position.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.failures < b.threshold {
+		return Closed
+	}
+	if b.now().Before(b.openUntil) {
+		return Open
+	}
+	return HalfOpen
+}
+
+// Open reports whether new fills should be refused right now. Half-open
+// is not open: the cooldown has elapsed and the next fill probes whether
+// the failure cleared.
+func (b *Breaker) Open() bool { return b.State() == Open }
+
+// Success records a completed fill: the failure streak resets and the
+// breaker closes.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	b.failures = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed (or over-budget) fill. Reaching the threshold
+// opens the breaker for a fresh cooldown — including from half-open,
+// where a single failed probe re-opens it.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.failures >= b.threshold {
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// Trip forces the breaker open for a full cooldown (tests and manual
+// load-shedding).
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = b.threshold
+	b.openUntil = b.now().Add(b.cooldown)
+}
+
+// Observe records one fill outcome in a single call: failure when err is
+// non-nil or the fill exceeded budget (budget 0 disables the latency
+// check). The elapsed check means a pathologically slow — but ultimately
+// successful — compute still counts against the streak: the point of the
+// breaker is to stop queueing clients behind fills that have stopped
+// being fast, not only behind fills that error.
+func (b *Breaker) Observe(err error, elapsed, budget time.Duration) {
+	if err != nil || (budget > 0 && elapsed > budget) {
+		b.Failure()
+		return
+	}
+	b.Success()
+}

@@ -1,0 +1,154 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestOpensAfterConsecutiveFailures(t *testing.T) {
+	clock := newFakeClock()
+	b := New(3, time.Minute, WithClock(clock.now))
+	if b.State() != Closed {
+		t.Fatalf("initial state = %v", b.State())
+	}
+	b.Failure()
+	b.Failure()
+	if b.Open() {
+		t.Fatal("open below threshold")
+	}
+	b.Failure()
+	if got := b.State(); got != Open {
+		t.Fatalf("state after 3 failures = %v, want open", got)
+	}
+}
+
+func TestSuccessResetsStreak(t *testing.T) {
+	clock := newFakeClock()
+	b := New(2, time.Minute, WithClock(clock.now))
+	b.Failure()
+	b.Success()
+	b.Failure()
+	if b.Open() {
+		t.Fatal("non-consecutive failures opened the breaker")
+	}
+}
+
+func TestCooldownThenHalfOpenProbe(t *testing.T) {
+	clock := newFakeClock()
+	b := New(1, time.Minute, WithClock(clock.now))
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("not open after threshold")
+	}
+	clock.advance(59 * time.Second)
+	if b.State() != Open {
+		t.Fatal("closed before cooldown elapsed")
+	}
+	clock.advance(2 * time.Second)
+	if got := b.State(); got != HalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", got)
+	}
+	if b.Open() {
+		t.Fatal("half-open must admit a probe fill")
+	}
+	// A failed probe re-opens for a fresh cooldown.
+	b.Failure()
+	if b.State() != Open {
+		t.Fatal("failed probe did not re-open")
+	}
+	clock.advance(61 * time.Second)
+	// A successful probe closes.
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+}
+
+func TestTripForcesOpen(t *testing.T) {
+	clock := newFakeClock()
+	b := New(5, time.Minute, WithClock(clock.now))
+	b.Trip()
+	if b.State() != Open {
+		t.Fatalf("state after Trip = %v, want open", b.State())
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after Success = %v, want closed", b.State())
+	}
+}
+
+func TestObserve(t *testing.T) {
+	clock := newFakeClock()
+	b := New(1, time.Minute, WithClock(clock.now))
+	b.Observe(nil, time.Millisecond, time.Second)
+	if b.State() != Closed {
+		t.Fatal("fast success opened the breaker")
+	}
+	b.Observe(errors.New("boom"), time.Millisecond, time.Second)
+	if b.State() != Open {
+		t.Fatal("error did not open the breaker")
+	}
+	b.Success()
+	// A slow success counts as a failure when a budget is set...
+	b.Observe(nil, 2*time.Second, time.Second)
+	if b.State() != Open {
+		t.Fatal("over-budget fill did not open the breaker")
+	}
+	b.Success()
+	// ...and is ignored when the budget is disabled.
+	b.Observe(nil, time.Hour, 0)
+	if b.State() != Closed {
+		t.Fatal("budget 0 still counted latency")
+	}
+}
+
+func TestDefensiveDefaults(t *testing.T) {
+	b := New(0, 0)
+	b.Failure() // threshold raised to 1
+	if !b.Open() {
+		t.Fatal("threshold 0 did not clamp to 1")
+	}
+}
+
+func TestConcurrentOutcomesAreRaceFree(t *testing.T) {
+	b := New(3, time.Millisecond)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if (i+j)%2 == 0 {
+					b.Failure()
+				} else {
+					b.Success()
+				}
+				b.State()
+			}
+		}(i)
+	}
+	wg.Wait()
+}

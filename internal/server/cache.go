@@ -7,8 +7,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"tensortee"
+	"tensortee/internal/resilience"
+	"tensortee/internal/store"
 )
 
 // Format selects one of a Result's three wire representations.
@@ -32,12 +35,46 @@ func (f Format) contentType() string {
 	}
 }
 
+// tier labels where a lookup was satisfied — surfaced to clients in the
+// X-Cache header and to operators in the request log and metrics.
+type tier string
+
+const (
+	tierMemory  tier = "memory"  // in-process result cache
+	tierDisk    tier = "disk"    // persistent store, loaded by the fill
+	tierCompute tier = "compute" // simulated on this request
+	tierStale   tier = "stale"   // degraded: persisted bytes served under saturation
+	tierNone    tier = ""
+)
+
+// worse ranks tiers for aggregate responses (/all): the reported tier is
+// the most degraded one any member lookup hit.
+func (t tier) worse(o tier) tier {
+	rank := map[tier]int{tierNone: 0, tierMemory: 1, tierDisk: 2, tierCompute: 3, tierStale: 4}
+	if rank[o] > rank[t] {
+		return o
+	}
+	return t
+}
+
+// ErrSaturated reports that compute is saturated (semaphore full or
+// circuit breaker open) and the persistent store holds nothing to degrade
+// to; the caller answers 503 + Retry-After.
+var ErrSaturated = errors.New("compute saturated and no stored result to degrade to; retry later")
+
 // rendered is one cached wire representation of a result: the body bytes
 // plus the strong ETag derived from the result's content fingerprint.
+// stale marks a degraded representation decoded from the persistent store
+// under saturation (never memoized); serve translates it into a
+// Warning: 110 header.
 type rendered struct {
 	body        []byte
 	etag        string
 	contentType string
+	stale       bool
+
+	gzOnce sync.Once
+	gz     []byte // lazily gzipped body; nil when compression doesn't pay
 }
 
 // resultStore is the server-side experiment cache. Each id fills at most
@@ -57,6 +94,12 @@ type resultStore struct {
 	sem     chan struct{} // bounds concurrent fills; nil = unbounded
 	metrics *Metrics
 
+	// breaker observes experiment-fill outcomes: consecutive failures (or
+	// fills blowing fillBudget) open it, and while open the store degrades
+	// to stale persisted results instead of starting new fills.
+	breaker    *resilience.Breaker
+	fillBudget time.Duration // 0 disables the latency check
+
 	mu      sync.Mutex
 	entries map[string]*storeEntry
 }
@@ -66,35 +109,51 @@ type storeEntry struct {
 	done chan struct{} // closed when res/err are final
 	res  *tensortee.Result
 	err  error
+	via  tier // which tier satisfied the fill; written before done closes
 
 	rmu     sync.Mutex
 	renders map[Format]*rendered
 }
 
-// fill runs compute for this entry exactly once and waits for the result,
-// honoring ctx for the wait only: the computation itself runs in a
-// goroutine detached from any single request (an impatient first client
-// cannot poison the cache), queued on sem when non-nil. The fill outlives
-// its request, so a panic in compute (a validation gap reaching a
-// simulator invariant) would crash the whole daemon; it degrades to a
-// per-entry error instead. Shared by the experiment and scenario stores
-// so hardening applies to both fills.
-func (e *storeEntry) fill(ctx context.Context, sem chan struct{}, compute func(context.Context) (*tensortee.Result, error)) error {
+// start launches compute for this entry exactly once, in a goroutine
+// detached from any single request (an impatient first client cannot
+// poison the cache), queued on sem when non-nil. The fill outlives its
+// request, so a panic in compute (a validation gap reaching a simulator
+// invariant) would crash the whole daemon; it degrades to a per-entry
+// error instead. br, when non-nil, observes the outcome (errors, panics,
+// and fills slower than budget count as failures). Shared by the
+// experiment and scenario stores so hardening applies to both fills; the
+// degradation path also calls it directly for its fire-and-forget
+// revalidation.
+func (e *storeEntry) start(ctx context.Context, sem chan struct{}, br *resilience.Breaker, budget time.Duration, compute func(context.Context) (*tensortee.Result, error)) {
 	e.once.Do(func() {
 		go func() {
 			defer close(e.done)
 			defer func() {
 				if p := recover(); p != nil {
 					e.err = fmt.Errorf("computation panicked: %v", p)
+					if br != nil {
+						br.Failure()
+					}
 				}
 			}()
 			if sem != nil {
 				sem <- struct{}{} // queue cold computations instead of thrashing calibration
 				defer func() { <-sem }()
 			}
+			begin := time.Now()
 			e.res, e.err = compute(context.WithoutCancel(ctx))
+			if br != nil {
+				br.Observe(e.err, time.Since(begin), budget)
+			}
 		}()
 	})
+}
+
+// fill is start plus a wait for the result, honoring ctx for the wait
+// only.
+func (e *storeEntry) fill(ctx context.Context, sem chan struct{}, br *resilience.Breaker, budget time.Duration, compute func(context.Context) (*tensortee.Result, error)) error {
+	e.start(ctx, sem, br, budget, compute)
 	select {
 	case <-e.done:
 		return nil
@@ -103,16 +162,18 @@ func (e *storeEntry) fill(ctx context.Context, sem chan struct{}, compute func(c
 	}
 }
 
-func newResultStore(r *tensortee.Runner, maxConcurrent int, m *Metrics) *resultStore {
+func newResultStore(r *tensortee.Runner, maxConcurrent int, m *Metrics, br *resilience.Breaker, fillBudget time.Duration) *resultStore {
 	var sem chan struct{}
 	if maxConcurrent > 0 {
 		sem = make(chan struct{}, maxConcurrent)
 	}
 	return &resultStore{
-		runner:  r,
-		sem:     sem,
-		metrics: m,
-		entries: make(map[string]*storeEntry),
+		runner:     r,
+		sem:        sem,
+		metrics:    m,
+		breaker:    br,
+		fillBudget: fillBudget,
+		entries:    make(map[string]*storeEntry),
 	}
 }
 
@@ -127,19 +188,54 @@ func (s *resultStore) entry(id string) *storeEntry {
 	return e
 }
 
-// result returns the experiment's Result, computing it on first request.
-// A hit (the entry already computed) is counted in the metrics; a miss
-// starts — or joins — the single fill and waits for it, honoring ctx for
-// the wait only.
-func (s *resultStore) result(ctx context.Context, id string) (*tensortee.Result, error) {
+// saturated reports whether a cold lookup should degrade instead of
+// filling: the circuit breaker is open (fills are failing or slow) or
+// every semaphore slot is computing. The channel-length probe is a
+// heuristic snapshot, which is exactly what backpressure needs — a
+// request arriving as a slot frees merely degrades one response early.
+func (s *resultStore) saturated() bool {
+	if s.breaker != nil && s.breaker.Open() {
+		return true
+	}
+	return s.sem != nil && len(s.sem) == cap(s.sem)
+}
+
+// staleResult reads the last persisted result for id straight from the
+// local store — disk only: under saturation a peer round-trip is load the
+// daemon is trying to shed, and the peer tier already fed local disk on
+// every past fill.
+func (s *resultStore) staleResult(id string) (*tensortee.Result, bool) {
+	st := s.runner.Store()
+	if st == nil {
+		return nil, false
+	}
+	b, ok := st.Get(store.Results, id)
+	if !ok {
+		return nil, false
+	}
+	res, err := tensortee.DecodeStoredResult(b)
+	if err != nil || res.ID != id {
+		return nil, false
+	}
+	return res, true
+}
+
+// result returns the experiment's Result plus the tier that satisfied the
+// lookup, computing on first request. A hit (the entry already computed)
+// is counted in the metrics; a cold miss either starts — or joins — the
+// single fill and waits for it (honoring ctx for the wait only), or, when
+// compute is saturated, degrades: the last persisted result is served
+// stale while the fill revalidates in the background, and with nothing
+// persisted the lookup fails with ErrSaturated instead of queueing.
+func (s *resultStore) result(ctx context.Context, id string) (*tensortee.Result, tier, error) {
 	e := s.entry(id)
 	select {
 	case <-e.done:
 		s.metrics.CacheHit()
-		return e.res, e.err
+		return e.res, tierMemory, e.err
 	default:
 	}
-	if err := e.fill(ctx, s.sem, func(ctx context.Context) (*tensortee.Result, error) {
+	compute := func(ctx context.Context) (*tensortee.Result, error) {
 		res, err := s.runner.Cached(ctx, id)
 		if err == nil {
 			// The runs metric counts actual computations; a result the
@@ -152,28 +248,67 @@ func (s *resultStore) result(ctx context.Context, id string) (*tensortee.Result,
 			}
 		}
 		return res, err
-	}); err != nil {
-		return nil, err
 	}
-	return e.res, e.err
+	if s.saturated() {
+		if res, ok := s.staleResult(id); ok {
+			// Stale-while-revalidate: the answer comes from disk now, and
+			// the real fill is kicked off fire-and-forget (queueing on the
+			// semaphore) so a future request finds the entry warm — unless
+			// the breaker is open, in which case starting fills is exactly
+			// what must stop.
+			if s.breaker == nil || !s.breaker.Open() {
+				e.start(ctx, s.sem, s.breaker, s.fillBudget, compute)
+			}
+			s.metrics.StaleServe()
+			return res, tierStale, nil
+		}
+		s.metrics.SaturationReject()
+		return nil, tierNone, ErrSaturated
+	}
+	if err := e.fill(ctx, s.sem, s.breaker, s.fillBudget, compute); err != nil {
+		return nil, tierNone, err
+	}
+	t := tierCompute
+	if e.err == nil && s.runner.ResultFromStore(id) {
+		t = tierDisk
+	}
+	return e.res, t, e.err
 }
 
-// render returns the cached wire representation of the experiment in the
-// given format, rendering (and memoizing) it on first use.
-func (s *resultStore) render(ctx context.Context, id string, f Format) (*rendered, error) {
-	res, err := s.result(ctx, id)
+// render returns the wire representation of the experiment in the given
+// format plus the tier that satisfied it. Non-degraded representations
+// are memoized per format; stale ones are rendered fresh each time (the
+// degradation path is the rare case, and memoizing bytes that the
+// background revalidation is about to supersede would pin them).
+func (s *resultStore) render(ctx context.Context, id string, f Format) (*rendered, tier, error) {
+	res, t, err := s.result(ctx, id)
 	if err != nil {
-		return nil, err
+		return nil, t, err
+	}
+	if t == tierStale {
+		body, err := renderResult(res, f)
+		if err != nil {
+			return nil, t, err
+		}
+		return &rendered{
+			body: body,
+			// Same derivation as the warm path: the fingerprint excludes
+			// Elapsed, so a client revalidating a previously warm response
+			// still 304s during degradation.
+			etag:        fmt.Sprintf("%q", res.Fingerprint()+"-"+string(f)),
+			contentType: f.contentType(),
+			stale:       true,
+		}, t, nil
 	}
 	e := s.entry(id)
 	e.rmu.Lock()
 	defer e.rmu.Unlock()
 	if r, ok := e.renders[f]; ok {
-		return r, nil
+		return r, t, nil
 	}
 	body, err := renderResult(res, f)
 	if err != nil {
-		return nil, err
+		return nil, t, err
 	}
 	r := &rendered{
 		body:        body,
@@ -181,7 +316,7 @@ func (s *resultStore) render(ctx context.Context, id string, f Format) (*rendere
 		contentType: f.contentType(),
 	}
 	e.renders[f] = r
-	return r, nil
+	return r, t, nil
 }
 
 // scenarioStore is the server-side cache for POST /v1/scenarios results,
@@ -256,19 +391,22 @@ func (s *scenarioStore) entry(fp string) (*storeEntry, error) {
 }
 
 // render returns the cached wire representation of the scenario in the
-// given format, computing the scenario on first request for its
-// fingerprint. The ETag is keyed on the spec fingerprint (plus format),
-// so revalidation works across restarts for identical specs.
-func (s *scenarioStore) render(ctx context.Context, fp string, spec tensortee.Scenario, f Format) (*rendered, error) {
+// given format plus the tier that satisfied it, computing the scenario on
+// first request for its fingerprint. The ETag is keyed on the spec
+// fingerprint (plus format), so revalidation works across restarts for
+// identical specs. Scenario fills do not feed the circuit breaker: a
+// failing spec is the client's problem, not the daemon's health.
+func (s *scenarioStore) render(ctx context.Context, fp string, spec tensortee.Scenario, f Format) (*rendered, tier, error) {
 	e, err := s.entry(fp)
 	if err != nil {
-		return nil, err
+		return nil, tierNone, err
 	}
+	t := tierMemory
 	select {
 	case <-e.done:
 		s.metrics.ScenarioCacheHit()
 	default:
-		if err := e.fill(ctx, s.sem, func(ctx context.Context) (*tensortee.Result, error) {
+		if err := e.fill(ctx, s.sem, nil, 0, func(ctx context.Context) (*tensortee.Result, error) {
 			// RunScenarioCached consults the persistent store before
 			// computing, which is also what makes the memory cap safe to
 			// enforce by wholesale eviction: a persisted entry that was
@@ -278,16 +416,24 @@ func (s *scenarioStore) render(ctx context.Context, fp string, spec tensortee.Sc
 			if err == nil {
 				if fromStore {
 					s.metrics.ScenarioStoreServe()
+					e.via = tierDisk
 				} else {
 					s.metrics.ScenarioRun()
+					e.via = tierCompute
 				}
 			}
 			return res, err
 		}); err != nil {
-			return nil, err
+			return nil, tierNone, err
+		}
+		if e.via != tierNone {
+			t = e.via
+		} else {
+			t = tierCompute
 		}
 	}
-	return e.renderScenario(fp, f)
+	rd, err := e.renderScenario(fp, f)
+	return rd, t, err
 }
 
 // peek returns the completed entry for fp, or nil when the fingerprint

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// gzipMinSize is the smallest body worth compressing: below a kilobyte
+// the gzip header and the CPU round-trip cost more than the bytes saved,
+// and the bodies that matter (the /all aggregate and sweep JSON) are tens
+// to hundreds of kilobytes.
+const gzipMinSize = 1 << 10
+
+// acceptsGzip reports whether the client's Accept-Encoding admits gzip,
+// honoring q=0 refusals.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc := strings.TrimSpace(part)
+		q := 1.0
+		if semi := strings.IndexByte(enc, ';'); semi >= 0 {
+			if v, ok := strings.CutPrefix(strings.TrimSpace(enc[semi+1:]), "q="); ok {
+				if f, err := strconv.ParseFloat(v, 64); err == nil {
+					q = f
+				}
+			}
+			enc = strings.TrimSpace(enc[:semi])
+		}
+		if (enc == "gzip" || enc == "*") && q > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// gzipBody returns the compressed form of the body, computed at most once
+// per rendered representation (cached representations are served many
+// times). It returns nil when compression does not pay — tiny or
+// already-dense bodies — and the caller serves identity.
+func (rd *rendered) gzipBody() []byte {
+	rd.gzOnce.Do(func() {
+		var buf bytes.Buffer
+		zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+		if err != nil {
+			return
+		}
+		_, werr := zw.Write(rd.body)
+		cerr := zw.Close()
+		if werr == nil && cerr == nil && buf.Len() < len(rd.body) {
+			rd.gz = buf.Bytes()
+		}
+	})
+	return rd.gz
+}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tensortee/internal/resilience"
 	"tensortee/internal/store"
 )
 
@@ -23,11 +24,19 @@ type Metrics struct {
 	scenarioHits   atomic.Int64 // scenario lookups served from memory
 	expStoreServes atomic.Int64 // experiment fills satisfied by the persistent store
 	scenStoreServe atomic.Int64 // scenario fills satisfied by the persistent store
+	rateAllowed    atomic.Int64 // requests admitted by the rate limiter
+	rateRejected   atomic.Int64 // requests answered 429 by the rate limiter
+	staleServes    atomic.Int64 // degraded lookups served stale from the persistent store
+	satRejects     atomic.Int64 // degraded lookups with nothing persisted (503)
 
 	// storeStats, when set, snapshots the persistent store's own counters
 	// for the /metrics rendering; nil means persistence is disabled and
 	// the store series are omitted entirely.
 	storeStats func() store.Stats
+
+	// breakerState, when set, reports the compute circuit breaker's
+	// position for the tensorteed_breaker_open gauge.
+	breakerState func() resilience.State
 
 	mu  sync.Mutex
 	exp map[string]*experimentMetrics
@@ -79,9 +88,27 @@ func (m *Metrics) ExperimentStoreServe() { m.expStoreServes.Add(1) }
 // store (disk or peer) instead of a computation.
 func (m *Metrics) ScenarioStoreServe() { m.scenStoreServe.Add(1) }
 
+// RatelimitAllowed counts a request the rate limiter admitted.
+func (m *Metrics) RatelimitAllowed() { m.rateAllowed.Add(1) }
+
+// RatelimitRejected counts a request the rate limiter answered 429.
+func (m *Metrics) RatelimitRejected() { m.rateRejected.Add(1) }
+
+// StaleServe counts a saturated lookup degraded to a stale persisted
+// result (200 + Warning) instead of queueing behind compute.
+func (m *Metrics) StaleServe() { m.staleServes.Add(1) }
+
+// SaturationReject counts a saturated lookup with nothing persisted to
+// degrade to — the 503 + Retry-After tier.
+func (m *Metrics) SaturationReject() { m.satRejects.Add(1) }
+
 // SetStoreStats attaches the persistent store's counter snapshot; Render
 // emits the tensorteed_store_* series only when this is set.
 func (m *Metrics) SetStoreStats(fn func() store.Stats) { m.storeStats = fn }
+
+// SetBreakerState attaches the compute circuit breaker's state probe for
+// the tensorteed_breaker_open gauge.
+func (m *Metrics) SetBreakerState(fn func() resilience.State) { m.breakerState = fn }
 
 // ExperimentRun records one actual computation of an experiment.
 func (m *Metrics) ExperimentRun(id string, seconds float64) {
@@ -114,6 +141,22 @@ func (m *Metrics) Render() string {
 	fmt.Fprintf(&b, "tensorteed_scenario_runs_total %d\n", m.scenarioRuns.Load())
 	fmt.Fprintf(&b, "# TYPE tensorteed_scenario_cache_hits_total counter\n")
 	fmt.Fprintf(&b, "tensorteed_scenario_cache_hits_total %d\n", m.scenarioHits.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_ratelimit_allowed_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_ratelimit_allowed_total %d\n", m.rateAllowed.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_ratelimit_rejected_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_ratelimit_rejected_total %d\n", m.rateRejected.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_stale_serves_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_stale_serves_total %d\n", m.staleServes.Load())
+	fmt.Fprintf(&b, "# TYPE tensorteed_saturation_rejects_total counter\n")
+	fmt.Fprintf(&b, "tensorteed_saturation_rejects_total %d\n", m.satRejects.Load())
+	if m.breakerState != nil {
+		open := 0
+		if m.breakerState() == resilience.Open {
+			open = 1
+		}
+		fmt.Fprintf(&b, "# TYPE tensorteed_breaker_open gauge\n")
+		fmt.Fprintf(&b, "tensorteed_breaker_open %d\n", open)
+	}
 
 	if m.storeStats != nil {
 		st := m.storeStats()

@@ -18,15 +18,40 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"tensortee"
+	"tensortee/internal/ratelimit"
+	"tensortee/internal/resilience"
 	"tensortee/internal/store"
 )
+
+// Defaults for the compute circuit breaker: five consecutive fill
+// failures (errors, panics, or over-budget fills) open it for 30s, during
+// which lookups degrade to stale persisted results instead of starting
+// fills.
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = 30 * time.Second
+)
+
+// saturationRetryAfter steers clients shed by the degradation path (503,
+// nothing persisted) away from a per-second retry storm; heavy fills take
+// on the order of ten seconds.
+const saturationRetryAfter = "10"
+
+// cacheTierHeader tells clients (and the request log) which tier
+// satisfied a lookup: memory, disk, compute, or stale.
+const cacheTierHeader = "X-Cache"
 
 // Config sizes a Server.
 type Config struct {
@@ -34,24 +59,49 @@ type Config struct {
 	Runner *tensortee.Runner
 	// MaxConcurrent bounds concurrent experiment computations: a burst of
 	// cold requests queues behind the bound instead of thrashing system
-	// calibration. 0 means unbounded.
+	// calibration. 0 means unbounded. When every slot is busy, cold
+	// lookups degrade (stale persisted result, else 503) instead of
+	// queueing.
 	MaxConcurrent int
 	// MaxConcurrentScenarios bounds concurrent scenario computations
 	// (POST /v1/scenarios). Scenarios calibrate fresh systems per distinct
 	// override set, so an unbounded burst of cold specs is the daemon's
 	// most expensive request shape. 0 means unbounded.
 	MaxConcurrentScenarios int
+	// RateLimit grants each client this many requests per second (token
+	// bucket, burst RateBurst). 0 disables rate limiting.
+	RateLimit float64
+	// RateBurst is the per-client bucket size; 0 derives 2×RateLimit
+	// (minimum 1).
+	RateBurst int
+	// TrustedProxies is how many trusted reverse proxies sit in front of
+	// the daemon: 0 keys clients by TCP peer address; N > 0 trusts the
+	// last N X-Forwarded-For hops and keys by the address they vouch for.
+	TrustedProxies int
+	// Log, when non-nil, receives one structured record per request
+	// (method, path, status, bytes, duration, client, cache tier).
+	Log *slog.Logger
+	// Breaker overrides the default compute circuit breaker (tests trip
+	// it deliberately; nil builds the default).
+	Breaker *resilience.Breaker
+	// FillBudget marks experiment fills slower than this as breaker
+	// failures even when they succeed. 0 disables the latency check —
+	// cold heavy figures legitimately take tens of seconds.
+	FillBudget time.Duration
 }
 
 // Server is the tensorteed HTTP API. Build with New, mount with Handler.
 type Server struct {
-	runner    *tensortee.Runner
-	store     *resultStore
-	scenarios *scenarioStore
-	metrics   *Metrics
-	index     []tensortee.ExperimentInfo
-	known     map[string]bool
-	mux       *http.ServeMux
+	runner         *tensortee.Runner
+	store          *resultStore
+	scenarios      *scenarioStore
+	metrics        *Metrics
+	limiter        *ratelimit.Limiter // nil when rate limiting is disabled
+	trustedProxies int
+	log            *slog.Logger // nil when request logging is disabled
+	index          []tensortee.ExperimentInfo
+	known          map[string]bool
+	mux            *http.ServeMux
 }
 
 // New builds a Server around the runner. When the runner carries a
@@ -68,13 +118,27 @@ func New(cfg Config) *Server {
 	if st := r.Store(); st != nil {
 		m.SetStoreStats(st.Stats)
 	}
+	br := cfg.Breaker
+	if br == nil {
+		br = resilience.New(defaultBreakerThreshold, defaultBreakerCooldown)
+	}
+	m.SetBreakerState(br.State)
 	s := &Server{
-		runner:    r,
-		store:     newResultStore(r, cfg.MaxConcurrent, m),
-		scenarios: newScenarioStore(r, cfg.MaxConcurrentScenarios, m),
-		metrics:   m,
-		index:     tensortee.Experiments(),
-		known:     make(map[string]bool),
+		runner:         r,
+		store:          newResultStore(r, cfg.MaxConcurrent, m, br, cfg.FillBudget),
+		scenarios:      newScenarioStore(r, cfg.MaxConcurrentScenarios, m),
+		metrics:        m,
+		trustedProxies: cfg.TrustedProxies,
+		log:            cfg.Log,
+		index:          tensortee.Experiments(),
+		known:          make(map[string]bool),
+	}
+	if cfg.RateLimit > 0 {
+		burst := cfg.RateBurst
+		if burst <= 0 {
+			burst = int(math.Ceil(cfg.RateLimit)) * 2
+		}
+		s.limiter = ratelimit.New(cfg.RateLimit, burst)
 	}
 	for _, e := range s.index {
 		s.known[e.ID] = true
@@ -95,24 +159,60 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the fully-instrumented HTTP handler.
+// Handler returns the fully-instrumented HTTP handler. Middleware order,
+// outermost first: request logging (sees everything, including 429s),
+// request metrics (rate-limited requests count in requests/errors too),
+// rate limiting, then the routing mux.
 func (s *Server) Handler() http.Handler {
-	return s.instrument(s.mux)
+	h := http.Handler(s.mux)
+	if s.limiter != nil {
+		h = ratelimit.Middleware(h, s.limiter, s.rateKey, func(allowed bool) {
+			if allowed {
+				s.metrics.RatelimitAllowed()
+			} else {
+				s.metrics.RatelimitRejected()
+			}
+		})
+	}
+	h = s.instrument(h)
+	if s.log != nil {
+		h = s.logRequests(h)
+	}
+	return h
+}
+
+// rateKey buckets requests by client address for the limiter. Liveness
+// and metrics probes are exempt (empty key): they are needed most while
+// clients are being shed.
+func (s *Server) rateKey(r *http.Request) string {
+	switch r.URL.Path {
+	case "/healthz", "/metrics":
+		return ""
+	}
+	return ratelimit.ClientKey(r, s.trustedProxies)
 }
 
 // Metrics exposes the server's counters (the /metrics endpoint renders
 // the same set).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
-// statusRecorder captures the response code for the request metrics.
+// statusRecorder captures the response code and body size for the
+// request metrics and the request log.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
 	r.code = code
 	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
 }
 
 // instrument wraps h with the request/in-flight/error counters.
@@ -126,6 +226,34 @@ func (s *Server) instrument(h http.Handler) http.Handler {
 			s.metrics.Error()
 		}
 	})
+}
+
+// logRequests emits one structured record per request. The cache tier is
+// read back from the response header the handlers set, so the log shows
+// whether a lookup hit memory, disk, compute, or the degraded stale path
+// without threading state through every handler.
+func (s *Server) logRequests(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.code),
+			slog.Int64("bytes", rec.bytes),
+			slog.Duration("duration", time.Since(start)),
+			slog.String("client", ratelimit.ClientKey(r, s.trustedProxies)),
+			slog.String("cache", w.Header().Get(cacheTierHeader)),
+		)
+	})
+}
+
+// setCacheTier labels the response with the tier that satisfied it.
+func setCacheTier(w http.ResponseWriter, t tier) {
+	if t != tierNone {
+		w.Header().Set(cacheTierHeader, string(t))
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -170,11 +298,17 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	rd, err := s.store.render(r.Context(), id, f)
+	rd, t, err := s.store.render(r.Context(), id, f)
 	if err != nil {
+		if errors.Is(err, ErrSaturated) {
+			w.Header().Set("Retry-After", saturationRetryAfter)
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	setCacheTier(w, t)
 	s.serve(w, r, rd)
 }
 
@@ -188,14 +322,15 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 	// and each id still computes at most once.
 	type outcome struct {
 		rd  *rendered
+		t   tier
 		err error
 	}
 	outcomes := make([]outcome, len(s.index))
 	doneCh := make(chan int, len(s.index))
 	for i, e := range s.index {
 		go func(i int, id string) {
-			rd, err := s.store.render(r.Context(), id, f)
-			outcomes[i] = outcome{rd, err}
+			rd, t, err := s.store.render(r.Context(), id, f)
+			outcomes[i] = outcome{rd, t, err}
 			doneCh <- i
 		}(i, e.ID)
 	}
@@ -204,15 +339,29 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 	}
 	var bodies [][]byte
 	var tags []string
+	agg := tierNone
+	stale := false
 	for i, o := range outcomes {
 		if o.err != nil {
+			if errors.Is(o.err, ErrSaturated) {
+				// The aggregate can only be complete if every member can be
+				// served; one unservable member degrades the whole response.
+				w.Header().Set("Retry-After", saturationRetryAfter)
+				http.Error(w, fmt.Sprintf("experiment %s: %v", s.index[i].ID, o.err), http.StatusServiceUnavailable)
+				return
+			}
 			http.Error(w, fmt.Sprintf("experiment %s: %v", s.index[i].ID, o.err), http.StatusInternalServerError)
 			return
 		}
 		bodies = append(bodies, o.rd.body)
 		tags = append(tags, o.rd.etag)
+		agg = agg.worse(o.t)
+		stale = stale || o.rd.stale
 	}
-	s.serve(w, r, combine(bodies, tags, f))
+	rd := combine(bodies, tags, f)
+	rd.stale = stale
+	setCacheTier(w, agg)
+	s.serve(w, r, rd)
 }
 
 // maxScenarioBody bounds POST /v1/scenarios request bodies: specs are a
@@ -241,6 +390,15 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxScenarioBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
+		// An over-limit body surfaces from Decode as the reader's
+		// MaxBytesError; that is the client sending too much, not sending
+		// malformed JSON, and gets the status that says so.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("scenario spec exceeds the %d-byte limit", maxScenarioBody),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, fmt.Sprintf("decoding scenario spec: %v", err), http.StatusBadRequest)
 		return
 	}
@@ -257,13 +415,21 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		s.serve(w, r, &rendered{etag: etag, contentType: f.contentType()})
 		return
 	}
-	rd, err := s.scenarios.render(r.Context(), fp, spec, f)
+	rd, t, err := s.scenarios.render(r.Context(), fp, spec, f)
 	if err != nil {
 		status := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, tensortee.ErrInvalidScenario):
 			status = http.StatusBadRequest
 		case errors.Is(err, ErrScenarioStoreBusy):
+			// Degrade before shedding: an identical spec computed by an
+			// earlier process sharing -store-dir serves stale from disk.
+			if srd := s.staleScenario(fp, f); srd != nil {
+				s.metrics.StaleServe()
+				setCacheTier(w, tierStale)
+				s.serve(w, r, srd)
+				return
+			}
 			status = http.StatusServiceUnavailable
 			// Fills are uncancelable and can run for minutes; steer
 			// well-behaved clients away from a per-second retry storm.
@@ -272,7 +438,37 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
+	setCacheTier(w, t)
 	s.serve(w, r, rd)
+}
+
+// staleScenario reads the last persisted result for a scenario
+// fingerprint straight from local disk — the degradation twin of
+// resultStore.staleResult. Nil when persistence is off or the store has
+// nothing usable.
+func (s *Server) staleScenario(fp string, f Format) *rendered {
+	st := s.runner.Store()
+	if st == nil {
+		return nil
+	}
+	b, ok := st.Get(store.Scenarios, fp)
+	if !ok {
+		return nil
+	}
+	res, err := tensortee.DecodeStoredResult(b)
+	if err != nil {
+		return nil
+	}
+	body, err := renderResult(res, f)
+	if err != nil {
+		return nil
+	}
+	return &rendered{
+		body:        body,
+		etag:        scenarioETag(fp, f),
+		contentType: f.contentType(),
+		stale:       true,
+	}
 }
 
 // handleScenarioLookup serves a previously computed scenario by its
@@ -309,6 +505,7 @@ func (s *Server) handleScenarioLookup(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.metrics.ScenarioCacheHit()
+		setCacheTier(w, tierMemory)
 		s.serve(w, r, rd)
 		return
 	}
@@ -322,6 +519,7 @@ func (s *Server) handleScenarioLookup(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				s.metrics.ScenarioStoreServe()
+				setCacheTier(w, tierDisk)
 				s.serve(w, r, rd)
 				return
 			}
@@ -370,9 +568,43 @@ func (s *Server) handleStoreEntry(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no such store entry", http.StatusNotFound)
 		return
 	}
-	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Cache-Control", "no-store") // replicas re-validate; don't let proxies keep stale builds
+	h := w.Header()
+	// The envelope header already carries the payload checksum; reusing it
+	// as the validator means a replica re-probing an entry it has fetched
+	// before pays a 304, not the body — and no re-hash here.
+	if etag := envelopeETag(raw); etag != "" {
+		h.Set("ETag", etag)
+		if etagMatches(r.Header.Get("If-None-Match"), etag) {
+			s.metrics.NotModified()
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	h.Set("Content-Type", "application/octet-stream")
+	// Explicit so peer probes can pre-size their read buffers instead of
+	// growing through chunked reads.
+	h.Set("Content-Length", strconv.Itoa(len(raw)))
+	// no-cache (not no-store): with the checksum ETag above, a proxy may
+	// keep the bytes as long as it revalidates — a stale build still
+	// revalidates to a different checksum and re-fetches.
+	h.Set("Cache-Control", "no-cache")
 	_, _ = w.Write(raw)
+}
+
+// envelopeETag derives the strong validator for a raw store envelope from
+// the sha256 field its header line already carries. Empty when the header
+// is not the expected six-field shape (ReadRaw validated it, so this is
+// pure defense).
+func envelopeETag(raw []byte) string {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return ""
+	}
+	fields := strings.Fields(string(raw[:nl]))
+	if len(fields) != 6 {
+		return ""
+	}
+	return `"` + fields[4] + `"`
 }
 
 // combine aggregates per-experiment representations into the /all body:
@@ -406,25 +638,40 @@ func combine(bodies [][]byte, tags []string, f Format) *rendered {
 }
 
 // serve writes one cached representation, answering conditional requests
-// with 304 when the client's validator still matches.
+// with 304 when the client's validator still matches. Stale (degraded)
+// representations carry the RFC 7234 staleness warning; large bodies are
+// gzipped when the client accepts it.
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, rd *rendered) {
 	h := w.Header()
 	h.Set("ETag", rd.etag)
 	h.Set("Content-Type", rd.contentType)
 	h.Set("Cache-Control", "no-cache") // serve from cache only after revalidation
 	// The representation is negotiated from the Accept header (absent an
-	// explicit ?format=), so intermediaries must key cached responses on
-	// it: without Vary, a shared cache could satisfy an Accept: text/csv
-	// request with a previously cached JSON body under the same URL (the
-	// ETags are representation-specific, but a cache only consults them
-	// on revalidation, not on a fresh-enough hit).
-	h.Set("Vary", "Accept")
+	// explicit ?format=) and from Accept-Encoding, so intermediaries must
+	// key cached responses on both: without Vary, a shared cache could
+	// satisfy an Accept: text/csv request with a previously cached JSON
+	// body under the same URL (the ETags are representation-specific, but
+	// a cache only consults them on revalidation, not on a fresh-enough
+	// hit), or hand a gzip body to a client that cannot decode it.
+	h.Set("Vary", "Accept, Accept-Encoding")
+	if rd.stale {
+		h.Set("Warning", `110 - "response is stale: compute saturated, served from the persistent store"`)
+	}
 	if etagMatches(r.Header.Get("If-None-Match"), rd.etag) {
 		s.metrics.NotModified()
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
-	w.Write(rd.body)
+	body := rd.body
+	if len(body) >= gzipMinSize && acceptsGzip(r) {
+		if gz := rd.gzipBody(); gz != nil {
+			h.Set("Content-Encoding", "gzip")
+			body = gz
+		}
+	}
+	// Explicit length: clients pre-size buffers and see truncation.
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.Write(body)
 }
 
 // etagMatches reports whether any member of an If-None-Match header

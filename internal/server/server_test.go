@@ -127,8 +127,8 @@ func TestContentNegotiation(t *testing.T) {
 			if !strings.Contains(body, tc.wantFrag) {
 				t.Errorf("body missing %q:\n%.200s", tc.wantFrag, body)
 			}
-			if vary := resp.Header.Get("Vary"); vary != "Accept" {
-				t.Errorf("Vary = %q, want %q", vary, "Accept")
+			if vary := resp.Header.Get("Vary"); vary != "Accept, Accept-Encoding" {
+				t.Errorf("Vary = %q, want %q", vary, "Accept, Accept-Encoding")
 			}
 		})
 	}
@@ -143,16 +143,16 @@ func TestVaryAcceptOnAllNegotiatedResponses(t *testing.T) {
 	_, ts := newTestServer(t, 0)
 	for _, url := range []string{"/v1/experiments/tab2", "/v1/experiments/all"} {
 		resp, _ := get(t, ts.URL+url, nil)
-		if vary := resp.Header.Get("Vary"); vary != "Accept" {
-			t.Errorf("%s: Vary = %q, want %q", url, vary, "Accept")
+		if vary := resp.Header.Get("Vary"); vary != "Accept, Accept-Encoding" {
+			t.Errorf("%s: Vary = %q, want %q", url, vary, "Accept, Accept-Encoding")
 		}
 		etag := resp.Header.Get("ETag")
 		resp304, _ := get(t, ts.URL+url, map[string]string{"If-None-Match": etag})
 		if resp304.StatusCode != http.StatusNotModified {
 			t.Fatalf("%s: revalidation status = %d", url, resp304.StatusCode)
 		}
-		if vary := resp304.Header.Get("Vary"); vary != "Accept" {
-			t.Errorf("%s: 304 Vary = %q, want %q", url, vary, "Accept")
+		if vary := resp304.Header.Get("Vary"); vary != "Accept, Accept-Encoding" {
+			t.Errorf("%s: 304 Vary = %q, want %q", url, vary, "Accept, Accept-Encoding")
 		}
 	}
 }
