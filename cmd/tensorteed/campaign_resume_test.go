@@ -1,0 +1,203 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"tensortee/internal/campaign"
+)
+
+// daemonEnvVar gates TestCampaignDaemonProcess: when set, the test binary
+// stops being a test and becomes a real tensorteed process, so the
+// kill-and-resume test below can SIGKILL it — something an in-process
+// daemon (startDaemon) can never simulate.
+const daemonEnvVar = "TENSORTEED_CAMPAIGN_DAEMON_ARGS"
+
+// TestCampaignDaemonProcess is not a test: it is the daemon half of the
+// cross-process crash test, entered only when the re-exec env var is set.
+func TestCampaignDaemonProcess(t *testing.T) {
+	args := os.Getenv(daemonEnvVar)
+	if args == "" {
+		t.Skip("daemon re-exec helper; driven by TestCampaignSurvivesSIGKILL")
+	}
+	os.Exit(run(context.Background(), strings.Split(args, "\n"), os.Stdout, os.Stderr))
+}
+
+// spawnDaemonProcess re-execs the test binary as a real tensorteed
+// process and waits for it to report its address. The returned process
+// can be SIGKILLed — no defer, no graceful drain, exactly the crash the
+// checkpoint format exists for.
+func spawnDaemonProcess(t *testing.T, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestCampaignDaemonProcess$", "-test.v")
+	cmd.Env = append(os.Environ(),
+		daemonEnvVar+"="+strings.Join(append([]string{"-addr", "127.0.0.1:0"}, args...), "\n"))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "tensorteed listening on "); ok {
+				addrCh <- strings.TrimSpace(rest)
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return cmd, "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon process never reported its address")
+		return nil, ""
+	}
+}
+
+// killResumeCampaign is sized so points are individually cheap but not
+// instant: every point carries a distinct meta_cache_kb override, so each
+// one calibrates its own system (~hundreds of ms) — wide enough a window
+// to SIGKILL the daemon mid-grid deterministically.
+const killResumeCampaign = `{
+  "name": "kill-resume",
+  "base": {
+    "name": "kill-resume-base",
+    "model": {"layers": 1, "hidden": 256, "heads": 4, "batch": 1, "seqlen": 128},
+    "systems": [{"kind": "sgx-mgx"}],
+    "metrics": ["total"]
+  },
+  "axes": [{"axis": "meta_cache_kb", "values": [64, 96, 128, 160, 192, 224, 256, 288, 320, 352, 384, 416]}]
+}`
+
+func campaignStatus(t *testing.T, url string) campaign.Status {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status poll = %d (%s)", resp.StatusCode, b)
+	}
+	var st campaign.Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatalf("decoding status %q: %v", b, err)
+	}
+	return st
+}
+
+// TestCampaignSurvivesSIGKILL is the crash-safety acceptance test:
+// SIGKILL a real daemon process mid-campaign, restart a fresh process
+// against the same store directory, and require that the campaign
+// completes with every pre-kill checkpoint restored and zero points
+// recomputed.
+func TestCampaignSurvivesSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real daemon processes and computes a 12-point grid")
+	}
+	dir := t.TempDir()
+
+	daemon1, base1 := spawnDaemonProcess(t, "-store-dir", dir, "-campaign-workers", "1")
+	resp, err := http.Post(base1+"/v1/campaigns", "application/json", strings.NewReader(killResumeCampaign))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create = %d (%s)", resp.StatusCode, b)
+	}
+	var st campaign.Status
+	if err := json.Unmarshal(b, &st); err != nil {
+		t.Fatal(err)
+	}
+	statusURL := "/v1/campaigns/" + st.ID
+
+	// Let the grid get roughly halfway, then SIGKILL — no drain, no
+	// flushing beyond what each point's atomic checkpoint write already
+	// guaranteed.
+	deadline := time.Now().Add(2 * time.Minute)
+	for {
+		cur := campaignStatus(t, base1+statusURL)
+		if cur.Done >= cur.Total/2 {
+			break
+		}
+		if cur.State != campaign.StateRunning {
+			t.Fatalf("campaign finished before the kill (state %q) — points are too cheap", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("campaign never reached the kill point: %+v", cur)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := daemon1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = daemon1.Process.Wait()
+
+	// The surviving checkpoints are exactly the .p* files on disk.
+	points, err := filepath.Glob(filepath.Join(dir, "campaign", st.ID+".p*.tte"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpointed := len(points)
+	if checkpointed == 0 || checkpointed >= st.Total {
+		t.Fatalf("checkpoints after kill = %d, want mid-campaign (0 < n < %d)", checkpointed, st.Total)
+	}
+
+	// A fresh process against the same store resumes the campaign before
+	// accepting traffic and computes only what is missing.
+	_, base2 := spawnDaemonProcess(t, "-store-dir", dir, "-campaign-workers", "1")
+	var final campaign.Status
+	deadline = time.Now().Add(2 * time.Minute)
+	for {
+		final = campaignStatus(t, base2+statusURL)
+		if final.State != campaign.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed campaign never finished: %+v", final)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if final.State != campaign.StateDone {
+		t.Fatalf("resumed state = %q, want done (%+v)", final.State, final)
+	}
+	if final.Failed != 0 || final.Skipped != 0 {
+		t.Fatalf("resumed run lost points: %+v", final)
+	}
+	if final.Restored != checkpointed {
+		t.Errorf("restored = %d, want every one of the %d pre-kill checkpoints", final.Restored, checkpointed)
+	}
+	if want := st.Total - checkpointed; final.Computed != want {
+		t.Errorf("computed = %d, want only the %d missing points (recompute = data loss in time)", final.Computed, want)
+	}
+	if final.Restored+final.Computed != st.Total {
+		t.Errorf("restored %d + computed %d != total %d", final.Restored, final.Computed, st.Total)
+	}
+	fmt.Printf("kill-resume: %d checkpointed before SIGKILL, %d restored, %d computed after restart\n",
+		checkpointed, final.Restored, final.Computed)
+}

@@ -10,6 +10,8 @@
 //	tensorteed -parallel 4             worker pool inside the Runner
 //	tensorteed -max-concurrent 2       bound concurrent cold computations
 //	tensorteed -max-scenarios 2        bound concurrent scenario computations
+//	tensorteed -campaign-workers 2     bound concurrent campaign point computations
+//	tensorteed -campaign-retries 1     retry failed campaign points this many times
 //	tensorteed -warm                   warm every experiment at startup
 //	tensorteed -warm -warm-exit        ... then exit instead of serving
 //	tensorteed -store-dir /var/lib/tt  persist results/calibrations on disk
@@ -27,6 +29,11 @@
 //	GET  /v1/experiments/all           every result
 //	POST /v1/scenarios                 run a declarative custom scenario
 //	GET  /v1/scenarios/{fingerprint}   look up a computed scenario by fingerprint
+//	POST /v1/campaigns                 submit an async multi-axis campaign
+//	GET  /v1/campaigns                 all campaign statuses
+//	GET  /v1/campaigns/{id}            one campaign status
+//	GET  /v1/campaigns/{id}/events     NDJSON progress stream
+//	DELETE /v1/campaigns/{id}          cancel (in-flight points drain)
 //	GET  /v1/store                     persistent-store statistics
 //	GET  /v1/store/{ns}/{key}          raw store envelope (peer replication)
 //	GET  /healthz                      liveness probe
@@ -57,8 +64,17 @@
 // strong ETag derived from it, so identical specs revalidate with
 // If-None-Match → 304.
 //
+// POST /v1/campaigns takes a campaign spec — a base scenario plus axes
+// to cross — and runs the grid asynchronously on a bounded worker pool.
+// Every completed point checkpoints through -store-dir, so a daemon
+// killed mid-campaign resumes it at the next start computing only the
+// missing points; without -store-dir campaigns run but do not survive a
+// restart.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: the listener stops
-// accepting, in-flight requests drain, then the process exits.
+// accepting, in-flight requests drain (campaign workers included), then
+// the process exits. A SIGKILL mid-campaign loses no completed points —
+// each checkpoint is an atomic store write.
 package main
 
 import (
@@ -110,6 +126,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 1, "experiments the Runner may execute concurrently (0 = GOMAXPROCS)")
 	maxConcurrent := fs.Int("max-concurrent", 4, "cold experiment computations in flight at once (0 = unbounded)")
 	maxScenarios := fs.Int("max-scenarios", 2, "scenario computations in flight at once (0 = unbounded)")
+	campaignWorkers := fs.Int("campaign-workers", 2, "campaign points computing at once")
+	campaignRetries := fs.Int("campaign-retries", 1, "retries per failed campaign point")
 	warm := fs.Bool("warm", false, "warm every experiment before accepting traffic")
 	warmExit := fs.Bool("warm-exit", false, "with -warm: exit after warming instead of serving")
 	storeDir := fs.String("store-dir", "", "persist results and calibrations in this directory; empty disables")
@@ -185,11 +203,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		RateLimit:              *rateLimit,
 		RateBurst:              *rateBurst,
 		TrustedProxies:         *trustedProxies,
+		CampaignWorkers:        *campaignWorkers,
+		CampaignRetries:        *campaignRetries,
 	}
 	if *logRequests {
 		cfg.Log = slog.New(slog.NewJSONHandler(stderr, nil))
 	}
 	srv := server.New(cfg)
+
+	// Crash recovery: campaigns interrupted by a previous process (crash,
+	// SIGKILL, deploy) restart from their checkpoints before traffic is
+	// accepted — completed points restore from the store, only the rest
+	// compute.
+	if *storeDir != "" {
+		if n, err := srv.Campaigns().ResumeStored(); err != nil {
+			fmt.Fprintf(stderr, "campaign resume: %v\n", err)
+		} else if n > 0 {
+			fmt.Fprintf(stdout, "campaigns: resumed %d\n", n)
+		}
+	}
 
 	if *warm {
 		fmt.Fprintln(stdout, "warming: filling the result cache...")
@@ -236,6 +268,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 			fmt.Fprintf(stderr, "drain incomplete: %v\n", err)
 			return 1
+		}
+		// Campaign workers drain inside the same budget: dispatch stops,
+		// in-flight points finish and checkpoint. Whatever does not finish
+		// is simply recomputed on the next start — an incomplete drain is
+		// worth reporting but is not data loss.
+		if err := srv.Campaigns().Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintf(stderr, "campaign drain incomplete: %v\n", err)
 		}
 		fmt.Fprintln(stdout, "drained, bye")
 		return 0

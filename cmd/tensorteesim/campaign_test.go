@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tensortee/internal/campaign"
+)
+
+// cliCampaign crosses the cheap custom model over a three-value layers
+// axis (one shared mode-off calibration, three fast points).
+const cliCampaign = `{
+  "name": "cli-campaign",
+  "base": ` + cliSpec + `,
+  "axes": [{"axis": "layers", "values": [1, 2, 3]}]
+}`
+
+func TestCampaignFromStdinRunsGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign calibrates a system")
+	}
+	code, out, stderr := runCLIStdin(t, cliCampaign, "-campaign", "-")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var st campaign.Status
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatalf("stdout is not a campaign status: %v\n%s", err, out)
+	}
+	if st.State != campaign.StateDone || st.Computed != 3 || st.Failed != 0 {
+		t.Errorf("final status = %+v, want 3 computed, done", st)
+	}
+	// Per-point progress goes to stderr, machine output to stdout.
+	if !strings.Contains(stderr, "3 points") {
+		t.Errorf("stderr missing campaign header: %s", stderr)
+	}
+}
+
+func TestCampaignResumesFromStore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign calibrates a system")
+	}
+	dir := t.TempDir()
+	if code, _, stderr := runCLIStdin(t, cliCampaign, "-campaign", "-", "-store-dir", dir); code != 0 {
+		t.Fatalf("first run: exit = %d (stderr: %s)", code, stderr)
+	}
+	code, out, stderr := runCLIStdin(t, cliCampaign, "-campaign", "-", "-store-dir", dir)
+	if code != 0 {
+		t.Fatalf("second run: exit = %d (stderr: %s)", code, stderr)
+	}
+	var st campaign.Status
+	if err := json.Unmarshal([]byte(out), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Restored != 3 || st.Computed != 0 {
+		t.Errorf("second run = %d restored / %d computed, want 3 / 0", st.Restored, st.Computed)
+	}
+}
+
+func TestCampaignErrors(t *testing.T) {
+	// Invalid axis: rejected before any simulation.
+	code, _, stderr := runCLIStdin(t,
+		`{"base": `+cliSpec+`, "axes": [{"axis": "warp", "values": [1]}]}`,
+		"-campaign", "-")
+	if code != 1 || !strings.Contains(stderr, "unknown axis") {
+		t.Errorf("unknown axis: exit = %d, stderr = %s", code, stderr)
+	}
+	// Malformed JSON.
+	code, _, stderr = runCLIStdin(t, `{"base":`, "-campaign", "-")
+	if code != 1 || !strings.Contains(stderr, "decoding spec") {
+		t.Errorf("malformed spec: exit = %d, stderr = %s", code, stderr)
+	}
+	// Missing file.
+	code, _, stderr = runCLI(t, "-campaign", filepath.Join(t.TempDir(), "nope.json"))
+	if code != 1 || !strings.Contains(stderr, "nope.json") {
+		t.Errorf("missing file: exit = %d, stderr = %s", code, stderr)
+	}
+}

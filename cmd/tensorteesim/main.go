@@ -11,6 +11,8 @@
 //	tensorteesim -exp fig16 -json           emit typed JSON
 //	tensorteesim -scenario spec.json        run a declarative custom scenario
 //	tensorteesim -scenario -                ... reading the spec from stdin
+//	tensorteesim -campaign spec.json        run a multi-axis campaign to completion
+//	tensorteesim -campaign - -store-dir DIR ... checkpointed: rerun resumes, not recomputes
 //	tensorteesim -step GPT2-M               simulate one training step on all systems
 //	tensorteesim -models                    list workload models
 //
@@ -18,6 +20,13 @@
 // of systems with Table-1 overrides, a metric set, and an optional sweep
 // axis — see the "Custom scenarios" section of EXPERIMENTS.md and
 // examples/scenario for the JSON shape.
+//
+// A campaign spec is a base scenario plus axes to cross (see the
+// "Campaigns" section of EXPERIMENTS.md). -campaign runs the whole grid
+// on -parallel workers, streams per-point progress to stderr, prints the
+// final status as JSON on stdout, and exits 1 if any point failed. With
+// -store-dir each completed point checkpoints to disk, so an interrupted
+// run picks up where it left off.
 package main
 
 import (
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"tensortee"
+	"tensortee/internal/campaign"
 	"tensortee/internal/store"
 )
 
@@ -49,6 +59,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	exp := fs.String("exp", "", "experiment id to regenerate (or 'all')")
 	scenarioPath := fs.String("scenario", "", "run a custom scenario from a JSON spec file ('-' = stdin)")
+	campaignPath := fs.String("campaign", "", "run a multi-axis campaign from a JSON spec file ('-' = stdin)")
 	step := fs.String("step", "", "simulate one training step for the named model")
 	models := fs.Bool("models", false, "list workload models and exit")
 	jsonOut := fs.Bool("json", false, "emit experiment results as JSON")
@@ -129,6 +140,13 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		if err := emit(stdout, stderr, res, *jsonOut); err != nil {
 			return 1
 		}
+	case *campaignPath != "":
+		code, err := runCampaign(ctx, runner, *campaignPath, stdin, stdout, stderr, *parallel)
+		if err != nil {
+			fmt.Fprintln(stderr, fmt.Errorf("campaign: %w", err))
+			return 1
+		}
+		return code
 	case *step != "":
 		if err := runStep(stdout, *step); err != nil {
 			fmt.Fprintln(stderr, err)
@@ -198,6 +216,93 @@ func runScenario(ctx context.Context, runner *tensortee.Runner, path string, std
 		return nil, fmt.Errorf("decoding spec: %w", err)
 	}
 	return runner.RunScenario(ctx, spec)
+}
+
+// runCampaign decodes a campaign spec (base scenario + axes), runs the
+// whole grid through an in-process campaign manager sharing the Runner's
+// calibration cache and store, streams per-point progress to stderr, and
+// prints the final status as JSON on stdout. The returned exit code is 1
+// when any point failed or the run was interrupted. Ctrl-C cancels:
+// in-flight points drain and checkpoint, the rest are skipped, and with
+// -store-dir a rerun resumes from the checkpoints.
+func runCampaign(ctx context.Context, runner *tensortee.Runner, path string, stdin io.Reader, stdout, stderr io.Writer, parallel int) (int, error) {
+	src := stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return 1, err
+		}
+		defer f.Close()
+		src = f
+	}
+	var spec campaign.Spec
+	dec := json.NewDecoder(src)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return 1, fmt.Errorf("decoding spec: %w", err)
+	}
+	mgr := campaign.NewManager(campaign.Config{
+		Run: func(ctx context.Context, s tensortee.Scenario) ([]byte, error) {
+			res, _, err := runner.RunScenarioCached(ctx, s)
+			if err != nil {
+				return nil, err
+			}
+			return res.EncodeStored()
+		},
+		Store:   runner.Store(),
+		Workers: parallel,
+		Retries: 1,
+	})
+	defer mgr.Shutdown(context.Background())
+
+	st, _, err := mgr.Start(spec)
+	if err != nil {
+		return 1, err
+	}
+	ch, detach, err := mgr.Subscribe(st.ID)
+	if err != nil {
+		return 1, err
+	}
+	defer detach()
+	fmt.Fprintf(stderr, "[campaign %s: %d points, %d restored from store]\n", st.ID, st.Total, st.Restored)
+
+	interrupted := false
+	for {
+		select {
+		case <-ctx.Done():
+			if !interrupted {
+				interrupted = true
+				fmt.Fprintln(stderr, "[interrupt: draining in-flight points...]")
+				if _, err := mgr.Cancel(st.ID); err != nil {
+					return 1, err
+				}
+			}
+			ctx = context.Background() // keep draining the event stream
+		case ev, open := <-ch:
+			if !open {
+				final, ok := mgr.Status(st.ID)
+				if !ok {
+					return 1, fmt.Errorf("campaign %s vanished", st.ID)
+				}
+				out, err := json.MarshalIndent(final, "", "  ")
+				if err != nil {
+					return 1, err
+				}
+				stdout.Write(append(out, '\n'))
+				if final.Failed > 0 || final.State == campaign.StateCancelled {
+					return 1, nil
+				}
+				return 0, nil
+			}
+			if ev.Type == campaign.EventPoint {
+				line := fmt.Sprintf("[%d/%d %s %s]", ev.Done, ev.Total, ev.State, ev.Point)
+				if ev.Error != "" {
+					line += " " + ev.Error
+				}
+				fmt.Fprintln(stderr, line)
+			}
+		}
+	}
 }
 
 func runStep(stdout io.Writer, model string) error {

@@ -1,0 +1,800 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"tensortee/internal/resilience"
+	"tensortee/internal/scenario"
+	"tensortee/internal/store"
+)
+
+// RunFunc computes one campaign point — a single-point scenario spec —
+// and returns the payload to checkpoint (the stored encoding of the
+// scenario result). The manager takes it as a closure rather than a
+// Runner so the package depends only on the scenario/store layers.
+type RunFunc func(ctx context.Context, spec scenario.Spec) ([]byte, error)
+
+// Config configures a Manager.
+type Config struct {
+	// Run computes one point. Required.
+	Run RunFunc
+	// Store checkpoints completed points and manifests. nil disables
+	// persistence: campaigns still run, but do not survive a restart.
+	Store *store.Store
+	// Workers bounds concurrently running points across all campaigns
+	// (default 2). Campaign work is background batch work; it must not
+	// starve the serving path's own compute slots.
+	Workers int
+	// Retries is how many times a failed point is retried before it is
+	// marked failed (default 1; attempts = Retries+1).
+	Retries int
+	// RetryDelay spaces retry attempts (default 50ms).
+	RetryDelay time.Duration
+	// Breaker, when set, observes every point attempt and pauses
+	// dispatch while open — a sick backend stops the batch tier from
+	// hammering it, the same degradation path the serving tier takes.
+	Breaker *resilience.Breaker
+	// BreakerPoll is how often a paused dispatcher re-checks an open
+	// breaker (default 100ms).
+	BreakerPoll time.Duration
+	// OnEvent, when set, observes every published event synchronously
+	// (metrics hook).
+	OnEvent func(Event)
+	// MaxJobs bounds tracked campaigns (default 64). At the cap, the
+	// oldest terminal job is evicted to admit a new one; if every
+	// tracked job is still running, submission fails with ErrBusy.
+	MaxJobs int
+}
+
+// State is a campaign's lifecycle state.
+type State string
+
+const (
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+)
+
+// PointState is one point's lifecycle state.
+type PointState string
+
+const (
+	// PointPending is the zero value: a freshly allocated point slice is
+	// all-pending by construction.
+	PointPending  PointState = ""
+	PointRunning  PointState = "running"
+	PointComputed PointState = "computed"
+	PointRestored PointState = "restored"
+	PointFailed   PointState = "failed"
+	PointSkipped  PointState = "skipped"
+)
+
+// maxFailures bounds the per-campaign failure detail list (counts are
+// always exact; detail is a sample).
+const maxFailures = 32
+
+// PointFailure records one failed point.
+type PointFailure struct {
+	Index int    `json:"index"`
+	Point string `json:"point"`
+	Error string `json:"error"`
+}
+
+// Status is a campaign status snapshot. Done counts terminal points
+// (computed + restored + failed + skipped); a campaign reaches
+// StateDone even with failed points — failures are isolated, reported,
+// and never abort the rest of the grid.
+type Status struct {
+	ID       string         `json:"id"`
+	Name     string         `json:"name"`
+	State    State          `json:"state"`
+	Total    int            `json:"total"`
+	Done     int            `json:"done"`
+	Computed int            `json:"computed"`
+	Restored int            `json:"restored"`
+	Failed   int            `json:"failed"`
+	Skipped  int            `json:"skipped"`
+	Running  int            `json:"running"`
+	Created  time.Time      `json:"created"`
+	Failures []PointFailure `json:"failures,omitempty"`
+}
+
+// EventType classifies stream events.
+type EventType string
+
+const (
+	// EventStarted opens a campaign's stream (Restored already counted).
+	EventStarted EventType = "started"
+	// EventPoint reports one point reaching a terminal state.
+	EventPoint EventType = "point"
+	// EventDone and EventCancelled terminate the stream.
+	EventDone      EventType = "done"
+	EventCancelled EventType = "cancelled"
+	// EventStatus is a synthetic snapshot line (stream open / close);
+	// the manager never publishes it itself.
+	EventStatus EventType = "status"
+)
+
+// Event is one line of a campaign's NDJSON progress stream.
+type Event struct {
+	Seq      int64     `json:"seq"`
+	Time     time.Time `json:"time"`
+	Type     EventType `json:"type"`
+	Campaign string    `json:"campaign"`
+	Point    string    `json:"point,omitempty"`
+	Index    int       `json:"index"`
+	State    string    `json:"state,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Done     int       `json:"done"`
+	Computed int       `json:"computed"`
+	Restored int       `json:"restored"`
+	Failed   int       `json:"failed"`
+	Skipped  int       `json:"skipped"`
+	Total    int       `json:"total"`
+}
+
+// job is one tracked campaign.
+type job struct {
+	plan    *Plan
+	created time.Time
+
+	cancelOnce sync.Once
+	cancelCh   chan struct{}
+	done       chan struct{} // closed at finalize
+
+	mu         sync.Mutex
+	state      State
+	cancelled  bool // cancel requested
+	points     []PointState
+	computed   int
+	restored   int
+	failed     int
+	skipped    int
+	running    int
+	failures   []PointFailure
+	seq        int64
+	subs       map[int]chan Event
+	nextSub    int
+	subsClosed bool
+}
+
+func newJob(plan *Plan, now time.Time) *job {
+	return &job{
+		plan:     plan,
+		created:  now,
+		cancelCh: make(chan struct{}),
+		done:     make(chan struct{}),
+		state:    StateRunning,
+		points:   make([]PointState, plan.Total),
+		subs:     make(map[int]chan Event),
+	}
+}
+
+func (j *job) statusLocked() Status {
+	st := Status{
+		ID:       j.plan.ID,
+		Name:     j.plan.Spec.Name,
+		State:    j.state,
+		Total:    j.plan.Total,
+		Computed: j.computed,
+		Restored: j.restored,
+		Failed:   j.failed,
+		Skipped:  j.skipped,
+		Running:  j.running,
+		Created:  j.created,
+		Failures: append([]PointFailure(nil), j.failures...),
+	}
+	st.Done = st.Computed + st.Restored + st.Failed + st.Skipped
+	return st
+}
+
+func (j *job) status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// Manager runs campaigns: a bounded worker pool over all campaigns'
+// points, per-point checkpointing, cancellation and resume. All methods
+// are safe for concurrent use.
+type Manager struct {
+	cfg         Config
+	workers     int
+	retries     int
+	retryDelay  time.Duration
+	breakerPoll time.Duration
+	sem         chan struct{}
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	stopOnce   sync.Once
+	stopCh     chan struct{}
+	wg         sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string // insertion order, for List and cap eviction
+	closed bool
+}
+
+// NewManager builds a Manager. cfg.Run is required.
+func NewManager(cfg Config) *Manager {
+	if cfg.Run == nil {
+		panic("campaign: Config.Run is required")
+	}
+	m := &Manager{
+		cfg:         cfg,
+		workers:     cfg.Workers,
+		retries:     cfg.Retries,
+		retryDelay:  cfg.RetryDelay,
+		breakerPoll: cfg.BreakerPoll,
+		stopCh:      make(chan struct{}),
+		jobs:        make(map[string]*job),
+	}
+	if m.workers <= 0 {
+		m.workers = 2
+	}
+	if m.retries < 0 {
+		m.retries = 0
+	}
+	if m.retryDelay <= 0 {
+		m.retryDelay = 50 * time.Millisecond
+	}
+	if m.breakerPoll <= 0 {
+		m.breakerPoll = 100 * time.Millisecond
+	}
+	if m.cfg.MaxJobs <= 0 {
+		m.cfg.MaxJobs = 64
+	}
+	m.sem = make(chan struct{}, m.workers)
+	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	return m
+}
+
+// Start validates, fingerprints and launches a campaign. Submissions
+// are idempotent by content: an identical spec returns the existing
+// campaign's status (created=false) and computes nothing.
+func (m *Manager) Start(spec Spec) (Status, bool, error) {
+	plan, err := Compile(spec)
+	if err != nil {
+		return Status{}, false, err
+	}
+	return m.start(plan)
+}
+
+func (m *Manager) start(plan *Plan) (Status, bool, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Status{}, false, ErrClosed
+	}
+	if j, ok := m.jobs[plan.ID]; ok {
+		m.mu.Unlock()
+		return j.status(), false, nil
+	}
+	if err := m.evictForAdmitLocked(); err != nil {
+		m.mu.Unlock()
+		return Status{}, false, err
+	}
+	j := newJob(plan, time.Now())
+	m.jobs[plan.ID] = j
+	m.order = append(m.order, plan.ID)
+	m.wg.Add(1)
+	m.mu.Unlock()
+	go m.execute(j)
+	return j.status(), true, nil
+}
+
+// evictForAdmitLocked makes room for one more job, preferring to drop
+// the oldest terminal record. Requires m.mu.
+func (m *Manager) evictForAdmitLocked() error {
+	if len(m.jobs) < m.cfg.MaxJobs {
+		return nil
+	}
+	for i, id := range m.order {
+		j := m.jobs[id]
+		j.mu.Lock()
+		terminal := j.state != StateRunning
+		j.mu.Unlock()
+		if terminal {
+			delete(m.jobs, id)
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			return nil
+		}
+	}
+	return ErrBusy
+}
+
+// Status returns a campaign's status snapshot.
+func (m *Manager) Status(id string) (Status, bool) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// List snapshots all tracked campaigns in submission order.
+func (m *Manager) List() []Status {
+	m.mu.Lock()
+	jobs := make([]*job, 0, len(m.order))
+	for _, id := range m.order {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Active counts campaigns still running (metrics gauge).
+func (m *Manager) Active() int {
+	n := 0
+	for _, st := range m.List() {
+		if st.State == StateRunning {
+			n++
+		}
+	}
+	return n
+}
+
+// Cancel requests cancellation: dispatch stops, in-flight points drain
+// to completion (their checkpoints land), and the campaign finalizes as
+// cancelled. The cancellation is durable immediately — a crash between
+// Cancel and the drain finishing does not resurrect the job on restart.
+// Idempotent; cancelling a terminal campaign returns its status as-is.
+func (m *Manager) Cancel(id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, ErrUnknown
+	}
+	j.mu.Lock()
+	if j.state != StateRunning {
+		defer j.mu.Unlock()
+		return j.statusLocked(), nil
+	}
+	j.cancelled = true
+	j.mu.Unlock()
+	j.cancelOnce.Do(func() { close(j.cancelCh) })
+	m.persistManifest(j, manifest{
+		Spec:      j.plan.Spec,
+		Created:   j.created.UTC().Format(time.RFC3339),
+		Cancelled: true,
+	})
+	return j.status(), nil
+}
+
+// Subscribe attaches a progress-event subscriber to a campaign. The
+// channel closes when the campaign reaches a terminal state (or already
+// has). Slow subscribers lose events rather than blocking the workers;
+// every event carries full running counts, so a dropped event never
+// leaves a reader with wrong totals. The returned func detaches.
+func (m *Manager) Subscribe(id string) (<-chan Event, func(), error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, nil, ErrUnknown
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.subsClosed {
+		ch := make(chan Event)
+		close(ch)
+		return ch, func() {}, nil
+	}
+	sid := j.nextSub
+	j.nextSub++
+	ch := make(chan Event, 256)
+	j.subs[sid] = ch
+	detach := func() {
+		j.mu.Lock()
+		delete(j.subs, sid)
+		j.mu.Unlock()
+	}
+	return ch, detach, nil
+}
+
+// Wait blocks until the campaign reaches a terminal state (or ctx ends).
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if !ok {
+		return Status{}, ErrUnknown
+	}
+	select {
+	case <-j.done:
+		return j.status(), nil
+	case <-ctx.Done():
+		return j.status(), ctx.Err()
+	}
+}
+
+// publish stamps and fans an event out to subscribers. Sends happen
+// under j.mu (non-blocking, so no lock-holding stall) — this is what
+// makes the sends race-free against closeSubs closing the channels.
+func (m *Manager) publish(j *job, ev Event) {
+	j.mu.Lock()
+	j.seq++
+	ev.Seq = j.seq
+	ev.Time = time.Now()
+	ev.Campaign = j.plan.ID
+	ev.Total = j.plan.Total
+	ev.Computed = j.computed
+	ev.Restored = j.restored
+	ev.Failed = j.failed
+	ev.Skipped = j.skipped
+	ev.Done = j.computed + j.restored + j.failed + j.skipped
+	if !j.subsClosed {
+		for _, ch := range j.subs {
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+	j.mu.Unlock()
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(ev)
+	}
+}
+
+// execute is a campaign's dispatcher goroutine: persist the manifest,
+// restore checkpoints, dispatch remaining points onto the shared worker
+// pool, finalize.
+func (m *Manager) execute(j *job) {
+	defer m.wg.Done()
+	id := j.plan.ID
+
+	if st := m.cfg.Store; st != nil {
+		// Pin before writing: the manifest and every checkpoint this
+		// campaign will produce are protected from LRU eviction for the
+		// campaign's whole run.
+		st.Pin(store.Campaigns, manifestKey(id))
+		for i := 0; i < j.plan.Total; i++ {
+			st.Pin(store.Campaigns, pointKey(id, i))
+		}
+		// Persist the manifest first: from this instant a crash leaves a
+		// resumable record on disk.
+		m.persistManifest(j, manifest{Spec: j.plan.Spec, Created: j.created.UTC().Format(time.RFC3339)})
+		// Restore scan: any point already checkpointed (by a previous
+		// incarnation of this daemon, same build) is terminal before the
+		// first worker starts. The checkpoint payload is not re-decoded
+		// here — the envelope's checksum and build tag already vouch
+		// for it.
+		for i := 0; i < j.plan.Total; i++ {
+			if _, ok := st.Get(store.Campaigns, pointKey(id, i)); ok {
+				j.mu.Lock()
+				j.points[i] = PointRestored
+				j.restored++
+				j.mu.Unlock()
+			}
+		}
+	}
+	m.publish(j, Event{Type: EventStarted})
+
+	var jwg sync.WaitGroup
+dispatch:
+	for i := 0; i < j.plan.Total; i++ {
+		j.mu.Lock()
+		pending := j.points[i] == PointPending
+		j.mu.Unlock()
+		if !pending {
+			continue
+		}
+		// An open breaker pauses dispatch (in-flight points drain): when
+		// the backend is sick, the batch tier stops feeding it.
+		for br := m.cfg.Breaker; br != nil && br.Open(); {
+			select {
+			case <-m.stopCh:
+				break dispatch
+			case <-j.cancelCh:
+				break dispatch
+			case <-time.After(m.breakerPoll):
+			}
+		}
+		select {
+		case <-m.stopCh:
+			break dispatch
+		case <-j.cancelCh:
+			break dispatch
+		case m.sem <- struct{}{}:
+		}
+		j.mu.Lock()
+		j.points[i] = PointRunning
+		j.running++
+		j.mu.Unlock()
+		jwg.Add(1)
+		go m.runPoint(j, i, &jwg)
+	}
+	jwg.Wait()
+	m.finalize(j)
+}
+
+// runPoint executes one point: bounded retries, panic recovery, breaker
+// observation, checkpoint on success.
+func (m *Manager) runPoint(j *job, idx int, jwg *sync.WaitGroup) {
+	defer jwg.Done()
+	defer func() { <-m.sem }()
+	spec, label, err := j.plan.Point(idx)
+	if err != nil { // unreachable: every point validated at Compile
+		m.finishPoint(j, idx, PointFailed, label, err)
+		return
+	}
+	var lastErr error
+	for attempt := 0; attempt <= m.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-m.baseCtx.Done():
+			case <-time.After(m.retryDelay):
+			}
+		}
+		begin := time.Now()
+		payload, err := m.safeRun(spec)
+		if br := m.cfg.Breaker; br != nil {
+			br.Observe(err, time.Since(begin), 0)
+		}
+		if err == nil {
+			if st := m.cfg.Store; st != nil {
+				// Best-effort, like every other write-through tier: a
+				// full disk degrades resumability, not the result.
+				_ = st.Put(store.Campaigns, pointKey(j.plan.ID, idx), payload)
+			}
+			m.finishPoint(j, idx, PointComputed, label, nil)
+			return
+		}
+		lastErr = err
+		if m.baseCtx.Err() != nil {
+			break // forced shutdown, not a point defect: stop retrying
+		}
+	}
+	m.finishPoint(j, idx, PointFailed, label, lastErr)
+}
+
+// safeRun is the per-point fault boundary: a panicking point becomes a
+// failed point, never a dead worker or a crashed daemon.
+func (m *Manager) safeRun(spec scenario.Spec) (payload []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("campaign: point panicked: %v", r)
+		}
+	}()
+	return m.cfg.Run(m.baseCtx, spec)
+}
+
+func (m *Manager) finishPoint(j *job, idx int, st PointState, label string, err error) {
+	ev := Event{Type: EventPoint, Index: idx, Point: label, State: string(st)}
+	j.mu.Lock()
+	j.points[idx] = st
+	j.running--
+	switch st {
+	case PointComputed:
+		j.computed++
+	case PointFailed:
+		j.failed++
+		if err != nil {
+			ev.Error = err.Error()
+			if len(j.failures) < maxFailures {
+				j.failures = append(j.failures, PointFailure{Index: idx, Point: label, Error: err.Error()})
+			}
+		}
+	}
+	j.mu.Unlock()
+	m.publish(j, ev)
+}
+
+// finalize settles a campaign after its dispatcher stops. Three exits:
+// done (all points terminal), cancelled (remaining points skipped), or
+// manager shutdown with work left — in which case the job stays
+// StateRunning and nothing final is persisted, so the next process
+// resumes it from the manifest.
+func (m *Manager) finalize(j *job) {
+	id := j.plan.ID
+	j.mu.Lock()
+	pending := 0
+	for _, ps := range j.points {
+		if ps == PointPending {
+			pending++
+		}
+	}
+	cancelled := j.cancelled
+	stopped := pending > 0 && !cancelled && m.isStopped()
+	if !stopped {
+		if pending > 0 {
+			for i, ps := range j.points {
+				if ps == PointPending {
+					j.points[i] = PointSkipped
+				}
+			}
+			j.skipped += pending
+		}
+		if cancelled {
+			j.state = StateCancelled
+		} else {
+			j.state = StateDone
+		}
+	}
+	j.mu.Unlock()
+	if stopped {
+		// Process is exiting mid-campaign: close streams, leave the
+		// durable state exactly as it is (manifest says running; the
+		// checkpoints name what is already done).
+		j.closeSubs()
+		return
+	}
+	typ := EventDone
+	if cancelled {
+		typ = EventCancelled
+	}
+	m.publish(j, Event{Type: typ})
+	j.closeSubs()
+	// Settle durable state before closing done: a waiter waking on a
+	// finished campaign must see the final manifest and released pins.
+	if st := m.cfg.Store; st != nil {
+		final := j.status()
+		m.persistManifest(j, manifest{
+			Spec:      j.plan.Spec,
+			Created:   j.created.UTC().Format(time.RFC3339),
+			Cancelled: cancelled,
+			Final:     &final,
+		})
+		st.Unpin(store.Campaigns, manifestKey(id))
+		for i := 0; i < j.plan.Total; i++ {
+			st.Unpin(store.Campaigns, pointKey(id, i))
+		}
+	}
+	close(j.done)
+}
+
+func (j *job) closeSubs() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.subsClosed {
+		return
+	}
+	j.subsClosed = true
+	for _, ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+}
+
+func (m *Manager) isStopped() bool {
+	select {
+	case <-m.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (m *Manager) persistManifest(j *job, man manifest) {
+	st := m.cfg.Store
+	if st == nil {
+		return
+	}
+	blob, err := json.Marshal(man)
+	if err != nil {
+		return
+	}
+	_ = st.Put(store.Campaigns, manifestKey(j.plan.ID), blob)
+}
+
+// ResumeStored scans the store's campaign namespace and re-registers
+// every campaign it finds: unfinished ones start running again
+// (computing only uncheckpointed points — the restore scan picks up
+// the checkpoints), finished or cancelled ones come back as terminal
+// records so their status survives a restart. Manifests that fail to
+// decode, fail validation under this build, or whose spec no longer
+// hashes to their key are skipped, never fatal. Returns how many
+// campaigns went back into execution.
+func (m *Manager) ResumeStored() (int, error) {
+	st := m.cfg.Store
+	if st == nil {
+		return 0, nil
+	}
+	resumed := 0
+	for _, key := range st.Keys(store.Campaigns) {
+		if !strings.HasSuffix(key, ".m") {
+			continue
+		}
+		id := strings.TrimSuffix(key, ".m")
+		raw, ok := st.Get(store.Campaigns, key)
+		if !ok {
+			continue
+		}
+		var man manifest
+		if err := json.Unmarshal(raw, &man); err != nil {
+			continue
+		}
+		plan, err := Compile(man.Spec)
+		if err != nil || plan.ID != id {
+			continue
+		}
+		if man.Cancelled || man.Final != nil {
+			m.registerTerminal(plan, man)
+			continue
+		}
+		if _, created, err := m.start(plan); err == nil && created {
+			resumed++
+		}
+	}
+	return resumed, nil
+}
+
+// registerTerminal re-registers a finished/cancelled campaign from its
+// manifest, without dispatching anything.
+func (m *Manager) registerTerminal(plan *Plan, man manifest) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if _, ok := m.jobs[plan.ID]; ok {
+		return
+	}
+	if err := m.evictForAdmitLocked(); err != nil {
+		return
+	}
+	j := newJob(plan, time.Now())
+	j.state = StateCancelled
+	if man.Final != nil {
+		j.state = man.Final.State
+		j.computed = man.Final.Computed
+		j.restored = man.Final.Restored
+		j.failed = man.Final.Failed
+		j.skipped = man.Final.Skipped
+		j.failures = append(j.failures, man.Final.Failures...)
+		if !man.Final.Created.IsZero() {
+			j.created = man.Final.Created
+		}
+	}
+	if man.Cancelled {
+		j.state = StateCancelled
+		j.cancelled = true
+	}
+	j.subsClosed = true
+	j.subs = nil
+	close(j.done)
+	m.jobs[plan.ID] = j
+	m.order = append(m.order, plan.ID)
+}
+
+// Shutdown stops dispatching new points and waits for in-flight points
+// to drain (their checkpoints land, so nothing finished is lost). If
+// ctx expires first, point contexts are cancelled and the error is
+// returned; either way the durable state stays resumable.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.stopOnce.Do(func() { close(m.stopCh) })
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		select {
+		case <-done:
+		case <-time.After(250 * time.Millisecond):
+		}
+		return fmt.Errorf("campaign: drain incomplete: %w", ctx.Err())
+	}
+}

@@ -12,6 +12,7 @@ package ratelimit
 
 import (
 	"math"
+	"math/rand/v2"
 	"net"
 	"net/http"
 	"strconv"
@@ -19,6 +20,23 @@ import (
 	"sync"
 	"time"
 )
+
+// RetryAfter renders a Retry-After header value with jitter: a uniform
+// draw from [base, base+base/2] seconds (minimum spread of one second).
+// Every shed response — 429s here, the serving tier's 503 arms — goes
+// through this: when a recovering daemon sheds a burst of clients with
+// one fixed hint, they all come back in the same second and knock it
+// over again; the spread de-synchronizes the retry wave.
+func RetryAfter(base int) string {
+	if base < 1 {
+		base = 1
+	}
+	span := base / 2
+	if span < 1 {
+		span = 1
+	}
+	return strconv.Itoa(base + rand.IntN(span+1))
+}
 
 // DefaultMaxKeys bounds the number of client buckets tracked at once.
 // Past the cap, fully-refilled (idle) buckets are evicted first, then the
@@ -169,8 +187,9 @@ func ClientKey(r *http.Request, trustedProxies int) string {
 }
 
 // Middleware enforces l in front of next: requests whose key is out of
-// tokens answer 429 Too Many Requests with a Retry-After hint (whole
-// seconds, rounded up, at least 1). keyFn maps a request to its bucket
+// tokens answer 429 Too Many Requests with a jittered Retry-After hint
+// (whole seconds, rounded up, at least 1; see RetryAfter for the
+// spread). keyFn maps a request to its bucket
 // key; returning "" exempts the request (liveness and metrics probes
 // must stay reachable from saturating clients — that is when they are
 // needed). onDecision, when non-nil, observes every verdict for the
@@ -187,11 +206,7 @@ func Middleware(next http.Handler, l *Limiter, keyFn func(*http.Request) string,
 			onDecision(ok)
 		}
 		if !ok {
-			secs := int(math.Ceil(retryAfter.Seconds()))
-			if secs < 1 {
-				secs = 1
-			}
-			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			w.Header().Set("Retry-After", RetryAfter(int(math.Ceil(retryAfter.Seconds()))))
 			http.Error(w, "rate limit exceeded; slow down", http.StatusTooManyRequests)
 			return
 		}

@@ -215,6 +215,36 @@ func TestMiddlewareRejectsWith429AndRetryAfter(t *testing.T) {
 	}
 }
 
+func TestRetryAfterJitterBounds(t *testing.T) {
+	// The hint must stay within [base, base+max(1,base/2)] and actually
+	// spread: a fleet of shed clients honoring one fixed value would
+	// retry in lockstep.
+	for _, base := range []int{0, 1, 10, 30} {
+		lo := base
+		if lo < 1 {
+			lo = 1
+		}
+		span := lo / 2
+		if span < 1 {
+			span = 1
+		}
+		seen := make(map[int]bool)
+		for i := 0; i < 200; i++ {
+			v, err := strconv.Atoi(RetryAfter(base))
+			if err != nil {
+				t.Fatalf("RetryAfter(%d) not an integer: %v", base, err)
+			}
+			if v < lo || v > lo+span {
+				t.Fatalf("RetryAfter(%d) = %d, want within [%d, %d]", base, v, lo, lo+span)
+			}
+			seen[v] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("RetryAfter(%d) never varied across 200 draws", base)
+		}
+	}
+}
+
 func TestMiddlewareExemptsEmptyKey(t *testing.T) {
 	clock := newFakeClock()
 	l := New(1, 1, WithClock(clock.now))

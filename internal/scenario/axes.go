@@ -1,0 +1,54 @@
+package scenario
+
+import "strings"
+
+// This file is the point-decomposition surface the campaign tier builds
+// on: a campaign is a cross product over several axes, and each of its
+// points is an ordinary single-point Spec produced by applying one value
+// per axis to a base Spec. Keeping the axis vocabulary (modelAxes /
+// overrideAxes) in one place means a sweep axis accepted here is exactly
+// the set a one-axis Spec sweep accepts, and vice versa.
+
+// NormalizeAxis validates one sweep axis name and its value list — the
+// same checks a Spec-level Sweep gets (known axis, 1..64 positive finite
+// values, integral on integer axes) — and returns the canonical axis
+// spelling with the validated values. Every error matches ErrInvalidSpec
+// and ErrBadSweep.
+func NormalizeAxis(axis string, values []float64) (string, []float64, error) {
+	sw := Sweep{Axis: axis, Values: values}
+	vals, err := resolveSweep(&sw)
+	if err != nil {
+		return "", nil, err
+	}
+	return strings.ToLower(strings.TrimSpace(axis)), vals, nil
+}
+
+// ApplyAxis returns a copy of s with one axis value applied: model axes
+// reshape the workload, override axes set the field on every listed
+// system (on top of — and overriding — that system's own override, the
+// same precedence a Spec-level sweep has). The input spec is not mutated;
+// systems and their override sets are deep-copied. The value is not
+// range-checked here — compile the resulting spec to validate it.
+func ApplyAxis(s Spec, axis string, value float64) (Spec, error) {
+	axis = strings.ToLower(strings.TrimSpace(axis))
+	out := s
+	if set, ok := modelAxes[axis]; ok {
+		set(&out.Model, int(value))
+		return out, nil
+	}
+	oa, ok := overrideAxes[axis]
+	if !ok {
+		return Spec{}, invalid(ErrBadSweep, "unknown axis %q (want one of %s)", axis, strings.Join(SweepAxes(), ", "))
+	}
+	out.Systems = make([]SystemSpec, len(s.Systems))
+	copy(out.Systems, s.Systems)
+	for i := range out.Systems {
+		var o Overrides
+		if out.Systems[i].Overrides != nil {
+			o = *out.Systems[i].Overrides
+		}
+		oa.set(&o, value)
+		out.Systems[i].Overrides = &o
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package scenario
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNormalizeAxisMatchesSweepValidation(t *testing.T) {
+	name, vals, err := NormalizeAxis("  Meta_Cache_KB ", []float64{64, 16})
+	if err != nil {
+		t.Fatalf("NormalizeAxis: %v", err)
+	}
+	if name != "meta_cache_kb" {
+		t.Fatalf("canonical name = %q", name)
+	}
+	if len(vals) != 2 || vals[0] != 64 || vals[1] != 16 {
+		t.Fatalf("values = %v", vals)
+	}
+
+	for _, tc := range []struct {
+		axis   string
+		values []float64
+	}{
+		{"no_such_axis", []float64{1}},
+		{"layers", nil},
+		{"layers", []float64{1.5}}, // model axes are integral
+		{"meta_cache_kb", []float64{-3}},
+		{"link_gbs", make([]float64, 65)}, // over the per-axis cap
+	} {
+		if tc.axis == "link_gbs" {
+			for i := range tc.values {
+				tc.values[i] = float64(i + 1)
+			}
+		}
+		_, _, err := NormalizeAxis(tc.axis, tc.values)
+		if !errors.Is(err, ErrInvalidSpec) || !errors.Is(err, ErrBadSweep) {
+			t.Errorf("NormalizeAxis(%q, %v) error = %v, want ErrInvalidSpec+ErrBadSweep", tc.axis, tc.values, err)
+		}
+	}
+}
+
+func TestApplyAxisModelDimension(t *testing.T) {
+	in := Spec{Model: ModelSpec{Layers: 2, Hidden: 256, Heads: 4}}
+	out, err := ApplyAxis(in, "layers", 7)
+	if err != nil {
+		t.Fatalf("ApplyAxis: %v", err)
+	}
+	if out.Model.Layers != 7 || out.Model.Hidden != 256 {
+		t.Fatalf("applied model = %+v", out.Model)
+	}
+	if in.Model.Layers != 2 {
+		t.Fatalf("input mutated: %+v", in.Model)
+	}
+}
+
+func TestApplyAxisOverrideDoesNotAliasInput(t *testing.T) {
+	shared := &Overrides{MetaCacheKB: 16, DRAMChannels: 3}
+	in := Spec{
+		Model: ModelSpec{Layers: 2, Hidden: 256, Heads: 4},
+		Systems: []SystemSpec{
+			{Kind: "sgx-mgx", Overrides: shared},
+			{Kind: "tensortee"},
+		},
+	}
+	out, err := ApplyAxis(in, "meta_cache_kb", 64)
+	if err != nil {
+		t.Fatalf("ApplyAxis: %v", err)
+	}
+	// Axis value wins over the system's own override on every system.
+	for i, sys := range out.Systems {
+		if sys.Overrides == nil || sys.Overrides.MetaCacheKB != 64 {
+			t.Fatalf("system %d overrides = %+v, want meta cache 64", i, sys.Overrides)
+		}
+	}
+	// Other override fields survive the copy.
+	if out.Systems[0].Overrides.DRAMChannels != 3 {
+		t.Fatalf("dram channels lost: %+v", out.Systems[0].Overrides)
+	}
+	// The shared input override is untouched (deep copy, no aliasing).
+	if shared.MetaCacheKB != 16 {
+		t.Fatalf("input override mutated: %+v", shared)
+	}
+
+	if _, err := ApplyAxis(in, "bogus", 1); !errors.Is(err, ErrBadSweep) {
+		t.Fatalf("unknown axis error = %v", err)
+	}
+}

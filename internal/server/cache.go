@@ -332,11 +332,16 @@ type scenarioStore struct {
 	sem     chan struct{} // bounds concurrent scenario fills; nil = unbounded
 	metrics *Metrics
 
+	// breaker observes scenario-fill outcomes alongside the experiment
+	// store's: a backend sick enough to fail scenario computations is the
+	// same backend the degradation path protects.
+	breaker *resilience.Breaker
+
 	mu      sync.Mutex
 	entries map[string]*storeEntry
 }
 
-func newScenarioStore(r *tensortee.Runner, maxConcurrent int, m *Metrics) *scenarioStore {
+func newScenarioStore(r *tensortee.Runner, maxConcurrent int, m *Metrics, br *resilience.Breaker) *scenarioStore {
 	var sem chan struct{}
 	if maxConcurrent > 0 {
 		sem = make(chan struct{}, maxConcurrent)
@@ -345,6 +350,7 @@ func newScenarioStore(r *tensortee.Runner, maxConcurrent int, m *Metrics) *scena
 		runner:  r,
 		sem:     sem,
 		metrics: m,
+		breaker: br,
 		entries: make(map[string]*storeEntry),
 	}
 }
@@ -394,8 +400,10 @@ func (s *scenarioStore) entry(fp string) (*storeEntry, error) {
 // given format plus the tier that satisfied it, computing the scenario on
 // first request for its fingerprint. The ETag is keyed on the spec
 // fingerprint (plus format), so revalidation works across restarts for
-// identical specs. Scenario fills do not feed the circuit breaker: a
-// failing spec is the client's problem, not the daemon's health.
+// identical specs. Scenario fills feed the circuit breaker (no latency
+// budget — scenario cost varies with the spec): invalid specs were
+// already rejected with 400 before reaching here, so a failing fill is
+// the backend's health, not the client's input.
 func (s *scenarioStore) render(ctx context.Context, fp string, spec tensortee.Scenario, f Format) (*rendered, tier, error) {
 	e, err := s.entry(fp)
 	if err != nil {
@@ -406,7 +414,7 @@ func (s *scenarioStore) render(ctx context.Context, fp string, spec tensortee.Sc
 	case <-e.done:
 		s.metrics.ScenarioCacheHit()
 	default:
-		if err := e.fill(ctx, s.sem, nil, 0, func(ctx context.Context) (*tensortee.Result, error) {
+		if err := e.fill(ctx, s.sem, s.breaker, 0, func(ctx context.Context) (*tensortee.Result, error) {
 			// RunScenarioCached consults the persistent store before
 			// computing, which is also what makes the memory cap safe to
 			// enforce by wholesale eviction: a persisted entry that was

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"tensortee/internal/campaign"
+	"tensortee/internal/ratelimit"
+	"tensortee/internal/scenario"
+)
+
+// maxCampaignBody bounds POST /v1/campaigns request bodies. A campaign
+// spec is a scenario spec plus a handful of axes, so the scenario limit
+// fits it too.
+const maxCampaignBody = maxScenarioBody
+
+// campaignRetryAfterBase seeds the jittered Retry-After on a 503 from
+// the campaign tier (manager at capacity or shutting down). Campaigns
+// run for minutes; there is no point retrying sooner.
+const campaignRetryAfterBase = 30
+
+// handleCampaignCreate accepts a multi-axis campaign spec and starts it
+// asynchronously:
+//
+//	POST /v1/campaigns
+//
+// The response is immediate — 202 with the initial status for a freshly
+// admitted campaign, 200 with the current status when an identical spec
+// (campaign identity is content-addressed) is already tracked. Either
+// way a Location header points at the status resource. Invalid specs
+// answer 400 before any compute starts; a manager at capacity answers
+// 503 with a jittered Retry-After.
+func (s *Server) handleCampaignCreate(w http.ResponseWriter, r *http.Request) {
+	var spec campaign.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxCampaignBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("campaign spec exceeds the %d-byte limit", maxCampaignBody),
+				http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, fmt.Sprintf("decoding campaign spec: %v", err), http.StatusBadRequest)
+		return
+	}
+	st, created, err := s.campaigns.Start(spec)
+	if err != nil {
+		switch {
+		case errors.Is(err, campaign.ErrInvalidSpec) || errors.Is(err, scenario.ErrInvalidSpec):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		case errors.Is(err, campaign.ErrBusy) || errors.Is(err, campaign.ErrClosed):
+			w.Header().Set("Retry-After", ratelimit.RetryAfter(campaignRetryAfterBase))
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Location", "/v1/campaigns/"+st.ID)
+	code := http.StatusOK
+	if created {
+		code = http.StatusAccepted
+	}
+	writeCampaignJSON(w, code, st)
+}
+
+// handleCampaignList reports every tracked campaign in submission order:
+//
+//	GET /v1/campaigns
+func (s *Server) handleCampaignList(w http.ResponseWriter, _ *http.Request) {
+	list := s.campaigns.List()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(map[string]any{
+		"campaigns": list,
+		"count":     len(list),
+	})
+}
+
+// handleCampaignStatus reports one campaign's status snapshot:
+//
+//	GET /v1/campaigns/{id}
+func (s *Server) handleCampaignStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, ok := s.campaigns.Status(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown campaign %q", id), http.StatusNotFound)
+		return
+	}
+	writeCampaignJSON(w, http.StatusOK, st)
+}
+
+// handleCampaignCancel cancels a campaign:
+//
+//	DELETE /v1/campaigns/{id}
+//
+// In-flight points drain to completion (their checkpoints land); the
+// rest of the grid is skipped. Cancelling a terminal campaign is a
+// no-op that returns its status, so the route is idempotent.
+func (s *Server) handleCampaignCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.campaigns.Cancel(id)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("unknown campaign %q", id), http.StatusNotFound)
+		return
+	}
+	writeCampaignJSON(w, http.StatusOK, st)
+}
+
+// handleCampaignEvents streams a campaign's progress as NDJSON:
+//
+//	GET /v1/campaigns/{id}/events
+//
+// The stream opens with a synthetic status snapshot, follows with one
+// line per live event (each carries full running counts, so a client
+// can join late or drop lines without losing the totals), and closes
+// with a final snapshot when the campaign reaches a terminal state.
+// Subscribing to an already-terminal campaign yields the two snapshots
+// and EOF.
+func (s *Server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	ch, detach, err := s.campaigns.Subscribe(id)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("unknown campaign %q", id), http.StatusNotFound)
+		return
+	}
+	defer detach()
+	st, ok := s.campaigns.Status(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown campaign %q", id), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emit := func(ev campaign.Event) bool {
+		if err := enc.Encode(ev); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	if !emit(snapshotEvent(st)) {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, open := <-ch:
+			if !open {
+				// Terminal: close the stream with a final snapshot so the
+				// last line a client reads is always the settled totals.
+				if st, ok := s.campaigns.Status(id); ok {
+					emit(snapshotEvent(st))
+				}
+				return
+			}
+			if !emit(ev) {
+				return
+			}
+		}
+	}
+}
+
+// snapshotEvent renders a status snapshot in the event-line shape, so
+// every line of the stream decodes as the same type.
+func snapshotEvent(st campaign.Status) campaign.Event {
+	return campaign.Event{
+		Type:     campaign.EventStatus,
+		Campaign: st.ID,
+		State:    string(st.State),
+		Done:     st.Done,
+		Computed: st.Computed,
+		Restored: st.Restored,
+		Failed:   st.Failed,
+		Skipped:  st.Skipped,
+		Total:    st.Total,
+	}
+}
+
+func writeCampaignJSON(w http.ResponseWriter, code int, st campaign.Status) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(st)
+}

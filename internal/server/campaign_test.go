@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"tensortee/internal/campaign"
+)
+
+// tinyCampaign crosses the cheap custom model over a two-value layers
+// axis: two points, one shared mode-off calibration.
+const tinyCampaign = `{
+  "name": "srv-campaign",
+  "base": {
+    "name": "srv-campaign-base",
+    "model": {"layers": 1, "hidden": 128, "heads": 2, "batch": 1, "seqlen": 64},
+    "systems": [{"kind": "non-secure"}],
+    "metrics": ["total"]
+  },
+  "axes": [{"axis": "layers", "values": [1, 2]}]
+}`
+
+func del(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+	}
+	resp.Body.Close()
+	return resp, sb.String()
+}
+
+func decodeStatus(t *testing.T, body string) campaign.Status {
+	t.Helper()
+	var st campaign.Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("decoding campaign status %q: %v", body, err)
+	}
+	return st
+}
+
+func waitCampaignDone(t *testing.T, url string) campaign.Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, body := get(t, url, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status poll = %d (%s)", resp.StatusCode, body)
+		}
+		st := decodeStatus(t, body)
+		if st.State != campaign.StateRunning {
+			return st
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("campaign did not reach a terminal state")
+	return campaign.Status{}
+}
+
+func TestCampaignEndpointLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign points calibrate a system")
+	}
+	_, ts := newTestServer(t, 0)
+	url := ts.URL + "/v1/campaigns"
+
+	resp, body := post(t, url, tinyCampaign, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create = %d, want 202 (%s)", resp.StatusCode, body)
+	}
+	st := decodeStatus(t, body)
+	if st.ID == "" || st.Total != 2 {
+		t.Fatalf("initial status = %+v, want id set and total 2", st)
+	}
+	loc := resp.Header.Get("Location")
+	if loc != "/v1/campaigns/"+st.ID {
+		t.Fatalf("Location = %q, want /v1/campaigns/%s", loc, st.ID)
+	}
+
+	final := waitCampaignDone(t, ts.URL+loc)
+	if final.State != campaign.StateDone {
+		t.Fatalf("final state = %q, want done", final.State)
+	}
+	if final.Done != 2 || final.Failed != 0 {
+		t.Fatalf("final counts = %+v, want 2 done, 0 failed", final)
+	}
+
+	// An identical resubmission lands on the tracked job: 200, same id.
+	resp, body = post(t, url, tinyCampaign, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("resubmit = %d, want 200 (%s)", resp.StatusCode, body)
+	}
+	if again := decodeStatus(t, body); again.ID != st.ID {
+		t.Fatalf("resubmit id = %q, want %q", again.ID, st.ID)
+	}
+
+	// The list shows it; an unknown id answers 404.
+	resp, body = get(t, url, nil)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, st.ID) {
+		t.Fatalf("list = %d (%s), want 200 mentioning %s", resp.StatusCode, body, st.ID)
+	}
+	if resp, _ := get(t, url+"/nope", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCampaignEndpointRejectsBadSpecs(t *testing.T) {
+	_, ts := newTestServer(t, 0)
+	url := ts.URL + "/v1/campaigns"
+	cases := []struct {
+		name, body, wantFrag string
+	}{
+		{"not json", `{`, "decoding campaign spec"},
+		{"unknown field", `{"nope": 1}`, "unknown field"},
+		{"no axes", `{"base": ` + tinySpec + `, "axes": []}`, "no axes"},
+		{"unknown axis", `{"base": ` + tinySpec + `, "axes": [{"axis": "warp", "values": [1]}]}`, "unknown axis"},
+		{"unknown model", `{"base": {"name": "x", "model": {"name": "NOPE-9B"}, "systems": [{"kind": "non-secure"}], "metrics": ["total"]}, "axes": [{"axis": "layers", "values": [1]}]}`, "unknown model"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := post(t, url, tc.body, nil)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400 (%s)", resp.StatusCode, body)
+			}
+			if !strings.Contains(body, tc.wantFrag) {
+				t.Errorf("body %q missing %q", body, tc.wantFrag)
+			}
+		})
+	}
+	// Cancelling an unknown campaign answers 404, not a crash.
+	if resp, _ := del(t, url+"/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCampaignEventsStreamIsNDJSONAndTerminates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign points calibrate a system")
+	}
+	_, ts := newTestServer(t, 0)
+
+	resp, body := post(t, ts.URL+"/v1/campaigns", tinyCampaign, nil)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("create = %d (%s)", resp.StatusCode, body)
+	}
+	st := decodeStatus(t, body)
+
+	sresp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	var events []campaign.Event
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		var ev campaign.Event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %q is not an event: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("stream had %d lines, want at least opening and closing snapshots", len(events))
+	}
+	if events[0].Type != campaign.EventStatus {
+		t.Errorf("first line type = %q, want status snapshot", events[0].Type)
+	}
+	last := events[len(events)-1]
+	if last.Type != campaign.EventStatus || last.State != string(campaign.StateDone) {
+		t.Errorf("last line = %+v, want terminal status snapshot", last)
+	}
+	if last.Done != last.Total || last.Total != 2 {
+		t.Errorf("closing totals = %d/%d, want 2/2", last.Done, last.Total)
+	}
+}
+
+func TestCampaignCancelEndpointIsIdempotent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign points calibrate a system")
+	}
+	_, ts := newTestServer(t, 0)
+
+	resp, body := post(t, ts.URL+"/v1/campaigns", tinyCampaign, nil)
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		t.Fatalf("create = %d (%s)", resp.StatusCode, body)
+	}
+	st := decodeStatus(t, body)
+	url := ts.URL + "/v1/campaigns/" + st.ID
+
+	// Cancel races point completion, so the terminal state may be either
+	// cancelled or done — what the route owes us is a 200, a terminal
+	// drain, and idempotency.
+	resp, body = del(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel = %d (%s)", resp.StatusCode, body)
+	}
+	final := waitCampaignDone(t, url)
+	if final.State != campaign.StateCancelled && final.State != campaign.StateDone {
+		t.Fatalf("state after cancel = %q", final.State)
+	}
+	resp, body = del(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second cancel = %d (%s)", resp.StatusCode, body)
+	}
+	if again := decodeStatus(t, body); again.State != final.State {
+		t.Fatalf("second cancel state = %q, want %q", again.State, final.State)
+	}
+}

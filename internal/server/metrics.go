@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"tensortee/internal/campaign"
 	"tensortee/internal/resilience"
 	"tensortee/internal/store"
 )
@@ -28,6 +29,17 @@ type Metrics struct {
 	rateRejected   atomic.Int64 // requests answered 429 by the rate limiter
 	staleServes    atomic.Int64 // degraded lookups served stale from the persistent store
 	satRejects     atomic.Int64 // degraded lookups with nothing persisted (503)
+
+	campaignsStarted   atomic.Int64 // campaigns accepted and launched
+	campaignsDone      atomic.Int64 // campaigns run to completion
+	campaignsCancelled atomic.Int64 // campaigns cancelled
+	campaignComputed   atomic.Int64 // campaign points computed by this process
+	campaignRestored   atomic.Int64 // campaign points restored from checkpoints
+	campaignFailed     atomic.Int64 // campaign points that exhausted their retries
+
+	// campaignsActive, when set, reports how many campaigns are running
+	// for the tensorteed_campaigns_active gauge.
+	campaignsActive func() int
 
 	// storeStats, when set, snapshots the persistent store's own counters
 	// for the /metrics rendering; nil means persistence is disabled and
@@ -110,6 +122,32 @@ func (m *Metrics) SetStoreStats(fn func() store.Stats) { m.storeStats = fn }
 // the tensorteed_breaker_open gauge.
 func (m *Metrics) SetBreakerState(fn func() resilience.State) { m.breakerState = fn }
 
+// SetCampaignsActive attaches the campaign manager's running-count probe;
+// Render emits the tensorteed_campaign_* series only when this is set.
+func (m *Metrics) SetCampaignsActive(fn func() int) { m.campaignsActive = fn }
+
+// ObserveCampaignEvent folds one campaign progress event into the
+// counters (the campaign manager's OnEvent hook).
+func (m *Metrics) ObserveCampaignEvent(ev campaign.Event) {
+	switch ev.Type {
+	case campaign.EventStarted:
+		m.campaignsStarted.Add(1)
+		// Points restored from checkpoints are all accounted at start.
+		m.campaignRestored.Add(int64(ev.Restored))
+	case campaign.EventPoint:
+		switch campaign.PointState(ev.State) {
+		case campaign.PointComputed:
+			m.campaignComputed.Add(1)
+		case campaign.PointFailed:
+			m.campaignFailed.Add(1)
+		}
+	case campaign.EventDone:
+		m.campaignsDone.Add(1)
+	case campaign.EventCancelled:
+		m.campaignsCancelled.Add(1)
+	}
+}
+
 // ExperimentRun records one actual computation of an experiment.
 func (m *Metrics) ExperimentRun(id string, seconds float64) {
 	m.mu.Lock()
@@ -156,6 +194,23 @@ func (m *Metrics) Render() string {
 		}
 		fmt.Fprintf(&b, "# TYPE tensorteed_breaker_open gauge\n")
 		fmt.Fprintf(&b, "tensorteed_breaker_open %d\n", open)
+	}
+
+	if m.campaignsActive != nil {
+		fmt.Fprintf(&b, "# TYPE tensorteed_campaigns_active gauge\n")
+		fmt.Fprintf(&b, "tensorteed_campaigns_active %d\n", m.campaignsActive())
+		fmt.Fprintf(&b, "# TYPE tensorteed_campaigns_started_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_campaigns_started_total %d\n", m.campaignsStarted.Load())
+		fmt.Fprintf(&b, "# TYPE tensorteed_campaigns_done_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_campaigns_done_total %d\n", m.campaignsDone.Load())
+		fmt.Fprintf(&b, "# TYPE tensorteed_campaigns_cancelled_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_campaigns_cancelled_total %d\n", m.campaignsCancelled.Load())
+		fmt.Fprintf(&b, "# TYPE tensorteed_campaign_points_computed_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_campaign_points_computed_total %d\n", m.campaignComputed.Load())
+		fmt.Fprintf(&b, "# TYPE tensorteed_campaign_points_restored_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_campaign_points_restored_total %d\n", m.campaignRestored.Load())
+		fmt.Fprintf(&b, "# TYPE tensorteed_campaign_point_failures_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_campaign_point_failures_total %d\n", m.campaignFailed.Load())
 	}
 
 	if m.storeStats != nil {

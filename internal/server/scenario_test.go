@@ -191,7 +191,7 @@ func TestScenarioEndpointRejectsBadSpecs(t *testing.T) {
 }
 
 func TestScenarioStoreRefusesWhenAllEntriesInFlight(t *testing.T) {
-	s := newScenarioStore(tensortee.NewRunner(), 0, NewMetrics())
+	s := newScenarioStore(tensortee.NewRunner(), 0, NewMetrics(), nil)
 	// Fill every slot with an entry whose fill never completes (done stays
 	// open): eviction can free nothing, so the cap must hold by refusal.
 	for i := 0; i < maxScenarioEntries; i++ {

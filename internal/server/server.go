@@ -2,14 +2,19 @@
 // index and results served over HTTP with in-memory memoization, content
 // negotiation, strong ETags, and Prometheus-style metrics.
 //
-//	GET /v1/experiments        index with paper-artifact metadata (JSON)
-//	GET /v1/experiments/{id}   one result (text, json or csv)
-//	GET /v1/experiments/all    every result (text, json or csv)
-//	GET /v1/scenarios/{fp}     a previously computed scenario by fingerprint
-//	GET /v1/store              persistent-store statistics (JSON)
-//	GET /v1/store/{ns}/{key}   raw store envelope (the peer-replication surface)
-//	GET /healthz               liveness probe
-//	GET /metrics               request/cache/latency counters
+//	GET /v1/experiments              index with paper-artifact metadata (JSON)
+//	GET /v1/experiments/{id}         one result (text, json or csv)
+//	GET /v1/experiments/all          every result (text, json or csv)
+//	GET /v1/scenarios/{fp}           a previously computed scenario by fingerprint
+//	POST /v1/campaigns               submit an async multi-axis sweep job
+//	GET /v1/campaigns                all campaign statuses (JSON)
+//	GET /v1/campaigns/{id}           one campaign status (JSON)
+//	GET /v1/campaigns/{id}/events    live progress stream (NDJSON)
+//	DELETE /v1/campaigns/{id}        cancel (in-flight points drain)
+//	GET /v1/store                    persistent-store statistics (JSON)
+//	GET /v1/store/{ns}/{key}         raw store envelope (the peer-replication surface)
+//	GET /healthz                     liveness probe
+//	GET /metrics                     request/cache/latency counters
 //
 // The representation is chosen by ?format=text|json|csv, else by the
 // Accept header (application/json, text/csv, text/plain), defaulting to
@@ -19,6 +24,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,6 +36,7 @@ import (
 	"time"
 
 	"tensortee"
+	"tensortee/internal/campaign"
 	"tensortee/internal/ratelimit"
 	"tensortee/internal/resilience"
 	"tensortee/internal/store"
@@ -44,10 +51,16 @@ const (
 	defaultBreakerCooldown  = 30 * time.Second
 )
 
-// saturationRetryAfter steers clients shed by the degradation path (503,
-// nothing persisted) away from a per-second retry storm; heavy fills take
-// on the order of ten seconds.
-const saturationRetryAfter = "10"
+// Base Retry-After hints for the shed paths. Both go through
+// ratelimit.RetryAfter, which jitters the value so a burst of shed
+// clients does not retry in lockstep against a recovering daemon.
+// Saturated experiment lookups (nothing persisted) retry on the order of
+// a heavy fill (~10s); scenario fills are uncancelable and can run for
+// minutes, so their hint is longer.
+const (
+	saturationRetryAfterBase = 10
+	scenarioRetryAfterBase   = 30
+)
 
 // cacheTierHeader tells clients (and the request log) which tier
 // satisfied a lookup: memory, disk, compute, or stale.
@@ -88,6 +101,12 @@ type Config struct {
 	// failures even when they succeed. 0 disables the latency check —
 	// cold heavy figures legitimately take tens of seconds.
 	FillBudget time.Duration
+	// CampaignWorkers bounds concurrent campaign point computations
+	// (POST /v1/campaigns); 0 means the campaign manager's default.
+	CampaignWorkers int
+	// CampaignRetries is how many times a failed campaign point is
+	// retried before it is marked failed; 0 means no retries.
+	CampaignRetries int
 }
 
 // Server is the tensorteed HTTP API. Build with New, mount with Handler.
@@ -95,6 +114,7 @@ type Server struct {
 	runner         *tensortee.Runner
 	store          *resultStore
 	scenarios      *scenarioStore
+	campaigns      *campaign.Manager
 	metrics        *Metrics
 	limiter        *ratelimit.Limiter // nil when rate limiting is disabled
 	trustedProxies int
@@ -123,10 +143,30 @@ func New(cfg Config) *Server {
 		br = resilience.New(defaultBreakerThreshold, defaultBreakerCooldown)
 	}
 	m.SetBreakerState(br.State)
+	mgr := campaign.NewManager(campaign.Config{
+		// Campaign points run through the same cached scenario pipeline as
+		// POST /v1/scenarios, so a point whose fingerprint is already
+		// persisted (from an earlier scenario, or a sibling campaign) is
+		// restored rather than recomputed.
+		Run: func(ctx context.Context, spec tensortee.Scenario) ([]byte, error) {
+			res, _, err := r.RunScenarioCached(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			return res.EncodeStored()
+		},
+		Store:   r.Store(),
+		Workers: cfg.CampaignWorkers,
+		Retries: cfg.CampaignRetries,
+		Breaker: br,
+		OnEvent: m.ObserveCampaignEvent,
+	})
+	m.SetCampaignsActive(mgr.Active)
 	s := &Server{
 		runner:         r,
 		store:          newResultStore(r, cfg.MaxConcurrent, m, br, cfg.FillBudget),
-		scenarios:      newScenarioStore(r, cfg.MaxConcurrentScenarios, m),
+		scenarios:      newScenarioStore(r, cfg.MaxConcurrentScenarios, m, br),
+		campaigns:      mgr,
 		metrics:        m,
 		trustedProxies: cfg.TrustedProxies,
 		log:            cfg.Log,
@@ -152,11 +192,23 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleExperiment)
 	mux.HandleFunc("POST /v1/scenarios", s.handleScenario)
 	mux.HandleFunc("GET /v1/scenarios/{fingerprint}", s.handleScenarioLookup)
+	mux.HandleFunc("POST /v1/campaigns", s.handleCampaignCreate)
+	mux.HandleFunc("GET /v1/campaigns", s.handleCampaignList)
+	mux.HandleFunc("GET /v1/campaigns/{$}", s.handleCampaignList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStatus)
+	mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleCampaignEvents)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCampaignCancel)
 	mux.HandleFunc("GET /v1/store", s.handleStoreStats)
 	mux.HandleFunc("GET /v1/store/{$}", s.handleStoreStats)
 	mux.HandleFunc("GET /v1/store/{ns}/{key}", s.handleStoreEntry)
 	s.mux = mux
 	return s
+}
+
+// Campaigns exposes the server's campaign manager so the daemon can
+// resume stored campaigns at boot and drain the manager at shutdown.
+func (s *Server) Campaigns() *campaign.Manager {
+	return s.campaigns
 }
 
 // Handler returns the fully-instrumented HTTP handler. Middleware order,
@@ -301,7 +353,7 @@ func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
 	rd, t, err := s.store.render(r.Context(), id, f)
 	if err != nil {
 		if errors.Is(err, ErrSaturated) {
-			w.Header().Set("Retry-After", saturationRetryAfter)
+			w.Header().Set("Retry-After", ratelimit.RetryAfter(saturationRetryAfterBase))
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}
@@ -346,7 +398,7 @@ func (s *Server) handleAll(w http.ResponseWriter, r *http.Request) {
 			if errors.Is(o.err, ErrSaturated) {
 				// The aggregate can only be complete if every member can be
 				// served; one unservable member degrades the whole response.
-				w.Header().Set("Retry-After", saturationRetryAfter)
+				w.Header().Set("Retry-After", ratelimit.RetryAfter(saturationRetryAfterBase))
 				http.Error(w, fmt.Sprintf("experiment %s: %v", s.index[i].ID, o.err), http.StatusServiceUnavailable)
 				return
 			}
@@ -433,7 +485,7 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusServiceUnavailable
 			// Fills are uncancelable and can run for minutes; steer
 			// well-behaved clients away from a per-second retry storm.
-			w.Header().Set("Retry-After", "30")
+			w.Header().Set("Retry-After", ratelimit.RetryAfter(scenarioRetryAfterBase))
 		}
 		http.Error(w, err.Error(), status)
 		return

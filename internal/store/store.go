@@ -10,6 +10,7 @@
 //	<root>/result/fig18.tte        experiment results, keyed by id
 //	<root>/scenario/<fp>.tte       scenario results, keyed by spec fingerprint
 //	<root>/calib/<fp>.tte          calibration snapshots, keyed by config fingerprint
+//	<root>/campaign/<id>.m.tte     campaign manifests; <id>.p<index>.tte point checkpoints
 //	<root>/.tmp/                   atomic-write staging
 //	<root>/.quarantine/            corrupt entries, moved aside for inspection
 //
@@ -56,15 +57,20 @@ const (
 	// Calibrations holds calibrated-system snapshots, keyed by the config
 	// content fingerprint.
 	Calibrations Namespace = "calib"
+	// Campaigns holds campaign manifests and per-point checkpoints, keyed
+	// by campaign id (manifests: <id>.m, points: <id>.p<index>).
+	Campaigns Namespace = "campaign"
 )
 
 // Namespaces lists the valid namespaces (the /v1/store/{ns}/{key} surface
 // rejects anything else).
-func Namespaces() []Namespace { return []Namespace{Results, Scenarios, Calibrations} }
+func Namespaces() []Namespace {
+	return []Namespace{Results, Scenarios, Calibrations, Campaigns}
+}
 
 func validNamespace(ns Namespace) bool {
 	switch ns {
-	case Results, Scenarios, Calibrations:
+	case Results, Scenarios, Calibrations, Campaigns:
 		return true
 	}
 	return false
@@ -167,6 +173,9 @@ type Stats struct {
 	// by walking the namespaces when Stats is taken).
 	Entries int64 `json:"entries"`
 	Bytes   int64 `json:"bytes"`
+	// Pinned counts entries currently pinned against eviction (active
+	// campaign manifests and checkpoints).
+	Pinned int64 `json:"pinned"`
 }
 
 // Store is a disk-backed content-addressed store. All methods are safe
@@ -181,6 +190,9 @@ type Store struct {
 	client   httpDoer
 
 	evictMu sync.Mutex // serializes eviction passes within this process
+
+	pinMu  sync.Mutex
+	pinned map[string]int // entry path -> pin count
 
 	diskHits    atomic.Int64
 	diskMisses  atomic.Int64
@@ -226,6 +238,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		timeout:  timeout,
 		build:    build,
 		client:   newPeerClient(timeout),
+		pinned:   make(map[string]int),
 	}, nil
 }
 
@@ -428,6 +441,76 @@ func (s *Store) quarantine(path string) {
 	}
 }
 
+// Keys lists the keys currently present under a namespace, sorted. Used
+// by the campaign tier to discover resumable manifests and checkpoints
+// after a restart.
+func (s *Store) Keys(ns Namespace) []string {
+	if !validNamespace(ns) {
+		return nil
+	}
+	des, err := os.ReadDir(filepath.Join(s.dir, string(ns)))
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, entryExt) {
+			continue
+		}
+		key := strings.TrimSuffix(name, entryExt)
+		if ValidKey(key) {
+			out = append(out, key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Pin marks ns/key as protected from MaxBytes eviction until a matching
+// Unpin. Pins are reference-counted and per-process (in-memory): an
+// active campaign's manifest and checkpoints must survive LRU pressure
+// mid-job — touch-on-read is not enough when thousands of fresh scenario
+// writes land between two reads of the same checkpoint. Pinning a key
+// that has no entry yet is fine (the pin covers the entry once written).
+func (s *Store) Pin(ns Namespace, key string) {
+	if !validNamespace(ns) || !ValidKey(key) {
+		return
+	}
+	s.pinMu.Lock()
+	s.pinned[s.entryPath(ns, key)]++
+	s.pinMu.Unlock()
+}
+
+// Unpin releases one Pin reference on ns/key.
+func (s *Store) Unpin(ns Namespace, key string) {
+	if !validNamespace(ns) || !ValidKey(key) {
+		return
+	}
+	path := s.entryPath(ns, key)
+	s.pinMu.Lock()
+	if n := s.pinned[path]; n > 1 {
+		s.pinned[path] = n - 1
+	} else {
+		delete(s.pinned, path)
+	}
+	s.pinMu.Unlock()
+}
+
+// pinnedPaths snapshots the currently pinned entry paths.
+func (s *Store) pinnedPaths() map[string]bool {
+	s.pinMu.Lock()
+	defer s.pinMu.Unlock()
+	if len(s.pinned) == 0 {
+		return nil
+	}
+	out := make(map[string]bool, len(s.pinned))
+	for p := range s.pinned {
+		out[p] = true
+	}
+	return out
+}
+
 // entryInfo is one entry's eviction-relevant metadata.
 type entryInfo struct {
 	path  string
@@ -480,7 +563,18 @@ func (s *Store) evict() {
 	if total <= s.maxBytes {
 		return
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].mtime.Before(entries[j].mtime) })
+	// Pinned entries (active campaign state) sort after everything else:
+	// they are only reclaimed when evicting every unpinned entry still
+	// does not fit the budget, so a byte cap cannot silently destroy a
+	// running campaign's checkpoints.
+	pinned := s.pinnedPaths()
+	sort.Slice(entries, func(i, j int) bool {
+		pi, pj := pinned[entries[i].path], pinned[entries[j].path]
+		if pi != pj {
+			return pj
+		}
+		return entries[i].mtime.Before(entries[j].mtime)
+	})
 	for _, e := range entries {
 		if total <= s.maxBytes {
 			break
@@ -509,5 +603,8 @@ func (s *Store) Stats() Stats {
 		st.Entries++
 		st.Bytes += e.size
 	}
+	s.pinMu.Lock()
+	st.Pinned = int64(len(s.pinned))
+	s.pinMu.Unlock()
 	return st
 }

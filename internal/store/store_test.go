@@ -196,6 +196,80 @@ func TestEvictionDropsOldestByMtime(t *testing.T) {
 	}
 }
 
+func TestPinnedEntriesEvictLast(t *testing.T) {
+	// An active campaign's checkpoints must survive LRU pressure even
+	// when they are the oldest entries on disk: pinned entries are only
+	// reclaimed after every unpinned entry is gone.
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte("x"), 1000)
+	s := open(t, dir, Options{MaxBytes: 2500})
+	s.Pin(Campaigns, "job.p00001")
+	if err := s.Put(Campaigns, "job.p00001", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Make the pinned checkpoint the stalest entry by far.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(s.entryPath(Campaigns, "job.p00001"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"a", "b"} {
+		if err := s.Put(Results, key, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get(Campaigns, "job.p00001"); !ok {
+		t.Fatal("pinned checkpoint evicted while its campaign ran")
+	}
+	// Budget still enforced: the eviction fell on unpinned entries.
+	aOK := false
+	bOK := false
+	if _, ok := s.Get(Results, "a"); ok {
+		aOK = true
+	}
+	if _, ok := s.Get(Results, "b"); ok {
+		bOK = true
+	}
+	if aOK && bOK {
+		t.Fatal("no unpinned entry was evicted under the byte budget")
+	}
+	if st := s.Stats(); st.Pinned != 1 {
+		t.Fatalf("Stats.Pinned = %d, want 1", st.Pinned)
+	}
+
+	// After Unpin (campaign finished), the checkpoint competes by age
+	// like everything else.
+	s.Unpin(Campaigns, "job.p00001")
+	if st := s.Stats(); st.Pinned != 0 {
+		t.Fatalf("Stats.Pinned after Unpin = %d, want 0", st.Pinned)
+	}
+	// The Get above touched its mtime; re-stale it so LRU order is
+	// deterministic again.
+	if err := os.Chtimes(s.entryPath(Campaigns, "job.p00001"), old, old); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Results, "c", payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(Campaigns, "job.p00001"); ok {
+		t.Fatal("stalest entry survived eviction after Unpin")
+	}
+}
+
+func TestPinIsRefCounted(t *testing.T) {
+	s := open(t, t.TempDir(), Options{})
+	s.Pin(Campaigns, "job.m")
+	s.Pin(Campaigns, "job.m")
+	s.Unpin(Campaigns, "job.m")
+	if st := s.Stats(); st.Pinned != 1 {
+		t.Fatalf("Stats.Pinned after one of two Unpins = %d, want 1", st.Pinned)
+	}
+	s.Unpin(Campaigns, "job.m")
+	s.Unpin(Campaigns, "job.m") // extra Unpin is harmless
+	if st := s.Stats(); st.Pinned != 0 {
+		t.Fatalf("Stats.Pinned = %d, want 0", st.Pinned)
+	}
+}
+
 func TestGetTouchesForLRU(t *testing.T) {
 	dir := t.TempDir()
 	s := open(t, dir, Options{MaxBytes: 2500})
