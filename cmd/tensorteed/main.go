@@ -47,6 +47,14 @@
 // endpoints (strict per-probe timeout, fail-open), so a fleet computes
 // each artifact once.
 //
+// The store itself degrades gracefully: repeated write failures
+// (disk-full, I/O errors) flip it into a read-only degraded mode —
+// reads, warm serves and peer replication keep working, new writes are
+// suppressed, /healthz reports "store: degraded", and one probe write
+// per -store-probe-interval tests whether the disk healed (a successful
+// probe restores normal writes). The TENSORTEE_FAULTS environment
+// variable injects deterministic store faults for chaos testing only.
+//
 // The serving path degrades instead of queueing under overload: when
 // every -max-concurrent slot is busy (or the fill circuit breaker is
 // open after repeated failures), requests for results already persisted
@@ -94,6 +102,7 @@ import (
 	"time"
 
 	"tensortee"
+	"tensortee/internal/faultinject"
 	"tensortee/internal/server"
 	"tensortee/internal/store"
 )
@@ -132,6 +141,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	warmExit := fs.Bool("warm-exit", false, "with -warm: exit after warming instead of serving")
 	storeDir := fs.String("store-dir", "", "persist results and calibrations in this directory; empty disables")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "evict oldest store entries past this many bytes (0 = unbounded)")
+	storeProbeInterval := fs.Duration("store-probe-interval", 0, "while the store is degraded, admit one recovery probe write per interval (0 = 15s default)")
 	peers := fs.String("peers", "", "comma-separated replica base URLs to probe on local store miss (requires -store-dir)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty disables")
@@ -184,9 +194,23 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		tensortee.WithCalibrationCache(true),
 	}
 	if *storeDir != "" {
+		// TENSORTEE_FAULTS is the chaos-testing hook: a deterministic
+		// fault plan injected into the store's I/O. Never a production
+		// setting, hence the loud warning.
+		faults, err := faultinject.FromEnv()
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", faultinject.EnvVar, err)
+			return 2
+		}
+		if faults.Enabled() {
+			fmt.Fprintf(stderr, "WARNING: %s=%q — injecting store faults; NEVER set this in production\n",
+				faultinject.EnvVar, faults.String())
+		}
 		st, err := store.Open(*storeDir, store.Options{
-			MaxBytes: *storeMaxBytes,
-			Peers:    splitPeers(*peers),
+			MaxBytes:      *storeMaxBytes,
+			Peers:         splitPeers(*peers),
+			ProbeInterval: *storeProbeInterval,
+			Faults:        faults,
 		})
 		if err != nil {
 			fmt.Fprintf(stderr, "opening store: %v\n", err)

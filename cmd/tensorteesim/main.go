@@ -41,6 +41,7 @@ import (
 
 	"tensortee"
 	"tensortee/internal/campaign"
+	"tensortee/internal/faultinject"
 	"tensortee/internal/store"
 )
 
@@ -74,7 +75,18 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout, stderr io.
 		tensortee.WithCalibrationCache(true),
 	}
 	if *storeDir != "" {
-		st, err := store.Open(*storeDir, store.Options{})
+		// Same chaos hook as tensorteed: a fault plan in TENSORTEE_FAULTS
+		// injects deterministic store failures (testing only).
+		faults, err := faultinject.FromEnv()
+		if err != nil {
+			fmt.Fprintf(stderr, "%s: %v\n", faultinject.EnvVar, err)
+			return 2
+		}
+		if faults.Enabled() {
+			fmt.Fprintf(stderr, "WARNING: %s=%q — injecting store faults; NEVER set this in production\n",
+				faultinject.EnvVar, faults.String())
+		}
+		st, err := store.Open(*storeDir, store.Options{Faults: faults})
 		if err != nil {
 			fmt.Fprintf(stderr, "opening store: %v\n", err)
 			return 1

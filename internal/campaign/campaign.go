@@ -202,8 +202,12 @@ func pointKey(id string, i int) string { return fmt.Sprintf("%s.p%05d", id, i) }
 // case; Final records the settled status of a finished one so status
 // queries survive restarts.
 type manifest struct {
-	Spec      Spec    `json:"spec"`
-	Created   string  `json:"created,omitempty"` // RFC3339; informational
-	Cancelled bool    `json:"cancelled,omitempty"`
-	Final     *Status `json:"final,omitempty"`
+	Spec      Spec   `json:"spec"`
+	Created   string `json:"created,omitempty"` // RFC3339; informational
+	Cancelled bool   `json:"cancelled,omitempty"`
+	// Durability mirrors Final.Durability at top level so operators (and
+	// the chaos CI job) can read checkpoint health without digging into
+	// the full final status.
+	Durability string  `json:"durability,omitempty"`
+	Final      *Status `json:"final,omitempty"`
 }

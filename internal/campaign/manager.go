@@ -3,7 +3,9 @@ package campaign
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"math/rand"
 	"strings"
 	"sync"
 	"time"
@@ -102,7 +104,23 @@ type Status struct {
 	Running  int            `json:"running"`
 	Created  time.Time      `json:"created"`
 	Failures []PointFailure `json:"failures,omitempty"`
+	// Durability reports checkpoint health: "none" (no store configured),
+	// "full" (every computed point checkpointed), or "degraded" (one or
+	// more checkpoints failed to persist after retries — the campaign
+	// still completed with exact counts, but a crash would recompute the
+	// unpersisted points).
+	Durability string `json:"durability,omitempty"`
+	// CheckpointsLost counts computed points whose checkpoint never
+	// landed (only non-zero when Durability is "degraded").
+	CheckpointsLost int `json:"checkpoints_lost,omitempty"`
 }
+
+// Durability values for Status.Durability.
+const (
+	DurabilityNone     = "none"
+	DurabilityFull     = "full"
+	DurabilityDegraded = "degraded"
+)
 
 // EventType classifies stream events.
 type EventType string
@@ -140,27 +158,29 @@ type Event struct {
 
 // job is one tracked campaign.
 type job struct {
-	plan    *Plan
-	created time.Time
+	plan     *Plan
+	created  time.Time
+	hasStore bool
 
 	cancelOnce sync.Once
 	cancelCh   chan struct{}
 	done       chan struct{} // closed at finalize
 
-	mu         sync.Mutex
-	state      State
-	cancelled  bool // cancel requested
-	points     []PointState
-	computed   int
-	restored   int
-	failed     int
-	skipped    int
-	running    int
-	failures   []PointFailure
-	seq        int64
-	subs       map[int]chan Event
-	nextSub    int
-	subsClosed bool
+	mu              sync.Mutex
+	state           State
+	cancelled       bool // cancel requested
+	points          []PointState
+	computed        int
+	restored        int
+	failed          int
+	skipped         int
+	running         int
+	checkpointsLost int
+	failures        []PointFailure
+	seq             int64
+	subs            map[int]chan Event
+	nextSub         int
+	subsClosed      bool
 }
 
 func newJob(plan *Plan, now time.Time) *job {
@@ -190,6 +210,15 @@ func (j *job) statusLocked() Status {
 		Failures: append([]PointFailure(nil), j.failures...),
 	}
 	st.Done = st.Computed + st.Restored + st.Failed + st.Skipped
+	switch {
+	case !j.hasStore:
+		st.Durability = DurabilityNone
+	case j.checkpointsLost > 0:
+		st.Durability = DurabilityDegraded
+		st.CheckpointsLost = j.checkpointsLost
+	default:
+		st.Durability = DurabilityFull
+	}
 	return st
 }
 
@@ -282,6 +311,7 @@ func (m *Manager) start(plan *Plan) (Status, bool, error) {
 		return Status{}, false, err
 	}
 	j := newJob(plan, time.Now())
+	j.hasStore = m.cfg.Store != nil
 	m.jobs[plan.ID] = j
 	m.order = append(m.order, plan.ID)
 	m.wg.Add(1)
@@ -536,9 +566,12 @@ func (m *Manager) runPoint(j *job, idx int, jwg *sync.WaitGroup) {
 	var lastErr error
 	for attempt := 0; attempt <= m.retries; attempt++ {
 		if attempt > 0 {
+			// Jittered exponential spacing: a transiently failing point is
+			// not hammered at a fixed cadence, and retries across points
+			// do not synchronize.
 			select {
 			case <-m.baseCtx.Done():
-			case <-time.After(m.retryDelay):
+			case <-time.After(retryBackoff(m.retryDelay, attempt)):
 			}
 		}
 		begin := time.Now()
@@ -547,11 +580,7 @@ func (m *Manager) runPoint(j *job, idx int, jwg *sync.WaitGroup) {
 			br.Observe(err, time.Since(begin), 0)
 		}
 		if err == nil {
-			if st := m.cfg.Store; st != nil {
-				// Best-effort, like every other write-through tier: a
-				// full disk degrades resumability, not the result.
-				_ = st.Put(store.Campaigns, pointKey(j.plan.ID, idx), payload)
-			}
+			m.persistCheckpoint(j, idx, payload)
 			m.finishPoint(j, idx, PointComputed, label, nil)
 			return
 		}
@@ -561,6 +590,59 @@ func (m *Manager) runPoint(j *job, idx int, jwg *sync.WaitGroup) {
 		}
 	}
 	m.finishPoint(j, idx, PointFailed, label, lastErr)
+}
+
+// Checkpoint-write retry tuning: a handful of quick, jittered attempts
+// rides out transient I/O errors without stalling the worker for long.
+const (
+	checkpointAttempts  = 3
+	checkpointBaseDelay = 25 * time.Millisecond
+)
+
+// persistCheckpoint lands one computed point's checkpoint, retrying
+// transient failures with jittered backoff. Persistence stays
+// best-effort — the point's result is already in hand — but a
+// checkpoint that never lands is not silent anymore: it degrades the
+// campaign's durability, which the status and final manifest report.
+func (m *Manager) persistCheckpoint(j *job, idx int, payload []byte) {
+	st := m.cfg.Store
+	if st == nil {
+		return
+	}
+	key := pointKey(j.plan.ID, idx)
+	var err error
+	for attempt := 0; attempt < checkpointAttempts; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-m.baseCtx.Done():
+			case <-time.After(retryBackoff(checkpointBaseDelay, attempt)):
+			}
+		}
+		if err = st.Put(store.Campaigns, key, payload); err == nil {
+			return
+		}
+		if errors.Is(err, store.ErrDegraded) {
+			// The store is known read-only and heals on its own probe
+			// clock, which runs far slower than these retries — stop.
+			break
+		}
+	}
+	j.mu.Lock()
+	j.checkpointsLost++
+	j.mu.Unlock()
+}
+
+// retryBackoff spaces retry attempt n (1-based): the base delay doubles
+// per attempt (capped) with uniform jitter in [d/2, d].
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < time.Second; i++ {
+		d *= 2
+	}
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1)) //nolint:gosec // jitter, not crypto
 }
 
 // safeRun is the per-point fault boundary: a panicking point becomes a
@@ -645,10 +727,11 @@ func (m *Manager) finalize(j *job) {
 	if st := m.cfg.Store; st != nil {
 		final := j.status()
 		m.persistManifest(j, manifest{
-			Spec:      j.plan.Spec,
-			Created:   j.created.UTC().Format(time.RFC3339),
-			Cancelled: cancelled,
-			Final:     &final,
+			Spec:       j.plan.Spec,
+			Created:    j.created.UTC().Format(time.RFC3339),
+			Cancelled:  cancelled,
+			Durability: final.Durability,
+			Final:      &final,
 		})
 		st.Unpin(store.Campaigns, manifestKey(id))
 		for i := 0; i < j.plan.Total; i++ {
@@ -749,6 +832,7 @@ func (m *Manager) registerTerminal(plan *Plan, man manifest) {
 		return
 	}
 	j := newJob(plan, time.Now())
+	j.hasStore = true // registerTerminal only runs off a stored manifest
 	j.state = StateCancelled
 	if man.Final != nil {
 		j.state = man.Final.State
@@ -756,6 +840,7 @@ func (m *Manager) registerTerminal(plan *Plan, man manifest) {
 		j.restored = man.Final.Restored
 		j.failed = man.Final.Failed
 		j.skipped = man.Final.Skipped
+		j.checkpointsLost = man.Final.CheckpointsLost
 		j.failures = append(j.failures, man.Final.Failures...)
 		if !man.Final.Created.IsZero() {
 			j.created = man.Final.Created

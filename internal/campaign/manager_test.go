@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"tensortee/internal/faultinject"
 	"tensortee/internal/resilience"
 	"tensortee/internal/scenario"
 	"tensortee/internal/store"
@@ -479,5 +480,64 @@ func TestStartAfterShutdownFails(t *testing.T) {
 	}
 	if _, _, err := m.Start(gridSpec(1)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("Start after shutdown = %v, want ErrClosed", err)
+	}
+}
+
+func TestCheckpointFailureDegradesDurability(t *testing.T) {
+	// The manifest write succeeds, every later store write fails: the
+	// classic disk-full-mid-campaign shape. The campaign must still
+	// complete with exact counts — durability is what degrades, loudly.
+	inj, err := faultinject.Parse("write:fail-after@1:enospc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.Open(t.TempDir(), store.Options{Faults: inj})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := newCountingRun()
+	m := NewManager(Config{Run: run.run, Store: st, Workers: 2})
+	defer m.Shutdown(context.Background())
+
+	status, created, err := m.Start(gridSpec(4))
+	if err != nil || !created {
+		t.Fatalf("Start: created=%v err=%v", created, err)
+	}
+	final := waitTerminal(t, m, status.ID)
+	if final.State != StateDone {
+		t.Fatalf("state = %s, want done", final.State)
+	}
+	if final.Computed != 4 || final.Done != 4 || final.Failed != 0 {
+		t.Fatalf("counts wrong under checkpoint failures: %+v", final)
+	}
+	if final.Durability != DurabilityDegraded {
+		t.Errorf("durability = %q, want %q", final.Durability, DurabilityDegraded)
+	}
+	if final.CheckpointsLost != 4 {
+		t.Errorf("checkpoints lost = %d, want 4", final.CheckpointsLost)
+	}
+}
+
+func TestDurabilityFullAndNone(t *testing.T) {
+	run := newCountingRun()
+	m := NewManager(Config{Run: run.run, Store: openStore(t, t.TempDir()), Workers: 2})
+	defer m.Shutdown(context.Background())
+	status, _, err := m.Start(gridSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitTerminal(t, m, status.ID); final.Durability != DurabilityFull {
+		t.Errorf("durability with a healthy store = %q, want %q", final.Durability, DurabilityFull)
+	}
+
+	run2 := newCountingRun()
+	m2 := NewManager(Config{Run: run2.run, Workers: 2})
+	defer m2.Shutdown(context.Background())
+	status2, _, err := m2.Start(gridSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitTerminal(t, m2, status2.ID); final.Durability != DurabilityNone {
+		t.Errorf("durability without a store = %q, want %q", final.Durability, DurabilityNone)
 	}
 }

@@ -1,0 +1,388 @@
+// Package faultinject is tensortee's deterministic fault plan: a small,
+// seedable schedule language for making the store's filesystem
+// operations and the peer HTTP client fail on purpose. The corruption
+// matrix covers bytes at rest; this package covers I/O that fails
+// midway — disk-full on the Nth write, an fsync that lies, a rename
+// that never lands, a peer that hangs — so the graceful-degradation
+// paths (store read-only mode, peer breakers, campaign durability) are
+// a pinned, replayable contract instead of folklore.
+//
+// A plan is a semicolon-separated list of rules, each binding one
+// operation to one schedule:
+//
+//	write:fail@3                fail the 3rd write (1-based), succeed otherwise
+//	write:fail-after@2:enospc   writes 1-2 succeed, everything later fails ENOSPC
+//	write:fail-until@4          the first 4 writes fail, later ones succeed
+//	read:fail-every@3           every 3rd read fails
+//	write:fail-all              alias for fail-after@0
+//	write:torn@1                the 1st write lands truncated bytes AND fails
+//	peer:flaky@0.25             each probe fails with probability 0.25 (seeded)
+//	peer:latency@150ms          sleep 150ms before every probe
+//	seed@42                     seed for flaky draws (default 1)
+//
+// Operations: write (temp-file payload write), fsync (temp-file sync),
+// rename (rename into place), read (entry read), peer (peer HTTP
+// probe). Fail schedules accept an optional errno suffix (enospc, eio,
+// etimedout; default eio); injected errors match both ErrInjected and
+// the errno via errors.Is. Multiple rules may target one operation;
+// invocation counters are shared per operation, so "write:fail@2 and
+// write:fail@5" fail exactly the 2nd and 5th write.
+//
+// Determinism: given the same plan (and seed, for flaky rules) and the
+// same per-operation call sequence, the injected faults are identical
+// run to run — which is what lets a chaos CI job pin "under this
+// schedule, the daemon behaves exactly so".
+//
+// A nil *Injector is the production default and is inert: every hook
+// is a nil-receiver check that injects nothing, so threading the hooks
+// through the hot path costs one predictable branch when disabled.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// EnvVar names the environment hook: when set (and the process wires
+// FromEnv through), the plan it holds is injected into every store the
+// process opens. It is a chaos-testing switch, never a production
+// setting — processes honoring it print a loud warning.
+const EnvVar = "TENSORTEE_FAULTS"
+
+// Op names one instrumented operation class.
+type Op string
+
+const (
+	// OpWrite is the store's temp-file payload write.
+	OpWrite Op = "write"
+	// OpSync is the temp-file fsync before rename.
+	OpSync Op = "fsync"
+	// OpRename is the atomic rename into place.
+	OpRename Op = "rename"
+	// OpRead is an entry read (Get / ReadRaw).
+	OpRead Op = "read"
+	// OpPeer is a peer HTTP probe.
+	OpPeer Op = "peer"
+)
+
+// Ops lists the valid operations (Parse rejects anything else).
+func Ops() []Op { return []Op{OpWrite, OpSync, OpRename, OpRead, OpPeer} }
+
+func validOp(op Op) bool {
+	switch op {
+	case OpWrite, OpSync, OpRename, OpRead, OpPeer:
+		return true
+	}
+	return false
+}
+
+// ErrInjected marks every injected error; errors.Is(err, ErrInjected)
+// distinguishes deliberate faults from the real thing in tests and logs.
+var ErrInjected = fmt.Errorf("faultinject: injected fault")
+
+// injectedError carries the fault identity plus a concrete errno, so a
+// consumer classifying by syscall.ENOSPC/EIO sees exactly what a real
+// failing disk would show it.
+type injectedError struct {
+	op    Op
+	errno error
+}
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("faultinject: injected %v on %s", e.errno, e.op)
+}
+
+func (e *injectedError) Unwrap() []error { return []error{ErrInjected, e.errno} }
+
+// Fault is one injection decision. The zero value means "proceed
+// normally".
+type Fault struct {
+	// Err, when non-nil, is the error the operation must fail with.
+	Err error
+	// Torn directs a write to land a truncated entry at the final path
+	// before failing — the shape a lying disk plus a crash leaves behind,
+	// which atomic rename alone cannot produce.
+	Torn bool
+}
+
+// kind enumerates schedule kinds.
+type kind int
+
+const (
+	kindFailNth kind = iota
+	kindFailAfter
+	kindFailUntil
+	kindFailEvery
+	kindTorn
+	kindFlaky
+	kindLatency
+)
+
+// rule is one parsed schedule bound to an op.
+type rule struct {
+	op    Op
+	kind  kind
+	n     int64
+	p     float64
+	d     time.Duration
+	errno error
+
+	// rng backs flaky draws; per-rule so interleaving rules (or ops)
+	// cannot perturb each other's deterministic sequences.
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// matches reports whether the rule fires on the i-th invocation
+// (1-based) of its op.
+func (r *rule) matches(i int64) bool {
+	switch r.kind {
+	case kindFailNth, kindTorn:
+		return i == r.n
+	case kindFailAfter:
+		return i > r.n
+	case kindFailUntil:
+		return i <= r.n
+	case kindFailEvery:
+		return i%r.n == 0
+	case kindFlaky:
+		r.mu.Lock()
+		hit := r.rng.Float64() < r.p
+		r.mu.Unlock()
+		return hit
+	}
+	return false
+}
+
+// opState is one operation's shared invocation and injection counters.
+type opState struct {
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+// Injector evaluates a parsed plan. All methods are safe for concurrent
+// use and safe on a nil receiver (a nil Injector injects nothing).
+type Injector struct {
+	src   string
+	rules []*rule
+	state map[Op]*opState
+}
+
+// Parse compiles a plan string. An empty plan (or one that is all
+// whitespace) yields a nil Injector — the inert default.
+func Parse(plan string) (*Injector, error) {
+	var (
+		rules []*rule
+		seed  int64 = 1
+	)
+	fields := strings.Split(plan, ";")
+	var kept []string
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(f, "seed@"); ok {
+			n, err := strconv.ParseInt(rest, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultinject: bad seed %q", rest)
+			}
+			seed = n
+			kept = append(kept, f)
+			continue
+		}
+		r, err := parseRule(f)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+		kept = append(kept, f)
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	inj := &Injector{
+		src:   strings.Join(kept, ";"),
+		rules: rules,
+		state: make(map[Op]*opState, len(Ops())),
+	}
+	for _, op := range Ops() {
+		inj.state[op] = &opState{}
+	}
+	for i, r := range rules {
+		if r.kind == kindFlaky {
+			// Seed each flaky rule independently (offset by position) so
+			// its draw sequence depends only on the plan, not on how other
+			// rules' ops interleave at runtime.
+			r.rng = rand.New(rand.NewSource(seed + int64(i)*1_000_003)) //nolint:gosec // deterministic test schedule, not crypto
+		}
+	}
+	return inj, nil
+}
+
+// parseRule compiles one "op:schedule[:errno]" rule.
+func parseRule(s string) (*rule, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) < 2 || len(parts) > 3 {
+		return nil, fmt.Errorf("faultinject: rule %q is not op:schedule[:errno]", s)
+	}
+	op := Op(strings.TrimSpace(parts[0]))
+	if !validOp(op) {
+		return nil, fmt.Errorf("faultinject: unknown op %q (want one of %v)", parts[0], Ops())
+	}
+	r := &rule{op: op, errno: syscall.EIO}
+	if len(parts) == 3 {
+		switch strings.TrimSpace(parts[2]) {
+		case "enospc":
+			r.errno = syscall.ENOSPC
+		case "eio":
+			r.errno = syscall.EIO
+		case "etimedout":
+			r.errno = syscall.ETIMEDOUT
+		default:
+			return nil, fmt.Errorf("faultinject: unknown errno %q (want enospc, eio or etimedout)", parts[2])
+		}
+	}
+	sched := strings.TrimSpace(parts[1])
+	if sched == "fail-all" {
+		r.kind, r.n = kindFailAfter, 0
+		return r, nil
+	}
+	name, arg, ok := strings.Cut(sched, "@")
+	if !ok {
+		return nil, fmt.Errorf("faultinject: schedule %q has no @argument", sched)
+	}
+	switch name {
+	case "fail":
+		r.kind = kindFailNth
+	case "fail-after":
+		r.kind = kindFailAfter
+	case "fail-until":
+		r.kind = kindFailUntil
+	case "fail-every":
+		r.kind = kindFailEvery
+	case "torn":
+		if op != OpWrite {
+			return nil, fmt.Errorf("faultinject: torn applies only to write, not %s", op)
+		}
+		r.kind = kindTorn
+	case "flaky":
+		r.kind = kindFlaky
+	case "latency":
+		r.kind = kindLatency
+	default:
+		return nil, fmt.Errorf("faultinject: unknown schedule %q", name)
+	}
+	switch r.kind {
+	case kindFlaky:
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil || p <= 0 || p > 1 {
+			return nil, fmt.Errorf("faultinject: flaky probability %q not in (0,1]", arg)
+		}
+		r.p = p
+	case kindLatency:
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return nil, fmt.Errorf("faultinject: bad latency %q", arg)
+		}
+		r.d = d
+	default:
+		n, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || n < 0 || (n == 0 && r.kind != kindFailAfter) {
+			return nil, fmt.Errorf("faultinject: bad count %q for %s", arg, name)
+		}
+		r.n = n
+	}
+	return r, nil
+}
+
+// FromEnv parses the plan in $TENSORTEE_FAULTS. Unset (or empty)
+// returns (nil, nil) — the inert default; a malformed plan is an error
+// so a chaos job with a typo fails loudly instead of running clean.
+func FromEnv() (*Injector, error) {
+	s := os.Getenv(EnvVar)
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	inj, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return inj, nil
+}
+
+// String returns the normalized plan (empty for a nil Injector).
+func (i *Injector) String() string {
+	if i == nil {
+		return ""
+	}
+	return i.src
+}
+
+// Enabled reports whether any rules are loaded. False on nil.
+func (i *Injector) Enabled() bool { return i != nil && len(i.rules) > 0 }
+
+// Check records one invocation of op and returns the fault to inject,
+// if any. Latency rules sleep here, before the decision is returned.
+// Safe on a nil receiver, where it is a single branch.
+func (i *Injector) Check(op Op) Fault {
+	if i == nil {
+		return Fault{}
+	}
+	st, ok := i.state[op]
+	if !ok {
+		return Fault{}
+	}
+	n := st.calls.Add(1)
+	var f Fault
+	var sleep time.Duration
+	for _, r := range i.rules {
+		if r.op != op {
+			continue
+		}
+		if r.kind == kindLatency {
+			sleep += r.d
+			continue
+		}
+		if f.Err == nil && r.matches(n) {
+			f.Err = &injectedError{op: op, errno: r.errno}
+			f.Torn = r.kind == kindTorn
+		}
+	}
+	if sleep > 0 {
+		time.Sleep(sleep)
+	}
+	if f.Err != nil {
+		st.injected.Add(1)
+	}
+	return f
+}
+
+// Calls returns how many times op has been checked. 0 on nil.
+func (i *Injector) Calls(op Op) int64 {
+	if i == nil {
+		return 0
+	}
+	if st, ok := i.state[op]; ok {
+		return st.calls.Load()
+	}
+	return 0
+}
+
+// Injected returns how many faults have been injected on op. 0 on nil.
+func (i *Injector) Injected(op Op) int64 {
+	if i == nil {
+		return 0
+	}
+	if st, ok := i.state[op]; ok {
+		return st.injected.Load()
+	}
+	return 0
+}

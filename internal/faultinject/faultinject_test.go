@@ -1,0 +1,249 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func mustParse(t *testing.T, plan string) *Injector {
+	t.Helper()
+	inj, err := Parse(plan)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", plan, err)
+	}
+	if inj == nil {
+		t.Fatalf("Parse(%q) = nil injector", plan)
+	}
+	return inj
+}
+
+func TestEmptyPlanIsNil(t *testing.T) {
+	for _, plan := range []string{"", "  ", ";;", " ; ; "} {
+		inj, err := Parse(plan)
+		if err != nil || inj != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", plan, inj, err)
+		}
+	}
+}
+
+func TestParseRejectsBadPlans(t *testing.T) {
+	for _, plan := range []string{
+		"write",                  // no schedule
+		"write:fail",             // no @argument
+		"write:fail@x",           // bad count
+		"write:fail@0",           // fail@0 is meaningless (1-based)
+		"chmod:fail@1",           // unknown op
+		"write:explode@1",        // unknown schedule
+		"write:fail@1:ebadf",     // unknown errno
+		"read:torn@1",            // torn is write-only
+		"peer:flaky@1.5",         // probability out of range
+		"peer:flaky@0",           // probability out of range
+		"peer:latency@-5ms",      // negative latency
+		"seed@nope",              // bad seed
+		"write:fail@1:eio:extra", // too many fields
+		"write:fail-every@0",     // modulo zero
+	} {
+		if inj, err := Parse(plan); err == nil {
+			t.Errorf("Parse(%q) accepted: %v", plan, inj)
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if inj.Enabled() {
+		t.Error("nil injector claims enabled")
+	}
+	if f := inj.Check(OpWrite); f.Err != nil || f.Torn {
+		t.Errorf("nil Check = %+v", f)
+	}
+	if inj.Calls(OpWrite) != 0 || inj.Injected(OpWrite) != 0 {
+		t.Error("nil injector counts")
+	}
+	if inj.String() != "" {
+		t.Errorf("nil String = %q", inj.String())
+	}
+}
+
+func TestFailNth(t *testing.T) {
+	inj := mustParse(t, "write:fail@3")
+	for i := 1; i <= 5; i++ {
+		f := inj.Check(OpWrite)
+		if (i == 3) != (f.Err != nil) {
+			t.Errorf("write %d: err = %v", i, f.Err)
+		}
+	}
+	if got := inj.Injected(OpWrite); got != 1 {
+		t.Errorf("injected = %d, want 1", got)
+	}
+	// Other ops are untouched.
+	if f := inj.Check(OpRead); f.Err != nil {
+		t.Errorf("read faulted under a write-only plan: %v", f.Err)
+	}
+}
+
+func TestFailAfterAndFailAll(t *testing.T) {
+	inj := mustParse(t, "write:fail-after@2")
+	for i := 1; i <= 6; i++ {
+		f := inj.Check(OpWrite)
+		if (i > 2) != (f.Err != nil) {
+			t.Errorf("write %d: err = %v", i, f.Err)
+		}
+	}
+	all := mustParse(t, "write:fail-all")
+	for i := 1; i <= 3; i++ {
+		if f := all.Check(OpWrite); f.Err == nil {
+			t.Errorf("fail-all write %d succeeded", i)
+		}
+	}
+}
+
+func TestFailUntilRecovers(t *testing.T) {
+	inj := mustParse(t, "write:fail-until@4")
+	for i := 1; i <= 8; i++ {
+		f := inj.Check(OpWrite)
+		if (i <= 4) != (f.Err != nil) {
+			t.Errorf("write %d: err = %v", i, f.Err)
+		}
+	}
+}
+
+func TestFailEvery(t *testing.T) {
+	inj := mustParse(t, "read:fail-every@3")
+	for i := 1; i <= 9; i++ {
+		f := inj.Check(OpRead)
+		if (i%3 == 0) != (f.Err != nil) {
+			t.Errorf("read %d: err = %v", i, f.Err)
+		}
+	}
+}
+
+func TestMultipleRulesShareOneCounter(t *testing.T) {
+	inj := mustParse(t, "write:fail@2;write:fail@5")
+	var failed []int
+	for i := 1; i <= 6; i++ {
+		if f := inj.Check(OpWrite); f.Err != nil {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) != 2 || failed[0] != 2 || failed[1] != 5 {
+		t.Errorf("failed invocations = %v, want [2 5]", failed)
+	}
+}
+
+func TestTornMarksWrite(t *testing.T) {
+	inj := mustParse(t, "write:torn@2")
+	if f := inj.Check(OpWrite); f.Err != nil {
+		t.Errorf("write 1 faulted: %v", f.Err)
+	}
+	f := inj.Check(OpWrite)
+	if f.Err == nil || !f.Torn {
+		t.Errorf("write 2 = %+v, want torn failure", f)
+	}
+	if f := inj.Check(OpWrite); f.Err != nil || f.Torn {
+		t.Errorf("write 3 = %+v, want clean", f)
+	}
+}
+
+func TestErrnoClassification(t *testing.T) {
+	inj := mustParse(t, "write:fail@1:enospc;read:fail@1;peer:fail@1:etimedout")
+	w := inj.Check(OpWrite).Err
+	if !errors.Is(w, ErrInjected) || !errors.Is(w, syscall.ENOSPC) {
+		t.Errorf("write err %v does not match ErrInjected+ENOSPC", w)
+	}
+	r := inj.Check(OpRead).Err
+	if !errors.Is(r, ErrInjected) || !errors.Is(r, syscall.EIO) {
+		t.Errorf("read err %v does not match ErrInjected+EIO (the default)", r)
+	}
+	p := inj.Check(OpPeer).Err
+	if !errors.Is(p, ErrInjected) || !errors.Is(p, syscall.ETIMEDOUT) {
+		t.Errorf("peer err %v does not match ErrInjected+ETIMEDOUT", p)
+	}
+}
+
+func TestLatencyInjectsDelay(t *testing.T) {
+	inj := mustParse(t, "peer:latency@30ms")
+	start := time.Now()
+	if f := inj.Check(OpPeer); f.Err != nil {
+		t.Errorf("latency rule failed the op: %v", f.Err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("Check returned after %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestFlakyIsDeterministicPerSeed(t *testing.T) {
+	decisions := func(plan string) []bool {
+		inj := mustParse(t, plan)
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = inj.Check(OpPeer).Err != nil
+		}
+		return out
+	}
+	a := decisions("peer:flaky@0.5;seed@7")
+	b := decisions("peer:flaky@0.5;seed@7")
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same plan+seed diverged at call %d", i)
+		}
+	}
+	c := decisions("peer:flaky@0.5;seed@8")
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("64 draws identical across different seeds; flaky is not seeded")
+	}
+}
+
+func TestFromEnv(t *testing.T) {
+	t.Setenv(EnvVar, "")
+	if inj, err := FromEnv(); inj != nil || err != nil {
+		t.Errorf("empty env = %v, %v", inj, err)
+	}
+	t.Setenv(EnvVar, "write:fail@1")
+	inj, err := FromEnv()
+	if err != nil || !inj.Enabled() {
+		t.Fatalf("FromEnv = %v, %v", inj, err)
+	}
+	if inj.String() != "write:fail@1" {
+		t.Errorf("String = %q", inj.String())
+	}
+	t.Setenv(EnvVar, "write:oops")
+	if _, err := FromEnv(); err == nil {
+		t.Error("malformed env plan accepted")
+	}
+}
+
+func TestConcurrentChecksCountExactly(t *testing.T) {
+	inj := mustParse(t, "write:fail-every@2")
+	const workers, per = 8, 250
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				inj.Check(OpWrite)
+			}
+		}()
+	}
+	wg.Wait()
+	total := int64(workers * per)
+	if got := inj.Calls(OpWrite); got != total {
+		t.Errorf("calls = %d, want %d", got, total)
+	}
+	// Every even-numbered invocation fails; with an exact atomic counter
+	// the injected total is exactly half.
+	if got := inj.Injected(OpWrite); got != total/2 {
+		t.Errorf("injected = %d, want %d", got, total/2)
+	}
+}

@@ -28,12 +28,14 @@ const (
 // never remembers successes beyond resetting the failure streak, so a
 // healthy system pays one mutex per fill outcome. Safe for concurrent use.
 type Breaker struct {
-	threshold int
-	cooldown  time.Duration
-	now       func() time.Time
+	threshold   int
+	cooldown    time.Duration
+	maxCooldown time.Duration // 0: fixed cooldown (no backoff)
+	now         func() time.Time
 
 	mu        sync.Mutex
 	failures  int
+	opens     int // consecutive opens without an intervening success
 	openUntil time.Time
 }
 
@@ -43,6 +45,16 @@ type Option func(*Breaker)
 // WithClock substitutes the time source (tests).
 func WithClock(now func() time.Time) Option {
 	return func(b *Breaker) { b.now = now }
+}
+
+// WithMaxCooldown enables exponential backoff: every fresh open without
+// an intervening success — the initial trip, then each failed half-open
+// probe — doubles the cooldown, up to max. A success resets the
+// escalation along with the failure streak. A persistently dead
+// dependency (a downed peer, say) is then probed at a geometrically
+// decaying rate instead of once per fixed cooldown forever.
+func WithMaxCooldown(max time.Duration) Option {
+	return func(b *Breaker) { b.maxCooldown = max }
 }
 
 // New builds a Breaker that opens after `threshold` consecutive failures
@@ -81,24 +93,52 @@ func (b *Breaker) State() State {
 // the failure cleared.
 func (b *Breaker) Open() bool { return b.State() == Open }
 
-// Success records a completed fill: the failure streak resets and the
-// breaker closes.
+// Success records a completed fill: the failure streak (and any cooldown
+// escalation) resets and the breaker closes.
 func (b *Breaker) Success() {
 	b.mu.Lock()
 	b.failures = 0
+	b.opens = 0
 	b.mu.Unlock()
 }
 
 // Failure records a failed (or over-budget) fill. Reaching the threshold
 // opens the breaker for a fresh cooldown — including from half-open,
-// where a single failed probe re-opens it.
+// where a single failed probe re-opens it (escalating the cooldown when
+// backoff is enabled).
 func (b *Breaker) Failure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.failures++
 	if b.failures >= b.threshold {
-		b.openUntil = b.now().Add(b.cooldown)
+		b.reopenLocked()
 	}
+}
+
+// reopenLocked starts (or extends) a cooldown. A fresh open — no
+// cooldown currently running — escalates the backoff; failures landing
+// while already open merely extend the current cooldown. Requires b.mu.
+func (b *Breaker) reopenLocked() {
+	if !b.now().Before(b.openUntil) {
+		b.opens++
+	}
+	b.openUntil = b.now().Add(b.cooldownLocked())
+}
+
+// cooldownLocked is the effective cooldown under the current escalation:
+// base * 2^(opens-1), clamped to maxCooldown. Requires b.mu.
+func (b *Breaker) cooldownLocked() time.Duration {
+	d := b.cooldown
+	if b.maxCooldown <= 0 {
+		return d
+	}
+	for i := 1; i < b.opens && d < b.maxCooldown; i++ {
+		d *= 2
+	}
+	if d > b.maxCooldown {
+		d = b.maxCooldown
+	}
+	return d
 }
 
 // Trip forces the breaker open for a full cooldown (tests and manual
@@ -107,7 +147,7 @@ func (b *Breaker) Trip() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.failures = b.threshold
-	b.openUntil = b.now().Add(b.cooldown)
+	b.reopenLocked()
 }
 
 // Observe records one fill outcome in a single call: failure when err is

@@ -152,3 +152,61 @@ func TestConcurrentOutcomesAreRaceFree(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestExponentialBackoffCooldown(t *testing.T) {
+	clock := newFakeClock()
+	b := New(2, time.Second, WithClock(clock.now), WithMaxCooldown(4*time.Second))
+	b.Failure()
+	b.Failure() // first open: 1s cooldown
+	if b.State() != Open {
+		t.Fatal("not open after threshold")
+	}
+	clock.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatal("not half-open after base cooldown")
+	}
+	b.Failure() // failed probe: second open, 2s cooldown
+	clock.advance(time.Second)
+	if b.State() != Open {
+		t.Fatal("cooldown did not double after a failed probe")
+	}
+	clock.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatal("not half-open after the doubled cooldown")
+	}
+	b.Failure() // third open: would be 4s
+	b.Failure() // extra failure while open extends, but does not re-escalate
+	clock.advance(4 * time.Second)
+	if b.State() != HalfOpen {
+		t.Fatal("not half-open after the 4s cooldown")
+	}
+	b.Failure() // fourth open: clamped to the 4s max
+	clock.advance(4*time.Second - time.Millisecond)
+	if b.State() != Open {
+		t.Fatal("cooldown escaped the max clamp")
+	}
+	clock.advance(time.Millisecond)
+	if b.State() != HalfOpen {
+		t.Fatal("not half-open at the clamped max")
+	}
+	// A success resets the escalation: the next trip is back to base.
+	b.Success()
+	b.Failure()
+	b.Failure()
+	clock.advance(time.Second)
+	if b.State() != HalfOpen {
+		t.Fatal("escalation survived a success")
+	}
+}
+
+func TestFixedCooldownWithoutBackoffOption(t *testing.T) {
+	clock := newFakeClock()
+	b := New(1, time.Second, WithClock(clock.now))
+	for i := 0; i < 4; i++ {
+		b.Failure()
+		clock.advance(time.Second)
+		if b.State() != HalfOpen {
+			t.Fatalf("trip %d: cooldown drifted without WithMaxCooldown", i)
+		}
+	}
+}

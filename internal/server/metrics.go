@@ -241,6 +241,16 @@ func (m *Metrics) Render() string {
 		fmt.Fprintf(&b, "tensorteed_store_entries %d\n", st.Entries)
 		fmt.Fprintf(&b, "# TYPE tensorteed_store_bytes gauge\n")
 		fmt.Fprintf(&b, "tensorteed_store_bytes %d\n", st.Bytes)
+		degraded := 0
+		if st.Degraded {
+			degraded = 1
+		}
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_degraded gauge\n")
+		fmt.Fprintf(&b, "tensorteed_store_degraded %d\n", degraded)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_writes_suppressed_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_writes_suppressed_total %d\n", st.WritesSuppressed)
+		fmt.Fprintf(&b, "# TYPE tensorteed_store_peer_skips_total counter\n")
+		fmt.Fprintf(&b, "tensorteed_store_peer_skips_total %d\n", st.PeerSkips)
 	}
 
 	m.mu.Lock()

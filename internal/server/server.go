@@ -308,9 +308,20 @@ func setCacheTier(w http.ResponseWriter, t tier) {
 	}
 }
 
+// handleHealthz is the liveness probe. It always answers 200 — a daemon
+// on a failing disk is alive and still serves warm reads — but it names
+// the store's health so orchestration and the chaos smoke can see
+// degraded read-only mode without parsing /metrics.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
+	if st := s.runner.Store(); st != nil {
+		if st.Degraded() {
+			fmt.Fprintln(w, "store: degraded")
+		} else {
+			fmt.Fprintln(w, "store: ok")
+		}
+	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"tensortee/internal/faultinject"
 )
 
 // servePeer mounts a minimal /v1/store/{ns}/{key} surface over src — the
@@ -159,5 +161,119 @@ func TestGetOrFetchNoPeersIsPlainMiss(t *testing.T) {
 	}
 	if st := local.Stats(); st.PeerMisses != 0 || st.DiskMisses != 1 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGetOrFetchProbesConcurrentlyUnderSharedBudget(t *testing.T) {
+	// Four hanging peers probed serially would cost 4x the per-probe
+	// timeout; the shared budget bounds the whole group.
+	var peers []string
+	for i := 0; i < 4; i++ {
+		hang := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			<-r.Context().Done()
+		}))
+		t.Cleanup(hang.Close)
+		peers = append(peers, hang.URL)
+	}
+	local := open(t, t.TempDir(), Options{
+		Peers:           peers,
+		PeerTimeout:     500 * time.Millisecond,
+		PeerProbeBudget: 200 * time.Millisecond,
+	})
+	start := time.Now()
+	if _, ok := local.GetOrFetch(context.Background(), Results, "fig16"); ok {
+		t.Fatal("hit from hanging peers")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("probe group took %v; the shared budget (200ms) is not bounding it", elapsed)
+	}
+}
+
+func TestGetOrFetchFirstSuccessWins(t *testing.T) {
+	src := open(t, t.TempDir(), Options{})
+	payload := []byte("present on both peers")
+	if err := src.Put(Results, "fig16", payload); err != nil {
+		t.Fatal(err)
+	}
+	fast := servePeer(t, src)
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(2 * time.Second):
+		case <-r.Context().Done():
+			return
+		}
+		raw, _ := src.ReadRaw(Results, "fig16")
+		w.Write(raw)
+	}))
+	t.Cleanup(slow.Close)
+
+	local := open(t, t.TempDir(), Options{
+		Peers:           []string{slow.URL, fast.URL},
+		PeerTimeout:     3 * time.Second,
+		PeerProbeBudget: 3 * time.Second,
+	})
+	start := time.Now()
+	got, ok := local.GetOrFetch(context.Background(), Results, "fig16")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("GetOrFetch = %q, %v", got, ok)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("took %v: the fast peer's answer did not win over the slow one", elapsed)
+	}
+}
+
+func TestOpenPeerBreakerSkipsProbes(t *testing.T) {
+	var requests atomic.Int64
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	t.Cleanup(sick.Close)
+	local := open(t, t.TempDir(), Options{Peers: []string{sick.URL}})
+
+	// peerBreakerThreshold consecutive failed probes open the breaker...
+	for i := 0; i < peerBreakerThreshold; i++ {
+		if _, ok := local.GetOrFetch(context.Background(), Results, "fig16"); ok {
+			t.Fatal("hit from a 500ing peer")
+		}
+	}
+	if got := requests.Load(); got != peerBreakerThreshold {
+		t.Fatalf("peer saw %d probes during the trip phase, want %d", got, peerBreakerThreshold)
+	}
+	// ...after which lookups skip the peer without any HTTP traffic.
+	for i := 0; i < 5; i++ {
+		if _, ok := local.GetOrFetch(context.Background(), Results, "fig16"); ok {
+			t.Fatal("hit from a skipped peer")
+		}
+	}
+	if got := requests.Load(); got != peerBreakerThreshold {
+		t.Errorf("open breaker leaked %d probes to the peer", got-peerBreakerThreshold)
+	}
+	if st := local.Stats(); st.PeerSkips != 5 {
+		t.Errorf("peer skips = %d, want 5", st.PeerSkips)
+	}
+}
+
+func TestPeerFaultHookFailsProbes(t *testing.T) {
+	src := open(t, t.TempDir(), Options{})
+	if err := src.Put(Results, "fig16", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	peer := servePeer(t, src)
+
+	inj, err := faultinject.Parse("peer:fail@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := open(t, t.TempDir(), Options{Peers: []string{peer.URL}, Faults: inj})
+	if _, ok := local.GetOrFetch(context.Background(), Results, "fig16"); ok {
+		t.Fatal("injected peer fault still produced a hit")
+	}
+	if st := local.Stats(); st.PeerErrors != 1 {
+		t.Errorf("peer errors = %d, want 1", st.PeerErrors)
+	}
+	// The schedule fired; the next lookup reaches the peer and hits.
+	if _, ok := local.GetOrFetch(context.Background(), Results, "fig16"); !ok {
+		t.Fatal("probe after the injected fault missed")
 	}
 }

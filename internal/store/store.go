@@ -43,6 +43,9 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tensortee/internal/faultinject"
+	"tensortee/internal/resilience"
 )
 
 // Namespace partitions the key space: one directory per kind of payload.
@@ -153,9 +156,29 @@ type Options struct {
 	// PeerTimeout bounds each peer probe (default 2s). Probes fail open:
 	// a slow or dead peer degrades to a local compute, never an error.
 	PeerTimeout time.Duration
+	// PeerProbeBudget bounds the *total* time GetOrFetch spends probing
+	// peers, across all of them (default 2× PeerTimeout). Probes run
+	// concurrently under this shared deadline, so N dead peers cost one
+	// budget, not N serial timeouts.
+	PeerProbeBudget time.Duration
 	// BuildTag overrides the build identity stamped into (and required
 	// of) entries. Empty selects BuildTag().
 	BuildTag string
+	// DegradeThreshold is how many consecutive write failures flip the
+	// store into degraded read-only mode (default 3).
+	DegradeThreshold int
+	// ProbeInterval is how often, while degraded, one write is admitted
+	// as a recovery probe (default 15s). A successful probe restores
+	// normal writes.
+	ProbeInterval time.Duration
+	// QuarantineMaxBytes caps the total size of .quarantine/; past it the
+	// oldest quarantined files are deleted after each new quarantine.
+	// 0 selects the 128 MiB default; negative disables the cap.
+	QuarantineMaxBytes int64
+	// Faults, when non-nil, injects deterministic failures into the
+	// store's filesystem operations and peer probes (tests and the chaos
+	// CI job). Nil — the production default — costs one branch per hook.
+	Faults *faultinject.Injector
 }
 
 // Stats is a snapshot of the store's counters.
@@ -176,33 +199,70 @@ type Stats struct {
 	// Pinned counts entries currently pinned against eviction (active
 	// campaign manifests and checkpoints).
 	Pinned int64 `json:"pinned"`
+	// Degraded reports whether the store is currently in read-only
+	// degraded mode (consecutive write failures; recovering via probes).
+	Degraded bool `json:"degraded"`
+	// WritesSuppressed counts Puts refused with ErrDegraded while the
+	// store was degraded (probe writes are admitted, not suppressed).
+	WritesSuppressed int64 `json:"writes_suppressed"`
+	// PeerSkips counts peer probes skipped because the peer's breaker
+	// was open.
+	PeerSkips int64 `json:"peer_skips"`
+	// QuarantineBytes is the current size of .quarantine/ (bounded by
+	// QuarantineMaxBytes).
+	QuarantineBytes int64 `json:"quarantine_bytes"`
 }
+
+// ErrDegraded is returned by Put while the store is in degraded
+// read-only mode (and the probe interval has not elapsed). Callers
+// already treat persistence as best-effort; this error lets them tell
+// "the disk is known-bad, stop trying" from a one-off failure.
+var ErrDegraded = fmt.Errorf("store: degraded, writes suppressed until a probe write succeeds")
 
 // Store is a disk-backed content-addressed store. All methods are safe
 // for concurrent use, including by multiple processes sharing one
 // directory (atomic renames arbitrate).
 type Store struct {
-	dir      string
-	maxBytes int64
-	peers    []string
-	timeout  time.Duration
-	build    string
-	client   httpDoer
+	dir           string
+	maxBytes      int64
+	peers         []string
+	timeout       time.Duration
+	probeBudget   time.Duration
+	build         string
+	client        httpDoer
+	faults        *faultinject.Injector
+	quarantineMax int64
 
 	evictMu sync.Mutex // serializes eviction passes within this process
 
 	pinMu  sync.Mutex
 	pinned map[string]int // entry path -> pin count
 
-	diskHits    atomic.Int64
-	diskMisses  atomic.Int64
-	corruptions atomic.Int64
-	peerHits    atomic.Int64
-	peerMisses  atomic.Int64
-	peerErrors  atomic.Int64
-	writes      atomic.Int64
-	writeErrors atomic.Int64
-	evictions   atomic.Int64
+	// Write-health state machine: consecutive write failures flip the
+	// store degraded (read-only); while degraded one write per
+	// probeInterval is admitted as a recovery probe.
+	healthMu         sync.Mutex
+	degraded         bool
+	consecWriteFails int
+	lastProbe        time.Time
+	degradeThreshold int
+	probeInterval    time.Duration
+
+	// peerBreakers holds one circuit breaker per configured peer; open
+	// breakers make GetOrFetch skip that peer entirely.
+	peerBreakers map[string]*resilience.Breaker
+
+	diskHits         atomic.Int64
+	diskMisses       atomic.Int64
+	corruptions      atomic.Int64
+	peerHits         atomic.Int64
+	peerMisses       atomic.Int64
+	peerErrors       atomic.Int64
+	peerSkips        atomic.Int64
+	writes           atomic.Int64
+	writeErrors      atomic.Int64
+	writesSuppressed atomic.Int64
+	evictions        atomic.Int64
 }
 
 // Open creates (if needed) and opens a store rooted at dir.
@@ -231,15 +291,42 @@ func Open(dir string, opts Options) (*Store, error) {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
 	}
-	return &Store{
-		dir:      dir,
-		maxBytes: opts.MaxBytes,
-		peers:    append([]string(nil), opts.Peers...),
-		timeout:  timeout,
-		build:    build,
-		client:   newPeerClient(timeout),
-		pinned:   make(map[string]int),
-	}, nil
+	probeBudget := opts.PeerProbeBudget
+	if probeBudget <= 0 {
+		probeBudget = 2 * timeout
+	}
+	threshold := opts.DegradeThreshold
+	if threshold <= 0 {
+		threshold = 3
+	}
+	probeInterval := opts.ProbeInterval
+	if probeInterval <= 0 {
+		probeInterval = 15 * time.Second
+	}
+	quarantineMax := opts.QuarantineMaxBytes
+	if quarantineMax == 0 {
+		quarantineMax = 128 << 20
+	}
+	s := &Store{
+		dir:              dir,
+		maxBytes:         opts.MaxBytes,
+		peers:            append([]string(nil), opts.Peers...),
+		timeout:          timeout,
+		probeBudget:      probeBudget,
+		build:            build,
+		client:           newPeerClient(timeout),
+		faults:           opts.Faults,
+		quarantineMax:    quarantineMax,
+		degradeThreshold: threshold,
+		probeInterval:    probeInterval,
+		pinned:           make(map[string]int),
+		peerBreakers:     make(map[string]*resilience.Breaker, len(opts.Peers)),
+	}
+	for _, p := range s.peers {
+		s.peerBreakers[p] = resilience.New(peerBreakerThreshold, peerBreakerCooldown,
+			resilience.WithMaxCooldown(peerBreakerMaxCooldown))
+	}
+	return s, nil
 }
 
 // Dir returns the store's root directory.
@@ -326,6 +413,10 @@ func (s *Store) Get(ns Namespace, key string) ([]byte, bool) {
 		return nil, false
 	}
 	path := s.entryPath(ns, key)
+	if f := s.faults.Check(faultinject.OpRead); f.Err != nil {
+		s.diskMisses.Add(1)
+		return nil, false
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		s.diskMisses.Add(1)
@@ -353,6 +444,9 @@ func (s *Store) ReadRaw(ns Namespace, key string) ([]byte, bool) {
 		return nil, false
 	}
 	path := s.entryPath(ns, key)
+	if f := s.faults.Check(faultinject.OpRead); f.Err != nil {
+		return nil, false
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
@@ -383,13 +477,72 @@ func (s *Store) Put(ns Namespace, key string, payload []byte) error {
 		s.writeErrors.Add(1)
 		return fmt.Errorf("store: payload %d bytes exceeds the %d-byte entry bound", len(payload), maxEntryBytes)
 	}
-	if err := s.write(ns, key, s.encodeEnvelope(ns, key, payload)); err != nil {
+	return s.persist(ns, key, s.encodeEnvelope(ns, key, payload))
+}
+
+// persist is the health-gated write path shared by Put and the peer
+// write-through: the degraded gate runs first (ErrDegraded when writes
+// are suppressed), the write's outcome feeds the health machine, and a
+// success enforces the byte budget.
+func (s *Store) persist(ns Namespace, key string, raw []byte) error {
+	if err := s.admitWrite(); err != nil {
+		return err
+	}
+	err := s.write(ns, key, raw)
+	s.noteWrite(err)
+	if err != nil {
 		s.writeErrors.Add(1)
 		return err
 	}
 	s.writes.Add(1)
 	s.evict()
 	return nil
+}
+
+// Degraded reports whether the store is currently in degraded read-only
+// mode.
+func (s *Store) Degraded() bool {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	return s.degraded
+}
+
+// admitWrite is the degraded-mode gate. Healthy: every write proceeds.
+// Degraded: writes are suppressed with ErrDegraded, except one write
+// per probeInterval which is admitted as a recovery probe (its outcome,
+// reported to noteWrite, decides whether the store heals).
+func (s *Store) admitWrite() error {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	if !s.degraded {
+		return nil
+	}
+	if now := time.Now(); now.Sub(s.lastProbe) >= s.probeInterval {
+		s.lastProbe = now
+		return nil
+	}
+	s.writesSuppressed.Add(1)
+	return ErrDegraded
+}
+
+// noteWrite feeds one write outcome into the health machine: a success
+// clears the failure streak (and degraded mode, when this was a probe);
+// reaching degradeThreshold consecutive failures flips the store
+// degraded. Failures while already degraded (failed probes) just leave
+// it degraded and restart the probe clock via admitWrite's timestamp.
+func (s *Store) noteWrite(err error) {
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	if err == nil {
+		s.consecWriteFails = 0
+		s.degraded = false
+		return
+	}
+	s.consecWriteFails++
+	if !s.degraded && s.consecWriteFails >= s.degradeThreshold {
+		s.degraded = true
+		s.lastProbe = time.Now()
+	}
 }
 
 func (s *Store) write(ns Namespace, key string, raw []byte) error {
@@ -401,6 +554,21 @@ func (s *Store) write(ns Namespace, key string, raw []byte) error {
 		return fmt.Errorf("store: %w", err)
 	}
 	tmpName := tmp.Name()
+	if f := s.faults.Check(faultinject.OpWrite); f.Err != nil {
+		if f.Torn {
+			// A torn write lands truncated bytes at the *final* path and
+			// then fails — the shape a lying disk plus a crash leaves
+			// behind, which atomic rename alone can never produce. The
+			// next read must quarantine it as corrupt.
+			_, _ = tmp.Write(raw[:len(raw)/2])
+			tmp.Close()
+			_ = os.Rename(tmpName, s.entryPath(ns, key))
+			return fmt.Errorf("store: %w", f.Err)
+		}
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", f.Err)
+	}
 	if _, err := tmp.Write(raw); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
@@ -408,6 +576,11 @@ func (s *Store) write(ns Namespace, key string, raw []byte) error {
 	}
 	// Sync before rename: after a crash the entry must be complete or
 	// absent, not a rename pointing at unflushed bytes.
+	if f := s.faults.Check(faultinject.OpSync); f.Err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", f.Err)
+	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
@@ -416,6 +589,10 @@ func (s *Store) write(ns Namespace, key string, raw []byte) error {
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: %w", err)
+	}
+	if f := s.faults.Check(faultinject.OpRename); f.Err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: %w", f.Err)
 	}
 	if err := os.Rename(tmpName, s.entryPath(ns, key)); err != nil {
 		os.Remove(tmpName)
@@ -439,6 +616,66 @@ func (s *Store) quarantine(path string) {
 	if err := os.Rename(path, dstName); err != nil {
 		os.Remove(dstName)
 	}
+	s.capQuarantine()
+}
+
+// capQuarantine keeps .quarantine/ under the byte budget by deleting
+// the oldest files (by mtime) first: on a disk that corrupts steadily,
+// the quarantine holds the freshest evidence instead of growing without
+// bound. Best-effort, like quarantine itself.
+func (s *Store) capQuarantine() {
+	if s.quarantineMax < 0 {
+		return
+	}
+	dir := filepath.Join(s.dir, ".quarantine")
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	var files []entryInfo
+	var total int64
+	for _, de := range des {
+		if de.IsDir() {
+			continue
+		}
+		fi, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entryInfo{
+			path:  filepath.Join(dir, de.Name()),
+			size:  fi.Size(),
+			mtime: fi.ModTime(),
+		})
+		total += fi.Size()
+	}
+	if total <= s.quarantineMax {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= s.quarantineMax {
+			break
+		}
+		if err := os.Remove(f.path); err == nil {
+			total -= f.size
+		}
+	}
+}
+
+// quarantineBytes is the current size of .quarantine/.
+func (s *Store) quarantineBytes() int64 {
+	des, err := os.ReadDir(filepath.Join(s.dir, ".quarantine"))
+	if err != nil {
+		return 0
+	}
+	var total int64
+	for _, de := range des {
+		if fi, err := de.Info(); err == nil && !de.IsDir() {
+			total += fi.Size()
+		}
+	}
+	return total
 }
 
 // Keys lists the keys currently present under a namespace, sorted. Used
@@ -589,15 +826,19 @@ func (s *Store) evict() {
 // Stats snapshots the counters and the on-disk footprint.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		DiskHits:    s.diskHits.Load(),
-		DiskMisses:  s.diskMisses.Load(),
-		Corruptions: s.corruptions.Load(),
-		PeerHits:    s.peerHits.Load(),
-		PeerMisses:  s.peerMisses.Load(),
-		PeerErrors:  s.peerErrors.Load(),
-		Writes:      s.writes.Load(),
-		WriteErrors: s.writeErrors.Load(),
-		Evictions:   s.evictions.Load(),
+		DiskHits:         s.diskHits.Load(),
+		DiskMisses:       s.diskMisses.Load(),
+		Corruptions:      s.corruptions.Load(),
+		PeerHits:         s.peerHits.Load(),
+		PeerMisses:       s.peerMisses.Load(),
+		PeerErrors:       s.peerErrors.Load(),
+		PeerSkips:        s.peerSkips.Load(),
+		Writes:           s.writes.Load(),
+		WriteErrors:      s.writeErrors.Load(),
+		WritesSuppressed: s.writesSuppressed.Load(),
+		Evictions:        s.evictions.Load(),
+		Degraded:         s.Degraded(),
+		QuarantineBytes:  s.quarantineBytes(),
 	}
 	for _, e := range s.walkEntries() {
 		st.Entries++
