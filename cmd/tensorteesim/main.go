@@ -261,6 +261,13 @@ func runCampaign(ctx context.Context, runner *tensortee.Runner, path string, std
 			}
 			return res.EncodeStored()
 		},
+		Measure: func(payload []byte) (campaign.Measurement, error) {
+			sp, total, err := tensortee.StoredMeasurement(payload)
+			if err != nil {
+				return campaign.Measurement{}, err
+			}
+			return campaign.Measurement{Speedup: sp, TotalSeconds: total}, nil
+		},
 		Store:   runner.Store(),
 		Workers: parallel,
 		Retries: 1,
@@ -276,7 +283,11 @@ func runCampaign(ctx context.Context, runner *tensortee.Runner, path string, std
 		return 1, err
 	}
 	defer detach()
-	fmt.Fprintf(stderr, "[campaign %s: %d points, %d restored from store]\n", st.ID, st.Total, st.Restored)
+	if s := spec.Search; s != nil {
+		fmt.Fprintf(stderr, "[campaign %s: %s search over a %d-point domain, %d restored from store]\n", st.ID, s.Mode, st.Total, st.Restored)
+	} else {
+		fmt.Fprintf(stderr, "[campaign %s: %d points, %d restored from store]\n", st.ID, st.Total, st.Restored)
+	}
 
 	interrupted := false
 	for {
@@ -310,6 +321,9 @@ func runCampaign(ctx context.Context, runner *tensortee.Runner, path string, std
 				line := fmt.Sprintf("[%d/%d %s %s]", ev.Done, ev.Total, ev.State, ev.Point)
 				if ev.Error != "" {
 					line += " " + ev.Error
+				}
+				if b := ev.BestSoFar; b != nil {
+					line += fmt.Sprintf(" best=%s (objective=%.4g cost=%g)", b.Point, b.Objective, b.Cost)
 				}
 				fmt.Fprintln(stderr, line)
 			}

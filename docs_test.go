@@ -1,0 +1,145 @@
+package tensortee
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns the repo's reader-facing markdown files: the root
+// documents, docs/, and every README under examples/. Scaffolding files
+// (ISSUE.md, SNIPPETS.md, PAPERS.md) are working notes, not navigation,
+// and stay out of the contract.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "EXPERIMENTS.md", "ROADMAP.md", "PAPER.md", "CHANGES.md"}
+	for _, dir := range []string{"docs", "examples"} {
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", dir, err)
+		}
+	}
+	return files
+}
+
+// mdLink matches inline markdown links and images; the group is the
+// destination up to the first whitespace (so optional titles are ignored).
+var mdLink = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// markdownLinks extracts link destinations outside fenced code blocks.
+func markdownLinks(t *testing.T, path string) []string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var links []string
+	fenced := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced {
+			continue
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+			links = append(links, m[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return links
+}
+
+// githubAnchor renders a heading the way GitHub's anchor generator does:
+// lowercase, punctuation dropped, spaces to hyphens.
+func githubAnchor(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// markdownAnchors collects the anchor ids of a file's headings.
+func markdownAnchors(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	anchors := make(map[string]bool)
+	fenced := false
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			fenced = !fenced
+			continue
+		}
+		if fenced || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		anchors[githubAnchor(strings.TrimLeft(line, "# "))] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return anchors
+}
+
+// TestDocLinksResolve fails on broken relative links in the repo's
+// markdown: every non-external destination must name an existing file
+// (or directory), and every #fragment must match a heading in its
+// target. External links are out of scope — CI should not flake on
+// someone else's uptime.
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range docFiles(t) {
+		for _, link := range markdownLinks(t, doc) {
+			if strings.HasPrefix(link, "http://") || strings.HasPrefix(link, "https://") ||
+				strings.HasPrefix(link, "mailto:") {
+				continue
+			}
+			target, frag, _ := strings.Cut(link, "#")
+			targetPath := doc // pure-fragment links point into their own file
+			if target != "" {
+				targetPath = filepath.Join(filepath.Dir(doc), target)
+				if _, err := os.Stat(targetPath); err != nil {
+					t.Errorf("%s: broken link %q: %v", doc, link, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(targetPath, ".md") {
+				continue // anchors into non-markdown targets are not checkable
+			}
+			if !markdownAnchors(t, targetPath)[frag] {
+				t.Errorf("%s: link %q: no heading in %s anchors to #%s", doc, link, targetPath, frag)
+			}
+		}
+	}
+}

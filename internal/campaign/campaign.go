@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"strings"
 
 	"tensortee/internal/scenario"
@@ -50,7 +51,10 @@ const (
 // dim or override knob — the same vocabulary as scenario sweeps) and the
 // values it takes.
 type Axis struct {
-	Axis   string    `json:"axis"`
+	// Axis names the swept dimension (e.g. "layers", "meta_cache_kb").
+	Axis string `json:"axis"`
+	// Values are the settings the axis takes, in submitted order for grid
+	// campaigns; search campaigns sort and deduplicate them at compile.
 	Values []float64 `json:"values"`
 }
 
@@ -59,9 +63,17 @@ type Axis struct {
 // value per axis applied (axis values override the base's own overrides,
 // matching scenario sweep precedence).
 type Spec struct {
-	Name string        `json:"name,omitempty"`
+	// Name is a human-readable label; it does not contribute to campaign
+	// identity.
+	Name string `json:"name,omitempty"`
+	// Base is the single-point scenario every grid point starts from.
 	Base scenario.Spec `json:"base"`
-	Axes []Axis        `json:"axes"`
+	// Axes are the dimensions to cross (at most maxAxes).
+	Axes []Axis `json:"axes"`
+	// Search, when present, turns the campaign from grid enumeration into
+	// guided search: the axes become a domain and the selected policy
+	// (target / pareto / budget) decides which points actually run.
+	Search *SearchSpec `json:"search,omitempty"`
 }
 
 // Plan is a compiled campaign: the normalized spec, its identity, and
@@ -119,11 +131,25 @@ func Compile(s Spec) (*Plan, error) {
 			return nil, fmt.Errorf("%w: duplicate axis %q", ErrInvalidSpec, name)
 		}
 		seen[name] = true
+		if s.Search != nil {
+			// Search policies assume ordered axes (bisection walks them, cost
+			// grows along them): sort ascending and drop duplicates. Grid
+			// campaigns keep the submitted order — it is part of the identity.
+			vals = sortedUniqueValues(vals)
+		}
 		norm.Axes[i] = Axis{Axis: name, Values: vals}
 		total *= len(vals)
 		if total > MaxPoints {
 			return nil, fmt.Errorf("%w: cross product exceeds the %d-point cap", ErrInvalidSpec, MaxPoints)
 		}
+	}
+
+	if s.Search != nil {
+		search, err := normalizeSearch(s.Search, norm.Axes, len(norm.Base.Systems), total)
+		if err != nil {
+			return nil, err
+		}
+		norm.Search = search
 	}
 
 	p := &Plan{Spec: norm, Total: total, strides: make([]int, len(norm.Axes))}
@@ -184,6 +210,71 @@ func (p *Plan) Point(i int) (scenario.Spec, string, error) {
 	label := strings.Join(parts, ",")
 	spec.Name = fmt.Sprintf("%s[%s]", p.Spec.Name, label)
 	return spec, label, nil
+}
+
+// PointLabel renders point i's axis assignment ("layers=12,meta_cache_kb=64")
+// without materializing the spec. Out-of-range indices render as "?".
+func (p *Plan) PointLabel(i int) string {
+	if i < 0 || i >= p.Total {
+		return "?"
+	}
+	parts := make([]string, len(p.Spec.Axes))
+	for a, ax := range p.Spec.Axes {
+		parts[a] = fmt.Sprintf("%s=%g", ax.Axis, ax.Values[(i/p.strides[a])%len(ax.Values)])
+	}
+	return strings.Join(parts, ",")
+}
+
+// Cost is the area-proxy cost of point i: the weighted sum of its axis
+// values, with weights from the search block's cost spec falling back to
+// the built-in defaults (see DefaultCostWeight).
+func (p *Plan) Cost(i int) float64 {
+	var total float64
+	for a, ax := range p.Spec.Axes {
+		v := ax.Values[(i/p.strides[a])%len(ax.Values)]
+		w, ok := 0.0, false
+		if p.Spec.Search != nil && p.Spec.Search.Cost != nil {
+			w, ok = p.Spec.Search.Cost.Weights[ax.Axis]
+		}
+		if !ok {
+			w = DefaultCostWeight(ax.Axis)
+		}
+		total += w * v
+	}
+	return total
+}
+
+// coords decomposes a point index into per-axis value indices.
+func (p *Plan) coords(i int) []int {
+	c := make([]int, len(p.Spec.Axes))
+	for a := range p.Spec.Axes {
+		c[a] = (i / p.strides[a]) % len(p.Spec.Axes[a].Values)
+	}
+	return c
+}
+
+// index recomposes per-axis value indices into a point index.
+func (p *Plan) index(coords []int) int {
+	i := 0
+	for a, c := range coords {
+		i += c * p.strides[a]
+	}
+	return i
+}
+
+// sortedUniqueValues returns the values sorted ascending with exact
+// duplicates removed.
+func sortedUniqueValues(vals []float64) []float64 {
+	out := append([]float64(nil), vals...)
+	sort.Float64s(out)
+	n := 0
+	for _, v := range out {
+		if n == 0 || out[n-1] != v {
+			out[n] = v
+			n++
+		}
+	}
+	return out[:n]
 }
 
 // Store keys. A campaign owns a flat key family in the campaign/

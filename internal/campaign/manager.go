@@ -25,6 +25,11 @@ type RunFunc func(ctx context.Context, spec scenario.Spec) ([]byte, error)
 type Config struct {
 	// Run computes one point. Required.
 	Run RunFunc
+	// Measure decodes a point's checkpointed payload into the scalars a
+	// search optimizes over. Required to accept search campaigns; a
+	// manager without it rejects specs carrying a "search" block at
+	// submit time.
+	Measure MeasureFunc
 	// Store checkpoints completed points and manifests. nil disables
 	// persistence: campaigns still run, but do not survive a restart.
 	Store *store.Store
@@ -57,8 +62,13 @@ type Config struct {
 type State string
 
 const (
-	StateRunning   State = "running"
-	StateDone      State = "done"
+	// StateRunning means points are still being dispatched or computed.
+	StateRunning State = "running"
+	// StateDone means every point reached a terminal state (failures
+	// included — they are isolated, not fatal).
+	StateDone State = "done"
+	// StateCancelled means the campaign was cancelled; in-flight points
+	// drained and the rest were skipped.
 	StateCancelled State = "cancelled"
 )
 
@@ -68,12 +78,17 @@ type PointState string
 const (
 	// PointPending is the zero value: a freshly allocated point slice is
 	// all-pending by construction.
-	PointPending  PointState = ""
-	PointRunning  PointState = "running"
+	PointPending PointState = ""
+	// PointRunning means the point is computing right now.
+	PointRunning PointState = "running"
+	// PointComputed means the point was simulated by this process.
 	PointComputed PointState = "computed"
+	// PointRestored means the point was satisfied from a checkpoint.
 	PointRestored PointState = "restored"
-	PointFailed   PointState = "failed"
-	PointSkipped  PointState = "skipped"
+	// PointFailed means the point exhausted its retries.
+	PointFailed PointState = "failed"
+	// PointSkipped means cancellation reached the point before a worker.
+	PointSkipped PointState = "skipped"
 )
 
 // maxFailures bounds the per-campaign failure detail list (counts are
@@ -82,8 +97,11 @@ const maxFailures = 32
 
 // PointFailure records one failed point.
 type PointFailure struct {
-	Index int    `json:"index"`
+	// Index is the point's position in the row-major grid order.
+	Index int `json:"index"`
+	// Point is the human-readable "axis=value,..." label.
 	Point string `json:"point"`
+	// Error is the final attempt's error text.
 	Error string `json:"error"`
 }
 
@@ -92,17 +110,32 @@ type PointFailure struct {
 // StateDone even with failed points — failures are isolated, reported,
 // and never abort the rest of the grid.
 type Status struct {
-	ID       string         `json:"id"`
-	Name     string         `json:"name"`
-	State    State          `json:"state"`
-	Total    int            `json:"total"`
-	Done     int            `json:"done"`
-	Computed int            `json:"computed"`
-	Restored int            `json:"restored"`
-	Failed   int            `json:"failed"`
-	Skipped  int            `json:"skipped"`
-	Running  int            `json:"running"`
-	Created  time.Time      `json:"created"`
+	// ID is the campaign's content-addressed identity (the plan
+	// fingerprint): identical specs share one ID.
+	ID string `json:"id"`
+	// Name echoes the spec's human-readable label.
+	Name string `json:"name"`
+	// State is the campaign's lifecycle state.
+	State State `json:"state"`
+	// Total is the domain size (every grid point, whether or not a
+	// search ever proposes it).
+	Total int `json:"total"`
+	// Done counts terminal points: Computed + Restored + Failed + Skipped.
+	Done int `json:"done"`
+	// Computed counts points simulated by this process.
+	Computed int `json:"computed"`
+	// Restored counts points satisfied from checkpoints.
+	Restored int `json:"restored"`
+	// Failed counts points that exhausted their retries.
+	Failed int `json:"failed"`
+	// Skipped counts points cancellation reached before a worker did.
+	Skipped int `json:"skipped"`
+	// Running counts points computing right now.
+	Running int `json:"running"`
+	// Created is the submission time (informational; not identity).
+	Created time.Time `json:"created"`
+	// Failures samples per-point failure detail (at most maxFailures
+	// entries; the Failed count is always exact).
 	Failures []PointFailure `json:"failures,omitempty"`
 	// Durability reports checkpoint health: "none" (no store configured),
 	// "full" (every computed point checkpointed), or "degraded" (one or
@@ -113,6 +146,10 @@ type Status struct {
 	// CheckpointsLost counts computed points whose checkpoint never
 	// landed (only non-zero when Durability is "degraded").
 	CheckpointsLost int `json:"checkpoints_lost,omitempty"`
+	// Search reports a search campaign's standing (nil for grid
+	// campaigns): evaluated count, best point so far, frontier, and the
+	// termination reason once the search stops.
+	Search *SearchStatus `json:"search,omitempty"`
 }
 
 // Durability values for Status.Durability.
@@ -131,7 +168,8 @@ const (
 	// EventPoint reports one point reaching a terminal state.
 	EventPoint EventType = "point"
 	// EventDone and EventCancelled terminate the stream.
-	EventDone      EventType = "done"
+	EventDone EventType = "done"
+	// EventCancelled is EventDone's cancelled twin.
 	EventCancelled EventType = "cancelled"
 	// EventStatus is a synthetic snapshot line (stream open / close);
 	// the manager never publishes it itself.
@@ -140,20 +178,38 @@ const (
 
 // Event is one line of a campaign's NDJSON progress stream.
 type Event struct {
-	Seq      int64     `json:"seq"`
-	Time     time.Time `json:"time"`
-	Type     EventType `json:"type"`
-	Campaign string    `json:"campaign"`
-	Point    string    `json:"point,omitempty"`
-	Index    int       `json:"index"`
-	State    string    `json:"state,omitempty"`
-	Error    string    `json:"error,omitempty"`
-	Done     int       `json:"done"`
-	Computed int       `json:"computed"`
-	Restored int       `json:"restored"`
-	Failed   int       `json:"failed"`
-	Skipped  int       `json:"skipped"`
-	Total    int       `json:"total"`
+	// Seq orders events within one campaign (gaps mean dropped lines).
+	Seq int64 `json:"seq"`
+	// Time is the publication time.
+	Time time.Time `json:"time"`
+	// Type classifies the line; see the EventType constants.
+	Type EventType `json:"type"`
+	// Campaign is the campaign ID the event belongs to.
+	Campaign string `json:"campaign"`
+	// Point is the "axis=value,..." label on point events.
+	Point string `json:"point,omitempty"`
+	// Index is the point's grid index on point events.
+	Index int `json:"index"`
+	// State is the point's terminal state ("done"/"failed"/"skipped") on
+	// point events, or the campaign state on status snapshots.
+	State string `json:"state,omitempty"`
+	// Error carries the failure text on failed point events.
+	Error string `json:"error,omitempty"`
+	// Done through Total repeat the full running counts on every line,
+	// so a client can join late or drop lines without losing totals.
+	Done     int `json:"done"`
+	Computed int `json:"computed"`
+	Restored int `json:"restored"`
+	Failed   int `json:"failed"`
+	Skipped  int `json:"skipped"`
+	Total    int `json:"total"`
+	// BestSoFar snapshots the search's current winner on every point
+	// event of a search campaign (absent for grid campaigns).
+	BestSoFar *SearchPoint `json:"best_so_far,omitempty"`
+	// Frontier snapshots the non-dominated set on pareto-mode point
+	// events, capped at searchEventFrontierCap entries per line (the
+	// status endpoint always carries the full frontier).
+	Frontier []SearchPoint `json:"frontier,omitempty"`
 }
 
 // job is one tracked campaign.
@@ -181,6 +237,7 @@ type job struct {
 	subs            map[int]chan Event
 	nextSub         int
 	subsClosed      bool
+	search          *SearchStatus // latest search snapshot; nil for grid campaigns
 }
 
 func newJob(plan *Plan, now time.Time) *job {
@@ -218,6 +275,15 @@ func (j *job) statusLocked() Status {
 		st.CheckpointsLost = j.checkpointsLost
 	default:
 		st.Durability = DurabilityFull
+	}
+	if j.search != nil {
+		sc := *j.search
+		if sc.Best != nil {
+			b := *sc.Best
+			sc.Best = &b
+		}
+		sc.Frontier = append([]SearchPoint(nil), sc.Frontier...)
+		st.Search = &sc
 	}
 	return st
 }
@@ -297,6 +363,9 @@ func (m *Manager) Start(spec Spec) (Status, bool, error) {
 }
 
 func (m *Manager) start(plan *Plan) (Status, bool, error) {
+	if plan.Spec.Search != nil && m.cfg.Measure == nil {
+		return Status{}, false, fmt.Errorf("%w: search campaigns are not enabled (no measurement hook configured)", ErrInvalidSpec)
+	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -515,6 +584,11 @@ func (m *Manager) execute(j *job) {
 	}
 	m.publish(j, Event{Type: EventStarted})
 
+	if j.plan.Spec.Search != nil {
+		m.executeSearch(j)
+		return
+	}
+
 	var jwg sync.WaitGroup
 dispatch:
 	for i := 0; i < j.plan.Total; i++ {
@@ -553,15 +627,28 @@ dispatch:
 	m.finalize(j)
 }
 
-// runPoint executes one point: bounded retries, panic recovery, breaker
-// observation, checkpoint on success.
+// runPoint executes one grid point: bounded retries, panic recovery,
+// breaker observation, checkpoint on success.
 func (m *Manager) runPoint(j *job, idx int, jwg *sync.WaitGroup) {
 	defer jwg.Done()
 	defer func() { <-m.sem }()
+	payload, label, err := m.attemptPoint(j, idx)
+	if err == nil {
+		m.persistCheckpoint(j, idx, payload)
+		m.publish(j, m.settlePoint(j, idx, PointComputed, label, nil))
+		return
+	}
+	m.publish(j, m.settlePoint(j, idx, PointFailed, label, err))
+}
+
+// attemptPoint is one point's retry loop — materialize the spec, run it
+// with panic recovery and breaker observation, retry failures with
+// jittered backoff. It does not touch job state; grid and search
+// dispatchers share it and settle the outcome themselves.
+func (m *Manager) attemptPoint(j *job, idx int) (payload []byte, label string, err error) {
 	spec, label, err := j.plan.Point(idx)
 	if err != nil { // unreachable: every point validated at Compile
-		m.finishPoint(j, idx, PointFailed, label, err)
-		return
+		return nil, label, err
 	}
 	var lastErr error
 	for attempt := 0; attempt <= m.retries; attempt++ {
@@ -575,21 +662,180 @@ func (m *Manager) runPoint(j *job, idx int, jwg *sync.WaitGroup) {
 			}
 		}
 		begin := time.Now()
-		payload, err := m.safeRun(spec)
+		payload, runErr := m.safeRun(spec)
 		if br := m.cfg.Breaker; br != nil {
-			br.Observe(err, time.Since(begin), 0)
+			br.Observe(runErr, time.Since(begin), 0)
 		}
-		if err == nil {
-			m.persistCheckpoint(j, idx, payload)
-			m.finishPoint(j, idx, PointComputed, label, nil)
-			return
+		if runErr == nil {
+			return payload, label, nil
 		}
-		lastErr = err
+		lastErr = runErr
 		if m.baseCtx.Err() != nil {
 			break // forced shutdown, not a point defect: stop retrying
 		}
 	}
-	m.finishPoint(j, idx, PointFailed, label, lastErr)
+	return nil, label, lastErr
+}
+
+// searchEventFrontierCap bounds the frontier snapshot embedded in each
+// NDJSON event line; the status endpoint and final manifest always carry
+// the full frontier.
+const searchEventFrontierCap = 32
+
+// searchOutcome is one proposed point's evaluation inside a batch.
+type searchOutcome struct {
+	idx      int
+	label    string
+	payload  []byte
+	err      error
+	restored bool // satisfied from a checkpoint, not recomputed
+}
+
+// executeSearch is the dispatcher for search campaigns: instead of
+// walking the grid it asks the policy for point batches, evaluates each
+// batch through the same machinery as grid points (worker pool, retries,
+// panic isolation, breaker pause, per-point checkpoints), feeds the
+// measurements back, and publishes point events enriched with the
+// best-so-far point and frontier. A proposed point whose checkpoint
+// survived a previous incarnation is fed back from disk — no recompute,
+// no worker slot — which is exactly how resume skips already-evaluated
+// points while replaying the same deterministic proposal sequence.
+func (m *Manager) executeSearch(j *job) {
+	sr, err := NewSearcher(j.plan)
+	if err != nil { // unreachable: Compile validated the search block
+		j.mu.Lock()
+		j.cancelled = true
+		j.mu.Unlock()
+		m.finalize(j)
+		return
+	}
+	st := m.cfg.Store
+	id := j.plan.ID
+	terminated := ""
+	aborted := false // manager shutdown or cancel interrupted the search
+
+search:
+	for {
+		select {
+		case <-m.stopCh:
+			aborted = true
+			break search
+		case <-j.cancelCh:
+			aborted, terminated = true, "cancelled"
+			break search
+		default:
+		}
+		prop := sr.Next()
+		if prop.Done {
+			terminated = prop.Reason
+			break
+		}
+
+		// Evaluate the batch: restored points come off disk immediately,
+		// pending ones go through the worker pool concurrently.
+		outcomes := make([]*searchOutcome, len(prop.Indices))
+		var jwg sync.WaitGroup
+		for bi, idx := range prop.Indices {
+			j.mu.Lock()
+			state := j.points[idx]
+			j.mu.Unlock()
+			if state == PointRestored {
+				var payload []byte
+				if st != nil {
+					payload, _ = st.Get(store.Campaigns, pointKey(id, idx))
+				}
+				outcomes[bi] = &searchOutcome{idx: idx, label: j.plan.PointLabel(idx), payload: payload, restored: true}
+				continue
+			}
+			// An open breaker pauses dispatch, exactly as in grid mode.
+			for br := m.cfg.Breaker; br != nil && br.Open() && !aborted; {
+				select {
+				case <-m.stopCh:
+					aborted = true
+				case <-j.cancelCh:
+					aborted, terminated = true, "cancelled"
+				case <-time.After(m.breakerPoll):
+				}
+			}
+			if !aborted {
+				select {
+				case <-m.stopCh:
+					aborted = true
+				case <-j.cancelCh:
+					aborted, terminated = true, "cancelled"
+				case m.sem <- struct{}{}:
+				}
+			}
+			if aborted {
+				break // drain what is in flight; do not dispatch the rest
+			}
+			j.mu.Lock()
+			j.points[idx] = PointRunning
+			j.running++
+			j.mu.Unlock()
+			out := &searchOutcome{idx: idx}
+			outcomes[bi] = out
+			jwg.Add(1)
+			go func() {
+				defer jwg.Done()
+				defer func() { <-m.sem }()
+				out.payload, out.label, out.err = m.attemptPoint(j, out.idx)
+				if out.err == nil {
+					m.persistCheckpoint(j, out.idx, out.payload)
+				}
+			}()
+		}
+		jwg.Wait()
+
+		// Feed observations back in batch (proposal) order — goroutine
+		// completion order must not leak into the policy's replay state —
+		// then settle counters and publish the enriched point events.
+		var events []Event
+		for _, out := range outcomes {
+			if out == nil {
+				continue // abort hit before this batch member dispatched
+			}
+			obs := Observation{Index: out.idx, Cost: j.plan.Cost(out.idx)}
+			if out.err == nil && out.payload != nil {
+				if meas, merr := m.cfg.Measure(out.payload); merr == nil {
+					obs.OK = true
+					obs.Objective = objectiveValue(j.plan.Spec.Search.Objective, meas)
+				}
+			}
+			sr.Observe(obs)
+			if out.restored {
+				continue // already counted by the restore scan; no event
+			}
+			if out.err == nil {
+				events = append(events, m.settlePoint(j, out.idx, PointComputed, out.label, nil))
+			} else {
+				events = append(events, m.settlePoint(j, out.idx, PointFailed, out.label, out.err))
+			}
+		}
+		snap := sr.Snapshot()
+		j.mu.Lock()
+		j.search = &snap
+		j.mu.Unlock()
+		for i := range events {
+			events[i].BestSoFar = snap.Best
+			if len(snap.Frontier) > searchEventFrontierCap {
+				events[i].Frontier = snap.Frontier[:searchEventFrontierCap]
+			} else {
+				events[i].Frontier = snap.Frontier
+			}
+			m.publish(j, events[i])
+		}
+		if aborted {
+			break
+		}
+	}
+
+	snap := sr.Snapshot()
+	snap.Terminated = terminated
+	j.mu.Lock()
+	j.search = &snap
+	j.mu.Unlock()
+	m.finalize(j)
 }
 
 // Checkpoint-write retry tuning: a handful of quick, jittered attempts
@@ -656,7 +902,10 @@ func (m *Manager) safeRun(spec scenario.Spec) (payload []byte, err error) {
 	return m.cfg.Run(m.baseCtx, spec)
 }
 
-func (m *Manager) finishPoint(j *job, idx int, st PointState, label string, err error) {
+// settlePoint moves one dispatched point to a terminal state and returns
+// the point event describing it — unpublished, so the search dispatcher
+// can enrich it with best-so-far/frontier snapshots before it goes out.
+func (m *Manager) settlePoint(j *job, idx int, st PointState, label string, err error) Event {
 	ev := Event{Type: EventPoint, Index: idx, Point: label, State: string(st)}
 	j.mu.Lock()
 	j.points[idx] = st
@@ -674,7 +923,7 @@ func (m *Manager) finishPoint(j *job, idx int, st PointState, label string, err 
 		}
 	}
 	j.mu.Unlock()
-	m.publish(j, ev)
+	return ev
 }
 
 // finalize settles a campaign after its dispatcher stops. Three exits:
@@ -692,9 +941,19 @@ func (m *Manager) finalize(j *job) {
 		}
 	}
 	cancelled := j.cancelled
-	stopped := pending > 0 && !cancelled && m.isStopped()
+	var stopped bool
+	if j.plan.Spec.Search != nil {
+		// A finished search leaves most of its domain unproposed on
+		// purpose — those points are not "skipped" work, they are the
+		// evaluations the search avoided; leave them pending. The campaign
+		// is only resumable when the manager stopped before the policy
+		// terminated.
+		stopped = j.search != nil && j.search.Terminated == "" && !cancelled && m.isStopped()
+	} else {
+		stopped = pending > 0 && !cancelled && m.isStopped()
+	}
 	if !stopped {
-		if pending > 0 {
+		if pending > 0 && j.plan.Spec.Search == nil {
 			for i, ps := range j.points {
 				if ps == PointPending {
 					j.points[i] = PointSkipped
@@ -842,6 +1101,7 @@ func (m *Manager) registerTerminal(plan *Plan, man manifest) {
 		j.skipped = man.Final.Skipped
 		j.checkpointsLost = man.Final.CheckpointsLost
 		j.failures = append(j.failures, man.Final.Failures...)
+		j.search = man.Final.Search
 		if !man.Final.Created.IsZero() {
 			j.created = man.Final.Created
 		}

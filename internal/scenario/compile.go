@@ -15,6 +15,7 @@ type Point struct {
 	// Label names the point in tables ("hidden=4096"; the model name when
 	// there is no sweep).
 	Label string
+	// Model is the resolved workload shape for this point.
 	Model workload.Model
 	// Configs holds one validated configuration per spec system, in spec
 	// order.

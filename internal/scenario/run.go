@@ -123,6 +123,11 @@ func Run(env *experiments.Env, spec Spec) (*experiments.Report, error) {
 	if len(lastSpeedups) > 0 {
 		r.Scalars["avg_speedup"] = stats.Mean(lastSpeedups)
 	}
+	// The last listed system's step time at the last point: the scalar a
+	// "total" objective search minimizes. For the single-point scenarios
+	// campaigns materialize, this is simply "the step time of the system
+	// under study".
+	r.Scalars["total_s"] = cells[len(cells)-1].b.Total().Seconds()
 	if plan.Spec.Sweep != nil {
 		r.Notes = append(r.Notes, "sweep over "+plan.Spec.Sweep.Axis)
 	}

@@ -68,14 +68,23 @@ func invalid(sentinel error, format string, args ...any) error {
 // required; FFN defaults to 4*Hidden, Vocab to 50257, Batch to 1 and
 // SeqLen to 1024.
 type ModelSpec struct {
-	Name   string `json:"name,omitempty"`
-	Layers int    `json:"layers,omitempty"`
-	Hidden int    `json:"hidden,omitempty"`
-	Heads  int    `json:"heads,omitempty"`
-	FFNDim int    `json:"ffn,omitempty"`
-	Vocab  int    `json:"vocab,omitempty"`
-	Batch  int    `json:"batch,omitempty"`
-	SeqLen int    `json:"seqlen,omitempty"`
+	// Name selects a zoo model (one of workload.Models()); empty means a
+	// fully custom shape.
+	Name string `json:"name,omitempty"`
+	// Layers is the transformer block count.
+	Layers int `json:"layers,omitempty"`
+	// Hidden is the model (embedding) dimension.
+	Hidden int `json:"hidden,omitempty"`
+	// Heads is the attention head count (must divide Hidden).
+	Heads int `json:"heads,omitempty"`
+	// FFNDim is the feed-forward inner dimension (default 4*Hidden).
+	FFNDim int `json:"ffn,omitempty"`
+	// Vocab is the vocabulary size (default 50257).
+	Vocab int `json:"vocab,omitempty"`
+	// Batch is the training batch size (default 1).
+	Batch int `json:"batch,omitempty"`
+	// SeqLen is the sequence length (default 1024).
+	SeqLen int `json:"seqlen,omitempty"`
 }
 
 // Overrides adjusts Table-1 knobs for one system. Zero values leave the
@@ -110,7 +119,8 @@ type Overrides struct {
 type SystemSpec struct {
 	// Kind is "non-secure", "sgx-mgx" or "tensortee" (the paper's three
 	// systems; common spellings like "sgx+mgx" are accepted).
-	Kind      string     `json:"kind"`
+	Kind string `json:"kind"`
+	// Overrides adjusts the kind's Table-1 defaults; nil keeps them all.
 	Overrides *Overrides `json:"overrides,omitempty"`
 }
 
@@ -121,7 +131,9 @@ type SystemSpec struct {
 // Model axes reshape the workload per point; override axes apply to every
 // system in the spec on top of its own overrides.
 type Sweep struct {
-	Axis   string    `json:"axis"`
+	// Axis names the swept dimension.
+	Axis string `json:"axis"`
+	// Values are the settings to evaluate, one point each, in order.
 	Values []float64 `json:"values"`
 }
 
@@ -129,13 +141,16 @@ type Sweep struct {
 type Spec struct {
 	// Name labels the scenario (default "custom"); it becomes part of the
 	// result id ("scenario:<name>").
-	Name    string       `json:"name,omitempty"`
-	Model   ModelSpec    `json:"model"`
+	Name string `json:"name,omitempty"`
+	// Model is the workload to simulate.
+	Model ModelSpec `json:"model"`
+	// Systems are the configurations to evaluate, baseline first.
 	Systems []SystemSpec `json:"systems"`
 	// Metrics selects the reported columns (see Metrics()); empty selects
 	// all of them (speedup only when at least two systems are listed).
 	Metrics []string `json:"metrics,omitempty"`
-	Sweep   *Sweep   `json:"sweep,omitempty"`
+	// Sweep, when present, evaluates the spec once per axis value.
+	Sweep *Sweep `json:"sweep,omitempty"`
 }
 
 // Metrics lists the valid metric names: per-phase visible times of one

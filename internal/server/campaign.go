@@ -173,7 +173,7 @@ func (s *Server) handleCampaignEvents(w http.ResponseWriter, r *http.Request) {
 // snapshotEvent renders a status snapshot in the event-line shape, so
 // every line of the stream decodes as the same type.
 func snapshotEvent(st campaign.Status) campaign.Event {
-	return campaign.Event{
+	ev := campaign.Event{
 		Type:     campaign.EventStatus,
 		Campaign: st.ID,
 		State:    string(st.State),
@@ -184,6 +184,14 @@ func snapshotEvent(st campaign.Status) campaign.Event {
 		Skipped:  st.Skipped,
 		Total:    st.Total,
 	}
+	if st.Search != nil {
+		// A search campaign's snapshots carry the current winner, so a
+		// client joining late (or reading a finished search) still sees
+		// the answer on the first and last stream lines.
+		ev.BestSoFar = st.Search.Best
+		ev.Frontier = st.Search.Frontier
+	}
+	return ev
 }
 
 func writeCampaignJSON(w http.ResponseWriter, code int, st campaign.Status) {

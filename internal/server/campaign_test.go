@@ -117,6 +117,54 @@ func TestCampaignEndpointLifecycle(t *testing.T) {
 	}
 }
 
+// tinySearchCampaign is a target-mode search over a two-value cache
+// axis with an always-satisfiable step-time target: the search probes
+// the top of the domain, bisects down, and lands on the cheapest
+// configuration — exercising the whole submit/status search surface on
+// real simulations.
+const tinySearchCampaign = `{
+  "name": "srv-search",
+  "base": {
+    "name": "srv-search-base",
+    "model": {"layers": 1, "hidden": 128, "heads": 2, "batch": 1, "seqlen": 64},
+    "systems": [{"kind": "non-secure"}],
+    "metrics": ["total"]
+  },
+  "axes": [{"axis": "meta_cache_kb", "values": [16, 64]}],
+  "search": {"mode": "target", "objective": "total", "target": 1000000}
+}`
+
+func TestCampaignSearchEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign points calibrate a system")
+	}
+	_, ts := newTestServer(t, 0)
+
+	resp, body := post(t, ts.URL+"/v1/campaigns", tinySearchCampaign, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("create = %d, want 202 (%s)", resp.StatusCode, body)
+	}
+	st := decodeStatus(t, body)
+	final := waitCampaignDone(t, ts.URL+"/v1/campaigns/"+st.ID)
+	if final.State != campaign.StateDone || final.Failed != 0 {
+		t.Fatalf("final = %+v", final)
+	}
+	if final.Search == nil {
+		t.Fatal("status of a search campaign has no search block")
+	}
+	if final.Search.Best == nil || final.Search.Best.Point != "meta_cache_kb=16" {
+		t.Fatalf("best = %+v, want the cheaper cache size", final.Search.Best)
+	}
+	if !strings.Contains(final.Search.Terminated, "met") {
+		t.Fatalf("terminated = %q", final.Search.Terminated)
+	}
+	// Both domain points were needed here (probe the top, bisect to the
+	// bottom); the point is that the search evaluated and reported them.
+	if final.Search.Evaluated != 2 || final.Computed != 2 {
+		t.Fatalf("evaluated=%d computed=%d, want 2/2", final.Search.Evaluated, final.Computed)
+	}
+}
+
 func TestCampaignEndpointRejectsBadSpecs(t *testing.T) {
 	_, ts := newTestServer(t, 0)
 	url := ts.URL + "/v1/campaigns"
@@ -128,6 +176,8 @@ func TestCampaignEndpointRejectsBadSpecs(t *testing.T) {
 		{"no axes", `{"base": ` + tinySpec + `, "axes": []}`, "no axes"},
 		{"unknown axis", `{"base": ` + tinySpec + `, "axes": [{"axis": "warp", "values": [1]}]}`, "unknown axis"},
 		{"unknown model", `{"base": {"name": "x", "model": {"name": "NOPE-9B"}, "systems": [{"kind": "non-secure"}], "metrics": ["total"]}, "axes": [{"axis": "layers", "values": [1]}]}`, "unknown model"},
+		{"unknown search mode", `{"base": ` + tinySpec + `, "axes": [{"axis": "layers", "values": [1, 2]}], "search": {"mode": "climb"}}`, "unknown search mode"},
+		{"search target missing", `{"base": ` + tinySpec + `, "axes": [{"axis": "layers", "values": [1, 2]}], "search": {"mode": "target", "objective": "total"}}`, "target"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

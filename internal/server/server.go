@@ -155,6 +155,15 @@ func New(cfg Config) *Server {
 			}
 			return res.EncodeStored()
 		},
+		// Search campaigns read their objective back out of the same
+		// checkpoint payloads the points persist.
+		Measure: func(payload []byte) (campaign.Measurement, error) {
+			sp, total, err := tensortee.StoredMeasurement(payload)
+			if err != nil {
+				return campaign.Measurement{}, err
+			}
+			return campaign.Measurement{Speedup: sp, TotalSeconds: total}, nil
+		},
 		Store:   r.Store(),
 		Workers: cfg.CampaignWorkers,
 		Retries: cfg.CampaignRetries,

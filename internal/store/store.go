@@ -183,15 +183,25 @@ type Options struct {
 
 // Stats is a snapshot of the store's counters.
 type Stats struct {
-	DiskHits    int64 `json:"disk_hits"`
-	DiskMisses  int64 `json:"disk_misses"`
+	// DiskHits counts Gets satisfied from the local disk tier.
+	DiskHits int64 `json:"disk_hits"`
+	// DiskMisses counts Gets the local disk could not satisfy.
+	DiskMisses int64 `json:"disk_misses"`
+	// Corruptions counts entries rejected at read time (bad checksum,
+	// truncation, or build-tag mismatch) and quarantined.
 	Corruptions int64 `json:"corruptions"`
-	PeerHits    int64 `json:"peer_hits"`
-	PeerMisses  int64 `json:"peer_misses"`
-	PeerErrors  int64 `json:"peer_errors"`
-	Writes      int64 `json:"writes"`
+	// PeerHits counts misses satisfied by a replica probe.
+	PeerHits int64 `json:"peer_hits"`
+	// PeerMisses counts replica probes that found nothing.
+	PeerMisses int64 `json:"peer_misses"`
+	// PeerErrors counts replica probes that failed outright.
+	PeerErrors int64 `json:"peer_errors"`
+	// Writes counts successful Puts.
+	Writes int64 `json:"writes"`
+	// WriteErrors counts Puts that failed after retries.
 	WriteErrors int64 `json:"write_errors"`
-	Evictions   int64 `json:"evictions"`
+	// Evictions counts entries removed by the size cap.
+	Evictions int64 `json:"evictions"`
 	// Entries and Bytes describe the current on-disk footprint (computed
 	// by walking the namespaces when Stats is taken).
 	Entries int64 `json:"entries"`

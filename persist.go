@@ -109,3 +109,23 @@ func DecodeStoredResult(b []byte) (*Result, error) {
 	}
 	return res, nil
 }
+
+// StoredMeasurement decodes a stored result payload (the checkpoint
+// format campaign points persist) and extracts its headline scalars:
+// the last listed system's speedup over the first (avg_speedup; 0 when
+// the result has a single system) and its training-step time in seconds
+// (total_s; 0 on results stored by builds that predate the scalar).
+// This is the measurement hook search campaigns optimize over — exposed
+// here so the campaign layer stays decoupled from the result codec.
+func StoredMeasurement(payload []byte) (speedup, totalSeconds float64, err error) {
+	res, err := DecodeStoredResult(payload)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Missing scalars read as zero rather than failing: single-system
+	// results legitimately have no speedup, and older checkpoints have no
+	// total_s.
+	speedup, _ = res.Scalar("avg_speedup")
+	totalSeconds, _ = res.Scalar("total_s")
+	return speedup, totalSeconds, nil
+}

@@ -22,6 +22,7 @@ const (
 	NPUSide
 )
 
+// String names the side ("cpu" or "npu").
 func (s Side) String() string {
 	if s == CPUSide {
 		return "cpu"

@@ -65,9 +65,12 @@ func (c *Cell) UnmarshalJSON(b []byte) error {
 // ResultTable is one table of an experiment result: named columns and
 // typed rows.
 type ResultTable struct {
-	Title   string   `json:"title"`
+	// Title is the table caption.
+	Title string `json:"title"`
+	// Columns are the header names, in display order.
 	Columns []string `json:"columns"`
-	Rows    [][]Cell `json:"rows"`
+	// Rows are the table body; every row has one Cell per column.
+	Rows [][]Cell `json:"rows"`
 }
 
 // Column returns the index of the named column, or -1.

@@ -58,6 +58,7 @@ const (
 	TensorTEE
 )
 
+// String names the system kind the way the paper does.
 func (k Kind) String() string { return k.kind().String() }
 
 func (k Kind) kind() config.SystemKind {
@@ -73,8 +74,12 @@ func (k Kind) kind() config.SystemKind {
 
 // Breakdown is the visible time of one training step per phase.
 type Breakdown struct {
+	// NPU, CPU, CommWeights and CommGrads are the per-phase visible
+	// times: accelerator compute, host optimizer, weight upload, and
+	// gradient offload.
 	NPU, CPU, CommWeights, CommGrads time.Duration
-	Total                            time.Duration
+	// Total is the step time: the sum of the visible phase times.
+	Total time.Duration
 }
 
 func toDuration(t sim.Dur) time.Duration {
@@ -120,12 +125,17 @@ func (s *System) Describe() string { return s.inner.Describe() }
 
 // ModelInfo describes one Table-2 workload.
 type ModelInfo struct {
-	Name        string
+	// Name is the workload's Table-2 name (e.g. "LLAMA2-7B").
+	Name string
+	// Params is the parameter count; ParamsLabel is its Table-2 rendering
+	// (e.g. "7B").
 	Params      int64
 	ParamsLabel string
-	BatchSize   int
-	Layers      int
-	Hidden      int
+	// BatchSize, Layers and Hidden are the Table-2 training shape.
+	BatchSize int
+	Layers    int
+	Hidden    int
+	// TensorCount is the number of distinct tensors one step touches.
 	TensorCount int
 }
 
